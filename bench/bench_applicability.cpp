@@ -1,0 +1,84 @@
+// §V-C applicability & false-positive assessment regeneration.
+//
+// Runs the 58-application device/screen pool and the 50-application
+// clipboard pool through their user-driven workflows on an Overhaul system
+// and reports the paper's findings:
+//   * no application breaks (0 false positives on user-driven accesses);
+//   * exactly one spurious alert — Skype probing the camera at launch;
+//   * delayed screenshots are denied by design (documented limitation).
+#include <cstdio>
+#include <map>
+
+#include "apps/catalog.h"
+#include "core/system.h"
+
+using namespace overhaul;
+
+int main() {
+  std::printf("Applicability & false-positive assessment (§V-C)\n\n");
+
+  // --- device/screen pool -----------------------------------------------------
+  {
+    core::OverhaulSystem sys;
+    std::map<apps::AppCategory, int> by_category;
+    int broken = 0, spurious = 0, delayed = 0, grants = 0, denials = 0;
+    for (const auto& entry : apps::device_catalog()) {
+      ++by_category[entry.category];
+      const auto r = apps::run_catalog_entry(sys, entry);
+      broken += r.functionality_broken();
+      spurious += r.spurious_alert;
+      delayed += r.delayed_capture_denied;
+      grants += r.grants;
+      denials += r.denials;
+      if (r.functionality_broken() || r.spurious_alert) {
+        std::printf("  note: %-22s %s%s\n", r.name.c_str(),
+                    r.functionality_broken() ? "BROKEN " : "",
+                    r.spurious_alert ? "spurious-alert(launch camera probe)"
+                                     : "");
+      }
+    }
+    std::printf("\nDevice/screen pool:\n");
+    std::printf("  %-42s %6zu\n", "applications tested",
+                apps::device_catalog().size());
+    for (const auto& [cat, n] : by_category) {
+      std::printf("    %-40s %6d\n",
+                  std::string(apps::category_name(cat)).c_str(), n);
+    }
+    std::printf("  %-42s %6d   (paper: 0)\n", "broken applications", broken);
+    std::printf("  %-42s %6d   (paper: 1, Skype)\n", "spurious alerts",
+                spurious);
+    std::printf("  %-42s %6d   (by design)\n",
+                "delayed screenshots denied", delayed);
+    std::printf("  %-42s %6d / %d\n", "user-driven ops granted/denied",
+                grants, denials);
+  }
+
+  // --- clipboard pool -------------------------------------------------------------
+  {
+    core::OverhaulSystem sys;
+    int broken = 0, grants = 0, denials = 0;
+    for (const auto& entry : apps::clipboard_catalog()) {
+      const auto r = apps::run_catalog_entry(sys, entry);
+      broken += r.functionality_broken();
+      grants += r.grants;
+      denials += r.denials;
+    }
+    // §V-C: clipboard verification is done from the logs, not alerts.
+    const auto copy_grants =
+        sys.audit().count(util::Op::kCopy, util::Decision::kGrant);
+    const auto paste_grants =
+        sys.audit().count(util::Op::kPaste, util::Decision::kGrant);
+    std::printf("\nClipboard pool:\n");
+    std::printf("  %-42s %6zu\n", "applications tested",
+                apps::clipboard_catalog().size());
+    std::printf("  %-42s %6d   (paper: 0)\n", "broken applications", broken);
+    std::printf("  %-42s %6d / %d\n", "user-driven ops granted/denied",
+                grants, denials);
+    std::printf("  %-42s %6zu / %zu\n", "audited copy/paste grants",
+                copy_grants, paste_grants);
+  }
+
+  std::printf("\nShape check vs paper: 58 + 50 apps, zero broken, one "
+              "spurious alert, delayed shots unsupported.\n");
+  return 0;
+}

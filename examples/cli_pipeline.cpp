@@ -1,0 +1,55 @@
+// CLI interactions (§IV-B): the user types `arecord` into xterm; the
+// interaction record hops xterm → pty → bash → (fork/exec) → arecord, which
+// then opens the microphone.
+#include <cstdio>
+
+#include "apps/terminal.h"
+#include "core/system.h"
+
+using namespace overhaul;
+
+namespace {
+
+void show_ts(core::OverhaulSystem& sys, kern::Pid pid, const char* label) {
+  const auto* t = sys.kernel().processes().lookup(pid);
+  if (t->interaction_ts.is_never()) {
+    std::printf("  %-18s interaction_ts = (never)\n", label);
+  } else {
+    std::printf("  %-18s interaction_ts = %.3fs\n", label,
+                t->interaction_ts.to_seconds());
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::OverhaulSystem sys;
+  auto term = apps::TerminalSession::launch(sys).value();
+  std::printf("xterm pid=%d, bash pid=%d (bash is NOT an X client)\n\n",
+              term->pid(), term->shell_pid());
+
+  // Without typing, a scheduled command cannot reach the mic.
+  sys.advance(sim::Duration::seconds(5));
+  (void)term->type_command_line("arecord ambient.wav");
+  auto cron_tool = term->shell_read_and_spawn().value();
+  auto s = term->tool_record_microphone(cron_tool);
+  std::printf("cron-style launch (no typing): %s\n\n", s.to_string().c_str());
+
+  // The user clicks into the terminal and types the command.
+  auto [cx, cy] = term->click_point();
+  sys.input().click(cx, cy);
+  sys.input().press_enter();
+  (void)term->type_command_line("arecord voice-memo.wav");
+  auto tool = term->shell_read_and_spawn().value();
+
+  std::printf("after the user typed the command:\n");
+  show_ts(sys, term->pid(), "xterm");
+  std::printf("  %-18s stamp          = %.3fs\n", "pty device",
+              term->pty()->stamp().to_seconds());
+  show_ts(sys, term->shell_pid(), "bash");
+  show_ts(sys, tool, "arecord");
+
+  s = term->tool_record_microphone(tool);
+  std::printf("\nuser-typed launch: %s\n", s.to_string().c_str());
+  return s.is_ok() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// overhaulctl: the administrator's view of a running Overhaul system.
+//
+// Demonstrates the /proc interface (§IV-B's superuser toggles), the audit
+// report (§V-D's log investigation), and what happens when the admin relaxes
+// and restores policy at runtime.
+#include <cstdio>
+
+#include "apps/spyware.h"
+#include "apps/video_conf.h"
+#include "core/system.h"
+#include "util/audit_report.h"
+
+using namespace overhaul;
+
+namespace {
+
+void show(core::OverhaulSystem& sys, const char* node) {
+  auto v = sys.kernel().sys_proc_read(1, node);
+  std::printf("  %-40s = %s\n", node,
+              v.is_ok() ? v.value().c_str() : v.status().to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  core::OverhaulSystem sys;
+  std::printf("# cat /proc/sys/overhaul/*\n");
+  show(sys, "/proc/sys/overhaul/enabled");
+  show(sys, "/proc/sys/overhaul/threshold_ms");
+  show(sys, "/proc/sys/overhaul/ptrace_protect");
+
+  // Generate some activity: a legitimate call and a spyware sweep.
+  auto skype = apps::VideoConfApp::launch(sys).value();
+  auto [cx, cy] = skype->click_point();
+  sys.input().click(cx, cy);
+  (void)skype->start_call();
+  skype->end_call();
+  auto spy = apps::Spyware::install(sys).value();
+  sys.advance(sim::Duration::seconds(5));
+  (void)spy->try_record_microphone();
+  (void)spy->try_screenshot();
+
+  // The admin inspects a process's interaction age via /proc.
+  std::printf("\n# cat /proc/%d/status   (the video-conference app)\n",
+              skype->pid());
+  auto status = sys.kernel().sys_proc_read(
+      1, "/proc/" + std::to_string(skype->pid()) + "/status");
+  std::printf("%s", status.value().c_str());
+
+  // Tighten δ at runtime and watch a formerly-valid latency get denied.
+  std::printf("\n# echo 100 > /proc/sys/overhaul/threshold_ms\n");
+  (void)sys.kernel().sys_proc_write(1, "/proc/sys/overhaul/threshold_ms",
+                                    "100");
+  sys.input().click(cx, cy);
+  sys.advance(sim::Duration::millis(300));  // 300 ms of app startup latency
+  auto call = skype->start_call();
+  std::printf("  call with 300 ms handler latency under δ=100ms: %s\n",
+              call.mic.to_string().c_str());
+  (void)sys.kernel().sys_proc_write(1, "/proc/sys/overhaul/threshold_ms",
+                                    "2000");
+  sys.input().click(cx, cy);
+  sys.advance(sim::Duration::millis(300));
+  call = skype->start_call();
+  std::printf("  same flow restored to δ=2000ms:              %s\n",
+              call.mic.to_string().c_str());
+  skype->end_call();
+
+  // A non-root process cannot touch policy.
+  auto user_proc = sys.launch_daemon("/usr/bin/user-shell", "sh").value();
+  auto denied = sys.kernel().sys_proc_write(
+      user_proc, "/proc/sys/overhaul/ptrace_protect", "0");
+  std::printf("\n# (uid 1000) echo 0 > ptrace_protect\n  %s\n",
+              denied.to_string().c_str());
+
+  // The §V-D-style audit investigation.
+  std::printf("\n# overhaulctl report\n%s",
+              util::build_report(sys.audit()).to_string().c_str());
+  return 0;
+}

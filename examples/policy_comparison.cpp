@@ -1,0 +1,91 @@
+// Three user-driven access-control models, side by side:
+//   1. Overhaul's transparent input-driven model (the paper's choice),
+//   2. the explicit-prompt mode (§IV-A sketch; prompt-fatigue caveats, §VI),
+//   3. the ACG white-box baseline (Roesner et al. [27]).
+// The same two scenarios run under each policy: a user-driven microphone
+// use in an UNMODIFIED app, and a background (no-input) access attempt.
+#include <cstdio>
+
+#include "core/system.h"
+
+using namespace overhaul;
+
+namespace {
+
+struct Row {
+  const char* policy;
+  bool legit_works = false;
+  bool malware_blocked = false;
+  std::size_t prompts = 0;
+  std::size_t alerts = 0;
+};
+
+Row run(const char* label, core::OverhaulConfig cfg, bool answer_prompts) {
+  core::OverhaulSystem sys(cfg);
+  Row row{label};
+
+  if (answer_prompts) {
+    // The user diligently answers prompts: allow the app they just used,
+    // deny anything they were not expecting.
+    sys.xserver().prompts().set_user_agent([&](const x11::Prompt& p) {
+      const bool expected = p.comm == "recorder";
+      const auto& b = expected ? p.allow_button : p.deny_button;
+      sys.input().click(b.x + 1, b.y + 1);
+    });
+  }
+
+  // Scenario 1: the user clicks record in an unmodified recorder app.
+  auto app = sys.launch_gui_app("/usr/bin/recorder", "recorder",
+                                x11::Rect{10, 100, 200, 150})
+                 .value();
+  const auto& r = sys.xserver().window(app.window)->rect();
+  sys.input().click(r.x + 20, r.y + 20);
+  auto fd = sys.kernel().sys_open(app.pid, core::OverhaulSystem::mic_path(),
+                                  kern::OpenFlags::kRead);
+  row.legit_works = fd.is_ok();
+  if (fd.is_ok()) (void)sys.kernel().sys_close(app.pid, fd.value());
+
+  // Scenario 2: a background process tries the microphone, no user input.
+  sys.advance(sim::Duration::seconds(10));
+  auto daemon = sys.launch_daemon("/home/user/.spy", "spy").value();
+  fd = sys.kernel().sys_open(daemon, core::OverhaulSystem::mic_path(),
+                             kern::OpenFlags::kRead);
+  row.malware_blocked = !fd.is_ok();
+
+  row.prompts = sys.xserver().prompts().stats().prompts_shown;
+  row.alerts = sys.xserver().alerts().shown_count();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  core::OverhaulConfig transparent;  // defaults
+
+  core::OverhaulConfig prompting;
+  prompting.prompt_mode = true;
+
+  core::OverhaulConfig acg;
+  acg.grant_policy = kern::GrantPolicy::kAcg;
+
+  const Row rows[] = {
+      run("input-driven (paper)", transparent, false),
+      run("prompt mode", prompting, true),
+      run("ACG baseline [27]", acg, false),
+  };
+
+  std::printf("%-24s %18s %18s %8s %7s\n", "policy",
+              "unmodified app works", "malware blocked", "prompts", "alerts");
+  for (const Row& row : rows) {
+    std::printf("%-24s %18s %18s %8zu %7zu\n", row.policy,
+                row.legit_works ? "yes" : "NO",
+                row.malware_blocked ? "yes" : "NO", row.prompts, row.alerts);
+  }
+  std::printf(
+      "\nReading: the transparent model protects unmodified apps with zero "
+      "user burden;\nprompt mode preserves compatibility at the cost of "
+      "interruptions (the §VI usability\nargument); ACG is precise but an "
+      "unmodified app can never be granted anything —\nthe deployment gap "
+      "Overhaul exists to close.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// MultiProcessBrowser: the Fig. 4 scenario.
+//
+// "a multi-process Internet browser that uses separate processes for each
+// browser tab (i.e., similar to Chromium) ... the user actually interacts
+// with the main browser window, ... However, Browser opens the web
+// application in a separate process Tab and commands it to turn on the
+// camera via shared memory IPC." The tab's camera open succeeds only
+// because P2 propagated the browser's interaction timestamp through the
+// shared-memory command channel (via the page-fault interposition).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/runtime.h"
+#include "kern/ipc/shared_memory.h"
+
+namespace overhaul::apps {
+
+class MultiProcessBrowser : public GuiApp {
+ public:
+  static util::Result<std::unique_ptr<MultiProcessBrowser>> launch(
+      core::OverhaulSystem& sys, const std::string& name = "browser");
+
+  // A renderer process with a shared-memory command channel to the main
+  // browser process.
+  struct Tab {
+    kern::Pid pid = kern::kNoPid;
+    std::shared_ptr<kern::ShmSegment> channel;
+    std::shared_ptr<kern::ShmMapping> browser_map;  // main-process mapping
+    std::shared_ptr<kern::ShmMapping> tab_map;      // renderer mapping
+  };
+
+  // Fork a renderer and wire its shm command channel.
+  util::Result<std::size_t> open_tab();
+  [[nodiscard]] Tab& tab(std::size_t index) { return tabs_[index]; }
+  [[nodiscard]] std::size_t tab_count() const noexcept { return tabs_.size(); }
+
+  // Command opcodes written into the shm channel.
+  static constexpr std::uint64_t kCmdNone = 0;
+  static constexpr std::uint64_t kCmdStartCamera = 0xCA11;
+
+  // Main process: write the start-camera command into the tab's channel
+  // (this is the IPC *send*: the browser's interaction timestamp is stamped
+  // into the segment by the page-fault handler).
+  util::Status command_start_camera(std::size_t tab_index);
+
+  // Renderer: poll the channel (the IPC *receive*: adopts the timestamp),
+  // and if commanded, open the camera. Returns the open() status, or
+  // kWouldBlock if no command was pending.
+  util::Status tab_poll_and_run(std::size_t tab_index);
+
+ private:
+  using GuiApp::GuiApp;
+  std::vector<Tab> tabs_;
+};
+
+}  // namespace overhaul::apps

@@ -1,0 +1,83 @@
+// AppCatalog: the §V-C applicability & false-positive study pool.
+//
+// The paper assembles 58 applications that touch protected resources
+// (video conferencing, audio/video editors and recorders, screenshot and
+// screencasting tools, browsers running WebRTC apps) plus 50
+// clipboard-using applications (office suites, editors, browsers, mail
+// clients, terminal emulators), runs each through its normal user-driven
+// workflow, and counts spurious alerts / broken functionality. The catalog
+// below encodes each application's resource-access *pattern*; the runner
+// executes the pattern against a live OverhaulSystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace overhaul::apps {
+
+enum class AppCategory : std::uint8_t {
+  kVideoConf,
+  kAudioEditor,
+  kAvRecorder,
+  kScreenshot,
+  kScreencast,
+  kBrowser,
+  kOffice,
+  kTextEditor,
+  kEmail,
+  kTerminal,
+  kMediaPlayer,
+  kGraphics,
+};
+
+std::string_view category_name(AppCategory c) noexcept;
+
+struct CatalogEntry {
+  std::string name;
+  AppCategory category = AppCategory::kTextEditor;
+  // Resources the app touches during its normal, user-driven workflow.
+  bool uses_mic = false;
+  bool uses_cam = false;
+  bool uses_screen = false;
+  bool uses_clipboard = false;
+  // Skype-style behaviour: probes a device at launch, before any input.
+  bool probes_cam_at_launch = false;
+  // Offers a delayed-capture mode (the §V-C limitation).
+  bool supports_delayed_capture = false;
+};
+
+// The 58-application device/screen pool (§V-C first experiment).
+const std::vector<CatalogEntry>& device_catalog();
+// The 50-application clipboard pool (§V-C second experiment).
+const std::vector<CatalogEntry>& clipboard_catalog();
+
+// Result of running one entry's workflow on a system.
+struct CatalogRunResult {
+  std::string name;
+  int grants = 0;           // user-driven operations that succeeded
+  int denials = 0;          // user-driven operations that were blocked (FP!)
+  bool spurious_alert = false;   // launch-probe blocked + alerted
+  bool delayed_capture_denied = false;  // the documented limitation
+  [[nodiscard]] bool functionality_broken() const { return denials > 0; }
+};
+
+// Drive the entry's workflow: launch, user clicks, resource accesses right
+// after the clicks; the launch probe (if any) happens before any input.
+CatalogRunResult run_catalog_entry(core::OverhaulSystem& sys,
+                                   const CatalogEntry& entry);
+
+// Aggregate over a pool.
+struct CatalogSummary {
+  int apps = 0;
+  int broken = 0;
+  int spurious_alerts = 0;
+  int delayed_denials = 0;
+  int total_grants = 0;
+  int total_denials = 0;
+};
+CatalogSummary run_catalog(core::OverhaulSystem& sys,
+                           const std::vector<CatalogEntry>& pool);
+
+}  // namespace overhaul::apps

@@ -1,0 +1,113 @@
+// DBus: a desktop message bus over UNIX domain sockets.
+//
+// §IV-B claims "Higher-level IPC mechanisms that are built on these OS
+// primitives (e.g., D-Bus) are also automatically covered". This module
+// makes that claim checkable: a bus daemon process routes method calls
+// between client connections, each hop being a real unix-socket send/recv
+// in the simulated kernel. Interaction timestamps therefore propagate
+// app → daemon → service with no D-Bus-specific Overhaul code — exactly
+// the paper's point.
+//
+// The wire format is a minimal subset: named connections, method calls with
+// a destination, member, and string payload.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/system.h"
+#include "kern/ipc/unix_socket.h"
+#include "util/status.h"
+
+namespace overhaul::apps {
+
+struct DBusMessage {
+  std::string destination;  // well-known name, e.g. "org.overhaul.Portal"
+  std::string member;       // method name
+  std::string payload;
+  std::string sender;       // filled in by the daemon
+};
+
+class DBusDaemon;
+
+// A client endpoint on the bus. Held by application code; all traffic goes
+// through the daemon (there are no peer-to-peer shortcuts on D-Bus).
+class DBusConnection {
+ public:
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+
+  // Claim a well-known name (org.freedesktop.DBus.RequestName).
+  util::Status request_name(const std::string& name);
+
+  // Send a method call to a named peer. The message is queued on this
+  // connection's socket; the daemon routes it on its next pump().
+  util::Status call(const std::string& destination, const std::string& member,
+                    const std::string& payload);
+
+  // Drain messages the daemon delivered to this connection.
+  std::optional<DBusMessage> next_message();
+
+ private:
+  friend class DBusDaemon;
+  DBusConnection(DBusDaemon& daemon, int id, kern::Pid pid,
+                 kern::UnixSocketEndpoint endpoint)
+      : daemon_(daemon), id_(id), pid_(pid), endpoint_(std::move(endpoint)) {}
+
+  DBusDaemon& daemon_;
+  int id_;
+  kern::Pid pid_;
+  kern::UnixSocketEndpoint endpoint_;
+};
+
+class DBusDaemon {
+ public:
+  static constexpr const char* kSocketPath = "/run/dbus/system_bus_socket";
+
+  // Spawn the bus daemon process and bind its socket.
+  static util::Result<std::unique_ptr<DBusDaemon>> start(
+      core::OverhaulSystem& sys);
+
+  // Connect a client process to the bus.
+  util::Result<std::unique_ptr<DBusConnection>> connect(kern::Pid client);
+
+  // Route all pending messages: receive from every connection (the daemon
+  // task adopts the senders' timestamps hop by hop), resolve destinations,
+  // and forward (stamping the outbound sockets with the daemon's timestamp).
+  // Returns the number of messages routed.
+  std::size_t pump();
+
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return connections_.size();
+  }
+  [[nodiscard]] std::optional<int> owner_of(const std::string& name) const;
+
+  struct Stats {
+    std::uint64_t routed = 0;
+    std::uint64_t dropped_no_owner = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class DBusConnection;
+  explicit DBusDaemon(core::OverhaulSystem& sys, kern::Pid pid)
+      : sys_(sys), pid_(pid) {}
+
+  static std::string encode(const DBusMessage& msg);
+  static std::optional<DBusMessage> decode(const std::string& wire);
+
+  core::OverhaulSystem& sys_;
+  kern::Pid pid_;
+  // Daemon-side endpoints, keyed by connection id.
+  std::map<int, kern::UnixSocketEndpoint> daemon_side_;
+  std::map<int, kern::Pid> connections_;
+  std::map<std::string, int> names_;
+  int next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace overhaul::apps

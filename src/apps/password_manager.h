@@ -1,0 +1,60 @@
+// PasswordManagerApp + EditorApp: the clipboard-sniffing scenario.
+//
+// §III-C motivates clipboard mediation with "malicious programs that attempt
+// to capture sensitive data from the system clipboard, such as passwords
+// pasted from a password manager", and §V-D finds exactly that in the wild
+// run ("The data sampled from the clipboard included passwords copied from
+// the password manager"). These two apps are the benign endpoints of that
+// flow; the attacker lives in apps/spyware.h.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/runtime.h"
+
+namespace overhaul::apps {
+
+class PasswordManagerApp : public GuiApp {
+ public:
+  static util::Result<std::unique_ptr<PasswordManagerApp>> launch(
+      core::OverhaulSystem& sys);
+
+  void store_password(std::string site, std::string password) {
+    vault_[std::move(site)] = std::move(password);
+  }
+  [[nodiscard]] std::string password_for(const std::string& site) const {
+    const auto it = vault_.find(site);
+    return it == vault_.end() ? std::string{} : it->second;
+  }
+
+  // After the user's Ctrl-C: acquire the CLIPBOARD selection.
+  util::Status copy_password_to_clipboard(const std::string& site);
+
+  [[nodiscard]] const std::string& pending_clipboard() const noexcept {
+    return pending_clipboard_;
+  }
+
+ private:
+  using GuiApp::GuiApp;
+  std::map<std::string, std::string> vault_;
+  std::string pending_clipboard_;
+};
+
+// A plain text editor that pastes.
+class EditorApp : public GuiApp {
+ public:
+  static util::Result<std::unique_ptr<EditorApp>> launch(
+      core::OverhaulSystem& sys, const std::string& name = "editor");
+
+  // After the user's Ctrl-V: run the full ICCCM paste against `source`.
+  util::Result<std::string> paste_from(PasswordManagerApp& source);
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buffer_; }
+
+ private:
+  using GuiApp::GuiApp;
+  std::string buffer_;
+};
+
+}  // namespace overhaul::apps

@@ -1,0 +1,217 @@
+#include "apps/runtime.h"
+
+#include <sstream>
+
+namespace overhaul::apps {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+std::vector<x11::XEvent> GuiApp::pump_events() {
+  std::vector<x11::XEvent> events;
+  x11::XClient* c = sys_.xserver().client(handle_.client);
+  if (c == nullptr) return events;
+  while (c->has_events()) events.push_back(c->next_event());
+  return events;
+}
+
+Status icccm_copy(x11::XServer& server, const GuiApp& source,
+                  const std::string& selection) {
+  // Step 2: SetSelection — mediated by Overhaul (copy permission).
+  auto s = server.selections().set_selection_owner(source.client(), selection,
+                                                   source.window());
+  if (!s.is_ok()) return s;
+  // Steps 3–4: confirm ownership.
+  auto owner = server.selections().selection_owner(selection);
+  if (!owner.has_value() || owner->client != source.client())
+    return Status(Code::kBadAtom, "ownership confirmation failed");
+  return Status::ok();
+}
+
+Result<std::string> icccm_paste(x11::XServer& server, GuiApp& source,
+                                GuiApp& target, const std::string& selection,
+                                const std::string& data_from_owner) {
+  const std::string property = "OVERHAUL_PASTE";
+
+  // Step 6: ConvertSelection — mediated by Overhaul (paste permission).
+  if (auto s = server.selections().convert_selection(
+          target.client(), selection, target.window(), property);
+      !s.is_ok())
+    return s;
+
+  // Step 7: the owner receives SelectionRequest in its event queue.
+  bool owner_saw_request = false;
+  for (const auto& ev : source.pump_events()) {
+    if (ev.type == x11::EventType::kSelectionRequest &&
+        ev.selection == selection) {
+      owner_saw_request = true;
+      // Step 8: owner publishes the data on the requestor's window property.
+      if (auto s = server.selections().change_property(
+              source.client(), ev.requestor, ev.property, data_from_owner);
+          !s.is_ok())
+        return s;
+      // Step 9: owner asks the server to notify the requestor (SendEvent).
+      x11::XEvent notify;
+      notify.type = x11::EventType::kSelectionNotify;
+      notify.selection = selection;
+      notify.property = ev.property;
+      if (auto s = server.send_event(source.client(), ev.requestor, notify);
+          !s.is_ok())
+        return s;
+    }
+  }
+  if (!owner_saw_request)
+    return Status(Code::kBadRequest, "owner never saw SelectionRequest");
+
+  // Step 10: the requestor receives SelectionNotify.
+  bool notified = false;
+  for (const auto& ev : target.pump_events()) {
+    if (ev.type == x11::EventType::kSelectionNotify &&
+        ev.selection == selection)
+      notified = true;
+  }
+  if (!notified)
+    return Status(Code::kBadRequest, "requestor never saw SelectionNotify");
+
+  // Steps 11–12: fetch the data.
+  auto data = server.selections().get_property(target.client(),
+                                               target.window(), property);
+  if (!data.is_ok()) return data.status();
+
+  // Step 13: remove it.
+  if (auto s = server.selections().delete_property(target.client(),
+                                                   target.window(), property);
+      !s.is_ok())
+    return s;
+
+  return data;
+}
+
+Result<std::string> icccm_paste_incr(x11::XServer& server, GuiApp& source,
+                                     GuiApp& target,
+                                     const std::string& selection,
+                                     const std::string& data_from_owner,
+                                     std::size_t chunk_size) {
+  const std::string property = "OVERHAUL_PASTE_INCR";
+  auto& sel = server.selections();
+
+  // Step 6: ConvertSelection (mediated).
+  if (auto s = sel.convert_selection(target.client(), selection,
+                                     target.window(), property);
+      !s.is_ok())
+    return s;
+
+  // Owner sees the request and announces INCR instead of a one-shot write.
+  bool announced = false;
+  for (const auto& ev : source.pump_events()) {
+    if (ev.type != x11::EventType::kSelectionRequest ||
+        ev.selection != selection)
+      continue;
+    if (auto s = sel.begin_incr(source.client(), ev.requestor, ev.property,
+                                data_from_owner.size());
+        !s.is_ok())
+      return s;
+    x11::XEvent notify;
+    notify.type = x11::EventType::kSelectionNotify;
+    notify.selection = selection;
+    notify.property = ev.property;
+    if (auto s = server.send_event(source.client(), ev.requestor, notify);
+        !s.is_ok())
+      return s;
+    announced = true;
+  }
+  if (!announced)
+    return util::Status(util::Code::kBadRequest, "owner never saw the request");
+
+  // Requestor: read the INCR marker and delete it to start the stream.
+  auto marker = sel.get_property(target.client(), target.window(), property);
+  if (!marker.is_ok()) return marker.status();
+  if (marker.value().rfind("INCR:", 0) != 0)
+    return util::Status(util::Code::kBadRequest, "expected INCR marker");
+  if (auto s =
+          sel.delete_property(target.client(), target.window(), property);
+      !s.is_ok())
+    return s;
+
+  // Stream: owner writes a chunk; requestor consumes and deletes; an empty
+  // chunk terminates.
+  std::string assembled;
+  std::size_t offset = 0;
+  for (;;) {
+    const std::size_t n =
+        std::min(chunk_size, data_from_owner.size() - offset);
+    if (auto s = sel.send_incr_chunk(source.client(), target.window(),
+                                     property,
+                                     data_from_owner.substr(offset, n));
+        !s.is_ok())
+      return s;
+    offset += n;
+    auto chunk = sel.get_property(target.client(), target.window(), property);
+    if (!chunk.is_ok()) return chunk.status();
+    assembled += chunk.value();
+    if (auto s =
+            sel.delete_property(target.client(), target.window(), property);
+        !s.is_ok())
+      return s;
+    if (n == 0) break;  // the empty terminator has been consumed
+  }
+  return assembled;
+}
+
+
+Result<std::string> icccm_paste_negotiated(
+    x11::XServer& server, GuiApp& source, GuiApp& target,
+    const std::string& selection, const std::string& data_from_owner,
+    const std::vector<std::string>& owner_formats) {
+  auto& sel = server.selections();
+  const std::string targets_prop = "OVERHAUL_TARGETS";
+
+  // Phase 1: TARGETS (metadata; exempt from input correlation).
+  if (auto s = sel.convert_selection(target.client(), selection,
+                                     target.window(), targets_prop,
+                                     "TARGETS");
+      !s.is_ok())
+    return s;
+  for (const auto& ev : source.pump_events()) {
+    if (ev.type != x11::EventType::kSelectionRequest ||
+        ev.target != "TARGETS")
+      continue;
+    std::string list;
+    for (const auto& f : owner_formats) {
+      if (!list.empty()) list += ",";
+      list += f;
+    }
+    if (auto s = sel.change_property(source.client(), ev.requestor,
+                                     ev.property, list);
+        !s.is_ok())
+      return s;
+  }
+  auto offered = sel.get_property(target.client(), target.window(),
+                                  targets_prop);
+  if (!offered.is_ok()) return offered.status();
+  (void)sel.delete_property(target.client(), target.window(), targets_prop);
+
+  // Pick a format: prefer UTF8_STRING, fall back to STRING.
+  std::string chosen;
+  std::stringstream ss(offered.value());
+  std::string format;
+  while (std::getline(ss, format, ',')) {
+    if (format == "UTF8_STRING") {
+      chosen = format;
+      break;
+    }
+    if (format == "STRING" && chosen.empty()) chosen = format;
+  }
+  if (chosen.empty())
+    return Status(Code::kNotSupported, "no mutually supported format");
+
+  // Phase 2: the mediated data transfer, INCR when large.
+  if (data_from_owner.size() > x11::SelectionManager::kIncrThreshold) {
+    return icccm_paste_incr(server, source, target, selection,
+                            data_from_owner);
+  }
+  return icccm_paste(server, source, target, selection, data_from_owner);
+}
+
+}  // namespace overhaul::apps

@@ -1,0 +1,87 @@
+// AppRuntime: scaffolding for scripted application models.
+//
+// The paper's evaluation exercises Overhaul with real desktop applications
+// (Skype, browsers, screenshot tools, a launcher, terminals, spyware). The
+// models in src/apps reproduce those applications' *interaction patterns* —
+// which process receives input, which process touches which resource, over
+// which IPC — as scripts against the kernel + X server APIs. GuiApp wraps
+// the common process + X client + window triple; free helpers run the
+// multi-step ICCCM clipboard dance the way a toolkit would.
+#pragma once
+
+#include <string>
+
+#include "core/system.h"
+#include "util/status.h"
+#include "x11/server.h"
+
+namespace overhaul::apps {
+
+class GuiApp {
+ public:
+  GuiApp(core::OverhaulSystem& sys, core::OverhaulSystem::AppHandle handle,
+         std::string name)
+      : sys_(sys), handle_(handle), name_(std::move(name)) {}
+  virtual ~GuiApp() = default;
+
+  [[nodiscard]] kern::Pid pid() const noexcept { return handle_.pid; }
+  [[nodiscard]] x11::ClientId client() const noexcept { return handle_.client; }
+  [[nodiscard]] x11::WindowId window() const noexcept { return handle_.window; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // Screen-space point inside this app's window (for hardware clicks).
+  [[nodiscard]] std::pair<int, int> click_point() const {
+    const x11::Window* win = sys_.xserver().window(handle_.window);
+    const auto& r = win->rect();
+    return {r.x + r.width / 2, r.y + r.height / 2};
+  }
+
+  // Drain and return the app's pending X events (toolkits pump the queue).
+  std::vector<x11::XEvent> pump_events();
+
+ protected:
+  [[nodiscard]] core::OverhaulSystem& sys() noexcept { return sys_; }
+  [[nodiscard]] kern::Kernel& kernel() noexcept { return sys_.kernel(); }
+  [[nodiscard]] x11::XServer& xserver() noexcept { return sys_.xserver(); }
+
+ private:
+  core::OverhaulSystem& sys_;
+  core::OverhaulSystem::AppHandle handle_;
+  std::string name_;
+};
+
+// --- clipboard protocol helpers -------------------------------------------------
+// Drive the full Fig. 6 ICCCM sequence between two GUI apps, the way their
+// toolkits would after the user's copy/paste chords. These helpers are the
+// *well-behaved* clients; attack clients in tests skip steps deliberately.
+
+// Owner side after Ctrl-C: acquire the selection (steps 2–4).
+util::Status icccm_copy(x11::XServer& server, const GuiApp& source,
+                        const std::string& selection);
+
+// Target side after Ctrl-V: convert, wait for the owner to publish, fetch
+// and delete (steps 6–13). The owner app's event pump is driven inline.
+// Returns the pasted data.
+util::Result<std::string> icccm_paste(x11::XServer& server, GuiApp& source,
+                                      GuiApp& target,
+                                      const std::string& selection,
+                                      const std::string& data_from_owner);
+
+// Like icccm_paste, but for payloads above the max request size: drives the
+// full INCR handshake (announce, chunk stream, empty terminator).
+util::Result<std::string> icccm_paste_incr(x11::XServer& server,
+                                           GuiApp& source, GuiApp& target,
+                                           const std::string& selection,
+                                           const std::string& data_from_owner,
+                                           std::size_t chunk_size = 64 * 1024);
+
+// The full well-behaved toolkit flow: first negotiate TARGETS (unmediated
+// metadata), pick a format the owner supports, then run the mediated data
+// transfer — one-shot or INCR depending on payload size.
+util::Result<std::string> icccm_paste_negotiated(
+    x11::XServer& server, GuiApp& source, GuiApp& target,
+    const std::string& selection, const std::string& data_from_owner,
+    const std::vector<std::string>& owner_formats = {"STRING",
+                                                     "UTF8_STRING"});
+
+}  // namespace overhaul::apps

@@ -1,0 +1,27 @@
+#include "apps/screenshot.h"
+
+namespace overhaul::apps {
+
+using util::Result;
+
+Result<std::unique_ptr<ScreenshotApp>> ScreenshotApp::launch(
+    core::OverhaulSystem& sys, const std::string& name) {
+  auto handle = sys.launch_gui_app("/usr/bin/" + name, name,
+                                   x11::Rect{400, 500, 300, 120});
+  if (!handle.is_ok()) return handle.status();
+  return std::unique_ptr<ScreenshotApp>(
+      new ScreenshotApp(sys, handle.value(), name));
+}
+
+Result<x11::Image> ScreenshotApp::capture_now() {
+  return xserver().screen().get_image(client(), x11::kRootWindow);
+}
+
+void ScreenshotApp::capture_after(
+    sim::Duration delay, std::function<void(Result<x11::Image>)> done) {
+  sys().scheduler().after(delay, [this, done = std::move(done)]() {
+    done(xserver().screen().get_image(client(), x11::kRootWindow));
+  });
+}
+
+}  // namespace overhaul::apps

@@ -1,0 +1,59 @@
+#include "apps/spyware.h"
+
+namespace overhaul::apps {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<Spyware>> Spyware::install(core::OverhaulSystem& sys,
+                                                  const std::string& name) {
+  // Background process: child of init, disguised exe path in the user's home.
+  auto pid = sys.launch_daemon("/home/user/." + name, name);
+  if (!pid.is_ok()) return pid.status();
+
+  auto client = sys.xserver().connect_client(pid.value());
+  if (!client.is_ok()) return client.status();
+
+  // A window it never maps — needed only as a property landing pad for the
+  // selection protocol. Invisible to the user.
+  auto window =
+      sys.xserver().create_window(client.value(), x11::Rect{0, 0, 1, 1});
+  if (!window.is_ok()) return window.status();
+
+  core::OverhaulSystem::AppHandle handle{pid.value(), client.value(),
+                                         window.value()};
+  return std::unique_ptr<Spyware>(new Spyware(sys, handle, name));
+}
+
+Status Spyware::try_sniff_clipboard(GuiApp& owner,
+                                    const std::string& owner_data) {
+  ++attempts_.clipboard;
+  auto pasted =
+      icccm_paste(xserver(), owner, *this, "CLIPBOARD", owner_data);
+  if (!pasted.is_ok()) return pasted.status();
+  loot_.clipboard.push_back(pasted.value());
+  return Status::ok();
+}
+
+Status Spyware::try_screenshot() {
+  ++attempts_.screenshots;
+  auto img = xserver().screen().get_image(client(), x11::kRootWindow);
+  if (!img.is_ok()) return img.status();
+  ++loot_.screenshots;
+  return Status::ok();
+}
+
+Status Spyware::try_record_microphone() {
+  ++attempts_.mic;
+  auto fd = kernel().sys_open(pid(), core::OverhaulSystem::mic_path(),
+                              kern::OpenFlags::kRead);
+  if (!fd.is_ok()) return fd.status();
+  // Pull one buffer of samples, then close.
+  (void)kernel().sys_read(pid(), fd.value(), 4096);
+  (void)kernel().sys_close(pid(), fd.value());
+  ++loot_.mic_samples;
+  return Status::ok();
+}
+
+}  // namespace overhaul::apps

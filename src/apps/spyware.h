@@ -1,0 +1,69 @@
+// Spyware: the information-stealing malware model from §V-D.
+//
+// "we implemented a sample malware that runs in the background during the
+// computer's normal operation and spies on the user. In particular, it
+// periodically retrieves clipboard contents, takes screenshots, and records
+// sound samples from the microphone." It uses only the standard interfaces
+// (X11 selection protocol, GetImage, open(2) on device nodes) — nothing is
+// added or removed to ease detection. Harvested data is kept in `loot`
+// (the paper's on-disk store).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/runtime.h"
+
+namespace overhaul::apps {
+
+class Spyware : public GuiApp {
+ public:
+  // Installs the spyware: a background process with an X connection and a
+  // window it never maps (it has no UI). The user never interacts with it.
+  static util::Result<std::unique_ptr<Spyware>> install(
+      core::OverhaulSystem& sys, const std::string& name = "spyd");
+
+  struct Loot {
+    std::vector<std::string> clipboard;  // stolen clipboard strings
+    int screenshots = 0;
+    int mic_samples = 0;
+
+    [[nodiscard]] bool empty() const {
+      return clipboard.empty() && screenshots == 0 && mic_samples == 0;
+    }
+    [[nodiscard]] int total() const {
+      return static_cast<int>(clipboard.size()) + screenshots + mic_samples;
+    }
+  };
+
+  // One sniff attempt against whatever currently owns the CLIPBOARD
+  // selection. `owner` is the benign app whose toolkit will auto-answer the
+  // SelectionRequest (that cooperation is why clipboard sniffing works on
+  // stock X11). Returns the protocol status; loot updated on success.
+  util::Status try_sniff_clipboard(GuiApp& owner,
+                                   const std::string& owner_data);
+
+  // One screenshot attempt (GetImage on the root window).
+  util::Status try_screenshot();
+
+  // One microphone sample attempt (open + read + close on the device node).
+  util::Status try_record_microphone();
+
+  struct Attempts {
+    int clipboard = 0;
+    int screenshots = 0;
+    int mic = 0;
+    [[nodiscard]] int total() const { return clipboard + screenshots + mic; }
+  };
+
+  [[nodiscard]] const Loot& loot() const noexcept { return loot_; }
+  [[nodiscard]] const Attempts& attempts() const noexcept { return attempts_; }
+
+ private:
+  using GuiApp::GuiApp;
+  Loot loot_;
+  Attempts attempts_;
+};
+
+}  // namespace overhaul::apps

@@ -1,0 +1,51 @@
+// TerminalSession: xterm + bash + CLI tool over a pseudo-terminal (§IV-B
+// "CLI interactions").
+//
+// The terminal emulator is the X client that receives the user's key
+// events; the shell is a separate process that is "usually not even an X
+// client". The interaction record reaches the CLI tool in two hops:
+//   keystrokes → terminal emulator (interaction notification)
+//   terminal --write--> pty master   (stamp embedded in the pty device)
+//   shell    --read---> pty slave    (shell adopts the stamp)
+//   shell    --fork+exec--> tool     (P1 copies it to the tool)
+//   tool opens /dev/snd/mic0         (granted: within δ of the keystroke)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/runtime.h"
+#include "kern/pty.h"
+
+namespace overhaul::apps {
+
+class TerminalSession : public GuiApp {
+ public:
+  // Launches the terminal emulator (GUI app), allocates the pty pair, and
+  // spawns the shell attached to the slave end.
+  static util::Result<std::unique_ptr<TerminalSession>> launch(
+      core::OverhaulSystem& sys);
+
+  [[nodiscard]] kern::Pid shell_pid() const noexcept { return shell_pid_; }
+  [[nodiscard]] const std::shared_ptr<kern::PtyPair>& pty() const noexcept {
+    return pty_;
+  }
+
+  // The terminal emulator writes the typed command line to the pty master.
+  // (The harness delivers the hardware keystrokes beforehand.)
+  util::Status type_command_line(const std::string& line);
+
+  // The shell reads the pending command from the slave end, then forks and
+  // execs the named tool. Returns the tool's pid.
+  util::Result<kern::Pid> shell_read_and_spawn();
+
+  // Convenience: the spawned tool opens the microphone (like `arecord`).
+  util::Status tool_record_microphone(kern::Pid tool_pid);
+
+ private:
+  using GuiApp::GuiApp;
+  std::shared_ptr<kern::PtyPair> pty_;
+  kern::Pid shell_pid_ = kern::kNoPid;
+};
+
+}  // namespace overhaul::apps

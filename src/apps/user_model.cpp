@@ -1,0 +1,45 @@
+#include "apps/user_model.h"
+
+#include <algorithm>
+
+namespace overhaul::apps {
+
+sim::Duration ThinkTimeModel::sample(util::Rng& rng) const {
+  const double roll = rng.next_double();
+  double ms = 0;
+  if (roll < params_.in_app_weight) {
+    ms = rng.exponential(params_.mean_in_app_ms);
+  } else if (roll < params_.in_app_weight + params_.launcher_weight) {
+    ms = rng.normal(params_.launcher_mean_ms, params_.launcher_sd_ms);
+  } else {
+    ms = rng.normal(params_.heavy_mean_ms, params_.heavy_sd_ms);
+  }
+  ms = std::max(ms, 1.0);
+  return sim::Duration::seconds_f(ms / 1000.0);
+}
+
+bool DiurnalSchedule::active_at(sim::Timestamp t) const {
+  const std::int64_t hour = (t.ns / sim::Duration::hours(1).ns) % 24;
+  return (hour >= params_.work_start_hour && hour < params_.work_end_hour) ||
+         (hour >= params_.evening_start_hour && hour < params_.evening_end_hour);
+}
+
+sim::Duration DiurnalSchedule::next_gap(sim::Timestamp now,
+                                        util::Rng& rng) const {
+  if (active_at(now)) {
+    // Bursts of activity tens of seconds to a few minutes apart.
+    return sim::Duration::seconds(rng.uniform(20, 240));
+  }
+  // Away from the machine: check back every 5–30 minutes.
+  return sim::Duration::minutes(rng.uniform(5, 30));
+}
+
+AlertReaction AttentionModel::sample(util::Rng& rng) const {
+  const double roll = rng.next_double();
+  if (roll < params_.p_immediate) return AlertReaction::kInterruptsImmediately;
+  if (roll < params_.p_immediate + params_.p_prompted)
+    return AlertReaction::kReportsWhenPrompted;
+  return AlertReaction::kMissesAlert;
+}
+
+}  // namespace overhaul::apps

@@ -1,0 +1,46 @@
+// VideoConfApp: a Skype-like video conferencing application model.
+//
+// Two behaviours from the paper's evaluation:
+//  * Normal call flow (§V-B task 1): the user clicks the call button, the
+//    app opens the microphone and camera immediately after — grants.
+//  * Startup camera probe (§V-C): "Skype attempted to access the camera as
+//    soon as the program was launched, before the user logs in" — when
+//    autostarted at boot there is no interaction, so Overhaul blocks it and
+//    raises the paper's one spurious alert.
+#pragma once
+
+#include <memory>
+
+#include "apps/runtime.h"
+
+namespace overhaul::apps {
+
+class VideoConfApp : public GuiApp {
+ public:
+  static util::Result<std::unique_ptr<VideoConfApp>> launch(
+      core::OverhaulSystem& sys, const std::string& name = "skype",
+      bool settle = true);
+
+  // The camera probe Skype performs right after launch (before any user
+  // interaction). Returns the open() status — kOverhaulDenied when blocked.
+  util::Status probe_camera_at_startup();
+
+  // User-driven call: the harness must have delivered a hardware click to
+  // this app's window immediately before. Opens mic + cam.
+  struct CallResult {
+    util::Status mic;
+    util::Status cam;
+    [[nodiscard]] bool ok() const { return mic.is_ok() && cam.is_ok(); }
+  };
+  CallResult start_call();
+
+  // Hang up: close the device fds.
+  void end_call();
+
+ private:
+  using GuiApp::GuiApp;
+  int mic_fd_ = -1;
+  int cam_fd_ = -1;
+};
+
+}  // namespace overhaul::apps

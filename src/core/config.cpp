@@ -1,0 +1,5 @@
+#include "core/config.h"
+
+namespace overhaul::core {
+// Header-only; anchors the translation unit.
+}  // namespace overhaul::core

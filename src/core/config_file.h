@@ -1,0 +1,34 @@
+// Config-file parsing: the /etc/overhaul.conf an administrator would ship.
+//
+// Simple `key = value` lines, '#' comments, whitespace-tolerant. Unknown
+// keys and malformed values are hard errors — a typo in a security config
+// must not silently fall back to defaults.
+//
+//   enabled = true
+//   delta_ms = 2000
+//   shm_rearm_wait_ms = 500
+//   visibility_threshold_ms = 500
+//   ptrace_protect = true
+//   audit = true
+//   prompt_mode = false
+//   grant_policy = input-driven   # or: acg
+//   shared_secret = visual-secret:tabby-cat
+//   alert_duration_ms = 4000
+//   screen = 1024x768
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+#include "util/status.h"
+
+namespace overhaul::core {
+
+// Parse a config file's contents into an OverhaulConfig. On error, the
+// status message names the offending line.
+util::Result<OverhaulConfig> parse_config(const std::string& text);
+
+// Render a config back to the file format (round-trips through parse).
+std::string render_config(const OverhaulConfig& config);
+
+}  // namespace overhaul::core

@@ -1,0 +1,85 @@
+// OverhaulSystem: a booted machine.
+//
+// Builds the virtual clock and scheduler, the kernel, the X server, the
+// hardware input driver, installs the standard sensitive devices
+// (microphone + camera), starts the trusted udev helper, and configures the
+// alert overlay. This is the object every example, test scenario, and
+// benchmark constructs — once with the default config for an
+// Overhaul-protected machine, once with `OverhaulConfig::baseline()` for
+// the unmodified machine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "kern/kernel.h"
+#include "sim/clock.h"
+#include "sim/scheduler.h"
+#include "x11/input.h"
+#include "x11/server.h"
+
+namespace overhaul::core {
+
+class OverhaulSystem {
+ public:
+  explicit OverhaulSystem(OverhaulConfig config = {});
+
+  OverhaulSystem(const OverhaulSystem&) = delete;
+  OverhaulSystem& operator=(const OverhaulSystem&) = delete;
+
+  [[nodiscard]] const OverhaulConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Clock& clock() noexcept { return clock_; }
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] kern::Kernel& kernel() noexcept { return *kernel_; }
+  [[nodiscard]] x11::XServer& xserver() noexcept { return *xserver_; }
+  [[nodiscard]] x11::HardwareInputDriver& input() noexcept { return *input_; }
+  [[nodiscard]] util::AuditLog& audit() noexcept { return kernel_->audit(); }
+
+  // --- standard devices ------------------------------------------------------
+  [[nodiscard]] kern::DeviceId microphone() const noexcept { return mic_; }
+  [[nodiscard]] kern::DeviceId camera() const noexcept { return cam_; }
+  [[nodiscard]] static std::string mic_path() { return "/dev/snd/mic0"; }
+  [[nodiscard]] static std::string camera_path() { return "/dev/video0"; }
+
+  // --- convenience -------------------------------------------------------------
+  // Advance virtual time (running any due scheduler events first).
+  void advance(sim::Duration d) {
+    scheduler_.run_until(clock_.now() + d);
+  }
+
+  // A launched GUI application: its process, X connection, and main window.
+  struct AppHandle {
+    kern::Pid pid = kern::kNoPid;
+    x11::ClientId client = 0;
+    x11::WindowId window = x11::kNoWindow;
+  };
+
+  // Spawn a process (child of `parent`, default init), connect it to the X
+  // server, create + map a main window. When `settle` is true the clock is
+  // advanced past the clickjacking visibility threshold so the window is
+  // immediately eligible for interactions (i.e. "the app has been on screen
+  // for a while").
+  util::Result<AppHandle> launch_gui_app(const std::string& exe,
+                                         const std::string& comm,
+                                         x11::Rect rect = {0, 0, 400, 300},
+                                         bool settle = true,
+                                         kern::Pid parent = 1);
+
+  // Spawn a headless process (no X connection) — daemons, malware, shells.
+  util::Result<kern::Pid> launch_daemon(const std::string& exe,
+                                        const std::string& comm,
+                                        kern::Pid parent = 1);
+
+ private:
+  OverhaulConfig config_;
+  sim::Clock clock_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<kern::Kernel> kernel_;
+  std::unique_ptr<x11::XServer> xserver_;
+  std::unique_ptr<x11::HardwareInputDriver> input_;
+  kern::DeviceId mic_ = kern::kNoDevice;
+  kern::DeviceId cam_ = kern::kNoDevice;
+};
+
+}  // namespace overhaul::core

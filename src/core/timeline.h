@@ -1,0 +1,41 @@
+// Timeline: a unified, time-ordered explanation of a session.
+//
+// Merges the display server's input trace, the kernel audit log, the alert
+// overlay history, and the prompt history into one sorted sequence — the
+// "why did this grant happen" view. Everything here is derived from data
+// the subsystems already keep; building a timeline has no effect on the
+// system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace overhaul::core {
+
+enum class TimelineKind : std::uint8_t {
+  kHardwareInput,
+  kSyntheticInput,
+  kSuppressedInput,   // hardware input that failed the clickjacking check
+  kDecision,          // a permission-monitor grant/deny
+  kAlert,
+  kPrompt,
+};
+
+std::string_view timeline_kind_name(TimelineKind kind) noexcept;
+
+struct TimelineEntry {
+  sim::Timestamp time;
+  TimelineKind kind = TimelineKind::kHardwareInput;
+  int pid = -1;
+  std::string text;  // human-readable one-liner
+};
+
+// Build the merged, time-sorted timeline for a system's whole history.
+std::vector<TimelineEntry> build_timeline(OverhaulSystem& sys);
+
+// Render entries as aligned lines ("[ 12.503s] decision  pid=7 ...").
+std::string render_timeline(const std::vector<TimelineEntry>& entries);
+
+}  // namespace overhaul::core

@@ -1,0 +1,48 @@
+#include "kern/devices.h"
+
+#include <cstring>
+
+namespace overhaul::kern {
+
+DeviceId DeviceRegistry::add(DeviceClass cls, std::string model) {
+  const DeviceId id = next_id_++;
+  devices_.emplace(id, Device{id, cls, std::move(model)});
+  return id;
+}
+
+const Device* DeviceRegistry::find(DeviceId id) const {
+  const auto it = devices_.find(id);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+void DeviceRegistry::simulate_open_work(DeviceId id) noexcept {
+  // Stream-buffer initialization: write then fold the scratch area. The
+  // fold result feeds back into the next open so the compiler cannot
+  // eliminate the work.
+  std::memset(scratch_.data(), static_cast<int>(id ^ scratch_mix_),
+              scratch_.size());
+  std::uint64_t mix = scratch_mix_;
+  const auto* words = reinterpret_cast<const std::uint64_t*>(scratch_.data());
+  const std::size_t n = scratch_.size() / sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < n; ++i) {
+    mix = (mix ^ words[i]) * 0x9E3779B97F4A7C15ULL;
+  }
+  scratch_mix_ = mix;
+}
+
+void DeviceRegistry::map_path(std::string path, DeviceId id) {
+  path_map_[std::move(path)] = id;
+}
+
+void DeviceRegistry::unmap_path(const std::string& path) {
+  path_map_.erase(path);
+}
+
+std::optional<DeviceId> DeviceRegistry::device_at(
+    const std::string& path) const {
+  const auto it = path_map_.find(path);
+  if (it == path_map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace overhaul::kern

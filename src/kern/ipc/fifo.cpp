@@ -1,0 +1,5 @@
+#include "kern/ipc/fifo.h"
+
+namespace overhaul::kern {
+// Header-only; anchors the translation unit.
+}  // namespace overhaul::kern

@@ -1,0 +1,42 @@
+// FIFOs (named pipes): a Pipe bound to a filesystem name.
+//
+// The VFS stores a fifo key in the inode; the kernel's FifoNamespace maps
+// keys to live Pipe objects. Propagation semantics are identical to
+// anonymous pipes (both are on the paper's supported-IPC list, §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "kern/ipc/pipe.h"
+
+namespace overhaul::kern {
+
+class FifoNamespace {
+ public:
+  explicit FifoNamespace(const IpcPolicy& policy) : policy_(policy) {}
+
+  // Allocate a key + backing pipe for a new fifo inode.
+  std::uint32_t create() {
+    const std::uint32_t key = next_key_++;
+    fifos_.emplace(key, std::make_shared<Pipe>(policy_));
+    return key;
+  }
+
+  [[nodiscard]] std::shared_ptr<Pipe> find(std::uint32_t key) const {
+    const auto it = fifos_.find(key);
+    return it == fifos_.end() ? nullptr : it->second;
+  }
+
+  void destroy(std::uint32_t key) { fifos_.erase(key); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return fifos_.size(); }
+
+ private:
+  const IpcPolicy& policy_;
+  std::map<std::uint32_t, std::shared_ptr<Pipe>> fifos_;
+  std::uint32_t next_key_ = 1;
+};
+
+}  // namespace overhaul::kern

@@ -1,0 +1,5 @@
+#include "kern/ipc/ipc_object.h"
+
+namespace overhaul::kern {
+// Header-only; anchors the translation unit.
+}  // namespace overhaul::kern

@@ -1,0 +1,68 @@
+// IpcObject: interaction-timestamp propagation across IPC channels (P2).
+//
+// Paper §III-D policy P2: "whenever process X sends a message to process Y,
+// interaction notifications N_{X,t} recorded in the permission monitor must
+// be duplicated as N_{Y,t}". §IV-B implements this with a timestamp field
+// embedded in each kernel IPC data structure and a three-step protocol:
+//   (1) channel creation embeds an *expired* timestamp;
+//   (2) a sender embeds its own timestamp unless the channel already holds a
+//       more recent one;
+//   (3) a receiver adopts the channel's timestamp if it is fresher than its
+//       own.
+// Every concrete IPC facility (pipe, FIFO, POSIX/SysV message queues, UNIX
+// domain sockets, POSIX/SysV shared memory, and the pty driver) derives from
+// or embeds this object and calls stamp_on_send / propagate_on_recv at its
+// send/receive interposition points.
+#pragma once
+
+#include <cstdint>
+
+#include "kern/task.h"
+#include "sim/clock.h"
+
+namespace overhaul::kern {
+
+// Global propagation switch: cleared in baseline ("unmodified kernel") mode
+// so benchmark baselines run the untouched code path.
+struct IpcPolicy {
+  bool propagate = true;
+};
+
+class IpcObject {
+ public:
+  explicit IpcObject(const IpcPolicy& policy) : policy_(policy) {}
+
+  // Step 2: called at every send interposition point.
+  void stamp_on_send(const TaskStruct& sender) noexcept {
+    if (!policy_.propagate) return;
+    if (sender.interaction_ts > stamp_) stamp_ = sender.interaction_ts;
+    ++send_stamps_;
+  }
+
+  // Step 3: called at every receive interposition point.
+  void propagate_on_recv(TaskStruct& receiver) noexcept {
+    if (!policy_.propagate) return;
+    receiver.adopt_interaction(stamp_);
+    ++recv_adoptions_;
+  }
+
+  [[nodiscard]] sim::Timestamp stamp() const noexcept { return stamp_; }
+
+  // Step 1 (re)initialisation: expired timestamp.
+  void reset_stamp() noexcept { stamp_ = sim::Timestamp::never(); }
+
+  [[nodiscard]] std::uint64_t send_stamps() const noexcept {
+    return send_stamps_;
+  }
+  [[nodiscard]] std::uint64_t recv_adoptions() const noexcept {
+    return recv_adoptions_;
+  }
+
+ private:
+  const IpcPolicy& policy_;
+  sim::Timestamp stamp_ = sim::Timestamp::never();
+  std::uint64_t send_stamps_ = 0;
+  std::uint64_t recv_adoptions_ = 0;
+};
+
+}  // namespace overhaul::kern

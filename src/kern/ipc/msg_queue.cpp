@@ -1,0 +1,107 @@
+#include "kern/ipc/msg_queue.h"
+
+#include <algorithm>
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+// --- PosixMq ----------------------------------------------------------------
+
+Status PosixMq::send(TaskStruct& sender, std::string payload,
+                     std::uint32_t priority) {
+  if (count_ >= max_messages_)
+    return Status(Code::kWouldBlock, "mq full");
+  stamp_on_send(sender);
+  by_priority_[priority].push_back(Msg{std::move(payload)});
+  ++count_;
+  return Status::ok();
+}
+
+Result<std::string> PosixMq::receive(TaskStruct& receiver) {
+  if (count_ == 0) return Status(Code::kWouldBlock, "mq empty");
+  propagate_on_recv(receiver);
+  auto it = std::prev(by_priority_.end());  // highest priority
+  std::string payload = std::move(it->second.front().payload);
+  it->second.pop_front();
+  if (it->second.empty()) by_priority_.erase(it);
+  --count_;
+  return payload;
+}
+
+Result<std::shared_ptr<PosixMq>> PosixMqNamespace::open(
+    const std::string& name, bool create, std::size_t max_messages) {
+  const auto it = queues_.find(name);
+  if (it != queues_.end()) return it->second;
+  if (!create) return Status(Code::kNotFound, "mq_open: " + name);
+  if (name.empty() || name.front() != '/')
+    return Status(Code::kInvalidArgument, "mq name must start with '/'");
+  auto q = std::make_shared<PosixMq>(policy_, max_messages);
+  queues_.emplace(name, q);
+  return q;
+}
+
+Status PosixMqNamespace::unlink(const std::string& name) {
+  return queues_.erase(name) > 0 ? Status::ok()
+                                 : Status(Code::kNotFound, name);
+}
+
+// --- SysvMq -----------------------------------------------------------------
+
+Status SysvMq::send(TaskStruct& sender, long type, std::string payload) {
+  if (type <= 0) return Status(Code::kInvalidArgument, "msgsnd: type must be > 0");
+  if (used_bytes_ + payload.size() > max_bytes_)
+    return Status(Code::kWouldBlock, "msgq full");
+  stamp_on_send(sender);
+  used_bytes_ += payload.size();
+  messages_.push_back(Msg{type, std::move(payload)});
+  return Status::ok();
+}
+
+Result<std::pair<long, std::string>> SysvMq::receive(TaskStruct& receiver,
+                                                     long type_selector) {
+  auto it = messages_.end();
+  if (type_selector == 0) {
+    if (!messages_.empty()) it = messages_.begin();
+  } else if (type_selector > 0) {
+    it = std::find_if(messages_.begin(), messages_.end(),
+                      [&](const Msg& m) { return m.type == type_selector; });
+  } else {
+    // Lowest type <= |selector|.
+    const long bound = -type_selector;
+    long best_type = 0;
+    for (auto cur = messages_.begin(); cur != messages_.end(); ++cur) {
+      if (cur->type <= bound && (it == messages_.end() || cur->type < best_type)) {
+        it = cur;
+        best_type = cur->type;
+      }
+    }
+  }
+  if (it == messages_.end())
+    return Status(Code::kWouldBlock, "msgrcv: no matching message");
+
+  propagate_on_recv(receiver);
+  auto out = std::make_pair(it->type, std::move(it->payload));
+  used_bytes_ -= out.second.size();
+  messages_.erase(it);
+  return out;
+}
+
+Result<std::shared_ptr<SysvMq>> SysvMqNamespace::get(int key, bool create,
+                                                     std::size_t max_bytes) {
+  const auto it = queues_.find(key);
+  if (it != queues_.end()) return it->second;
+  if (!create) return Status(Code::kNotFound, "msgget: no queue for key");
+  auto q = std::make_shared<SysvMq>(policy_, max_bytes);
+  queues_.emplace(key, q);
+  return q;
+}
+
+Status SysvMqNamespace::remove(int key) {
+  return queues_.erase(key) > 0 ? Status::ok()
+                                : Status(Code::kNotFound, "msgctl: no queue");
+}
+
+}  // namespace overhaul::kern

@@ -1,0 +1,105 @@
+// Message queues: POSIX (named, priority-ordered) and SysV (key, typed).
+//
+// Both are on the paper's supported list (§IV-B: "all of POSIX shared memory
+// and message queues, UNIX SysV shared memory and message queues, ..."). The
+// send/receive functions carry the P2 interposition, so interaction
+// timestamps flow with messages regardless of queue discipline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kern/ipc/ipc_object.h"
+#include "util/status.h"
+
+namespace overhaul::kern {
+
+// ---------------------------------------------------------------------------
+// POSIX message queue (mq_open / mq_send / mq_receive): messages ordered by
+// priority (higher first), FIFO within a priority.
+class PosixMq : public IpcObject {
+ public:
+  PosixMq(const IpcPolicy& policy, std::size_t max_messages)
+      : IpcObject(policy), max_messages_(max_messages) {}
+
+  util::Status send(TaskStruct& sender, std::string payload,
+                    std::uint32_t priority);
+  // Receives the highest-priority message. kWouldBlock if empty.
+  util::Result<std::string> receive(TaskStruct& receiver);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return count_; }
+
+ private:
+  struct Msg {
+    std::string payload;
+  };
+  std::size_t max_messages_;
+  std::size_t count_ = 0;
+  // priority → FIFO of messages; std::map keeps priorities sorted ascending,
+  // receive pops from the back (highest priority).
+  std::map<std::uint32_t, std::deque<Msg>> by_priority_;
+};
+
+// mq namespace ("/name" → queue).
+class PosixMqNamespace {
+ public:
+  explicit PosixMqNamespace(const IpcPolicy& policy) : policy_(policy) {}
+
+  util::Result<std::shared_ptr<PosixMq>> open(const std::string& name,
+                                              bool create,
+                                              std::size_t max_messages = 10);
+  util::Status unlink(const std::string& name);
+  [[nodiscard]] std::size_t count() const noexcept { return queues_.size(); }
+
+ private:
+  const IpcPolicy& policy_;
+  std::map<std::string, std::shared_ptr<PosixMq>> queues_;
+};
+
+// ---------------------------------------------------------------------------
+// SysV message queue (msgget / msgsnd / msgrcv): typed messages.
+// msgrcv type selector follows the syscall contract:
+//   type == 0 : first message in the queue
+//   type  > 0 : first message with exactly that type
+//   type  < 0 : lowest-typed message with type <= |type|
+class SysvMq : public IpcObject {
+ public:
+  SysvMq(const IpcPolicy& policy, std::size_t max_bytes)
+      : IpcObject(policy), max_bytes_(max_bytes) {}
+
+  util::Status send(TaskStruct& sender, long type, std::string payload);
+  util::Result<std::pair<long, std::string>> receive(TaskStruct& receiver,
+                                                     long type_selector);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return messages_.size(); }
+
+ private:
+  struct Msg {
+    long type;
+    std::string payload;
+  };
+  std::size_t max_bytes_;
+  std::size_t used_bytes_ = 0;
+  std::deque<Msg> messages_;
+};
+
+// SysV queue namespace (integer key → queue id).
+class SysvMqNamespace {
+ public:
+  explicit SysvMqNamespace(const IpcPolicy& policy) : policy_(policy) {}
+
+  // msgget: create or look up by key.
+  util::Result<std::shared_ptr<SysvMq>> get(int key, bool create,
+                                            std::size_t max_bytes = 16384);
+  util::Status remove(int key);
+  [[nodiscard]] std::size_t count() const noexcept { return queues_.size(); }
+
+ private:
+  const IpcPolicy& policy_;
+  std::map<int, std::shared_ptr<SysvMq>> queues_;
+};
+
+}  // namespace overhaul::kern

@@ -1,0 +1,33 @@
+#include "kern/ipc/page_fault.h"
+
+#include "kern/ipc/shared_memory.h"
+
+namespace overhaul::kern {
+
+void PageFaultEngine::handle_fault(ShmMapping& mapping, TaskStruct& task,
+                                   bool is_write) {
+  // Access violation: run the propagation protocol in the fault handler,
+  // then restore permissions and start the wait window (§IV-B).
+  ++stats_.faults;
+  if (is_write) {
+    mapping.segment_->stamp_on_send(task);
+  } else {
+    mapping.segment_->propagate_on_recv(task);
+  }
+  mapping.armed_ = false;
+  mapping.rearm_at_ = clock_.now() + config_.rearm_wait;
+}
+
+void PageFaultEngine::note_fast_access(ShmMapping& mapping, TaskStruct& task,
+                                       bool is_write) {
+  // Disarmed window: the access proceeds uninterrupted. This is where the
+  // paper's trade-off lives — IPC attempts here are not propagated.
+  ++stats_.fast_accesses;
+  if (is_write && task.interaction_ts > mapping.segment_->stamp()) {
+    ++stats_.missed_sends;
+  } else if (!is_write && mapping.segment_->stamp() > task.interaction_ts) {
+    ++stats_.missed_recvs;
+  }
+}
+
+}  // namespace overhaul::kern

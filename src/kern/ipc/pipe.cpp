@@ -1,0 +1,41 @@
+#include "kern/ipc/pipe.h"
+
+#include <algorithm>
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+Result<std::size_t> Pipe::write(TaskStruct& writer, std::string_view data) {
+  if (readers_ == 0)
+    return Status(Code::kBrokenChannel, "pipe: no readers (EPIPE)");
+  const std::size_t room = capacity_ - buffer_.size();
+  if (room == 0) return Status(Code::kWouldBlock, "pipe full");
+
+  // Overhaul send interposition: embed the writer's interaction timestamp in
+  // the channel before the data becomes visible to readers.
+  stamp_on_send(writer);
+
+  const std::size_t n = std::min(room, data.size());
+  buffer_.insert(buffer_.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+Result<std::string> Pipe::read(TaskStruct& reader, std::size_t max_bytes) {
+  if (buffer_.empty()) {
+    if (writers_ == 0) return std::string{};  // EOF
+    return Status(Code::kWouldBlock, "pipe empty");
+  }
+
+  // Overhaul receive interposition: adopt the channel's timestamp.
+  propagate_on_recv(reader);
+
+  const std::size_t n = std::min(max_bytes, buffer_.size());
+  std::string out(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+}  // namespace overhaul::kern

@@ -1,0 +1,79 @@
+// Anonymous pipes: bounded byte stream with P2 timestamp propagation.
+//
+// write(2) is the send interposition point, read(2) the receive point
+// (§IV-B: "inserting checks inside the corresponding send and receive
+// functions for each IPC facility").
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "kern/ipc/ipc_object.h"
+#include "kern/task.h"
+#include "util/status.h"
+
+namespace overhaul::kern {
+
+class Pipe : public IpcObject {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;  // Linux default
+
+  explicit Pipe(const IpcPolicy& policy, std::size_t capacity = kDefaultCapacity)
+      : IpcObject(policy), capacity_(capacity) {}
+
+  // Write up to data.size() bytes; partial writes occur when near capacity.
+  // kWouldBlock when full; kBrokenChannel when no reader remains (SIGPIPE
+  // analogue).
+  util::Result<std::size_t> write(TaskStruct& writer, std::string_view data);
+
+  // Read up to max_bytes. Empty string = EOF (all writers closed).
+  // kWouldBlock when empty but writers remain.
+  util::Result<std::string> read(TaskStruct& reader, std::size_t max_bytes);
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // End-of-stream bookkeeping (pipe ends are duplicated by fork).
+  void add_writer() noexcept { ++writers_; }
+  void add_reader() noexcept { ++readers_; }
+  void close_writer() noexcept { if (writers_ > 0) --writers_; }
+  void close_reader() noexcept { if (readers_ > 0) --readers_; }
+  [[nodiscard]] int writers() const noexcept { return writers_; }
+  [[nodiscard]] int readers() const noexcept { return readers_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<char> buffer_;
+  // Counts are maintained by PipeEnd RAII handles; a bare Pipe has no ends.
+  int writers_ = 0;
+  int readers_ = 0;
+};
+
+// Descriptor payloads for the two ends.
+class PipeEnd final : public FileDescription {
+ public:
+  enum class Dir : std::uint8_t { kRead, kWrite };
+  PipeEnd(std::shared_ptr<Pipe> pipe, Dir dir)
+      : pipe_(std::move(pipe)), dir_(dir) {
+    if (dir_ == Dir::kRead) pipe_->add_reader(); else pipe_->add_writer();
+  }
+  ~PipeEnd() override {
+    if (dir_ == Dir::kRead) pipe_->close_reader(); else pipe_->close_writer();
+  }
+  PipeEnd(const PipeEnd&) = delete;
+  PipeEnd& operator=(const PipeEnd&) = delete;
+
+  [[nodiscard]] std::string describe() const override {
+    return dir_ == Dir::kRead ? "pipe:r" : "pipe:w";
+  }
+  [[nodiscard]] const std::shared_ptr<Pipe>& pipe() const { return pipe_; }
+  [[nodiscard]] Dir dir() const noexcept { return dir_; }
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+  Dir dir_;
+};
+
+}  // namespace overhaul::kern

@@ -1,0 +1,384 @@
+#include "kern/kernel.h"
+
+#include "kern/udev.h"
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Decision;
+using util::Result;
+using util::Status;
+
+Kernel::~Kernel() = default;
+
+Kernel::Kernel(sim::Clock& clock, KernelConfig config)
+    : clock_(clock),
+      config_(config),
+      monitor_(processes_, clock_, audit_),
+      netlink_(processes_, vfs_),
+      ptrace_(processes_),
+      procfs_(processes_, monitor_, ptrace_, clock_, config.overhaul_enabled),
+      ipc_policy_{config.overhaul_enabled},
+      page_faults_(clock_, PageFaultConfig{config.shm_rearm_wait,
+                                           config.overhaul_enabled, false}),
+      ptys_(ipc_policy_),
+      fifos_(ipc_policy_),
+      posix_mqs_(ipc_policy_),
+      sysv_mqs_(ipc_policy_),
+      posix_shms_(ipc_policy_),
+      sysv_shms_(ipc_policy_),
+      unix_sockets_(ipc_policy_) {
+  monitor_.set_threshold(config.delta);
+  monitor_.set_grant_policy(config.grant_policy);
+  monitor_.set_ptrace_protect(config.ptrace_protect);
+  monitor_.set_audit_enabled(config.audit);
+  monitor_.set_mode(config.monitor_mode);
+
+  // Well-known authorized netlink peers: the display manager binary and the
+  // trusted udev helper. Both must be root-owned on disk at connect time.
+  netlink_.authorize("/usr/lib/xorg/Xorg", NetlinkRole::kDisplayManager);
+  netlink_.authorize(kUdevHelperExe, NetlinkRole::kDeviceHelper);
+
+  // Root-owned binaries exist in the VFS so introspection can stat them.
+  auto& init = processes_.init_task();
+  for (const char* p :
+       {"/usr/lib/xorg", "/usr/lib/overhaul", "/dev/pts", "/dev/snd"}) {
+    (void)vfs_.mkdir(p, kRootUid, Mode::world_rw());
+  }
+  for (const char* p : {"/usr/lib/xorg/Xorg", kUdevHelperExe, "/sbin/init"}) {
+    (void)vfs_.open(init, p, OpenFlags::kCreate);
+  }
+
+  wire_netlink_handlers();
+  wire_alert_forwarding();
+}
+
+void Kernel::wire_netlink_handlers() {
+  netlink_.set_interaction_handler(
+      [this](const InteractionNotification& note) -> Status {
+        if (!monitor_.record_interaction(note.pid, note.ts))
+          return Status(Code::kNotFound, "interaction: unknown pid");
+        return Status::ok();
+      });
+
+  netlink_.set_acg_grant_handler(
+      [this](const AcgGrantNotification& note) -> Status {
+        if (!monitor_.record_acg_grant(note.pid, note.op, note.ts))
+          return Status(Code::kNotFound, "acg grant: unknown pid");
+        return Status::ok();
+      });
+
+  netlink_.set_query_handler(
+      [this](const PermissionQuery& query) -> Result<PermissionReply> {
+        const Decision d =
+            monitor_.check(query.pid, query.op, query.op_time, query.detail);
+        return PermissionReply{d};
+      });
+
+  netlink_.set_device_update_handler(
+      [this](const DeviceMapUpdate& update) -> Status {
+        if (update.add) {
+          devices_.map_path(update.path, update.device);
+        } else {
+          devices_.unmap_path(update.path);
+        }
+        return Status::ok();
+      });
+}
+
+void Kernel::wire_alert_forwarding() {
+  // V_{A,op}: the permission monitor asks the display manager(s) to show a
+  // visual alert; only the kernel can resolve the pid → comm binding.
+  monitor_.set_alert_request_handler(
+      [this](Pid pid, util::Op op, Decision decision) {
+        AlertRequest alert;
+        alert.pid = pid;
+        alert.op = op;
+        alert.decision = decision;
+        const TaskStruct* task = processes_.lookup(pid);
+        alert.comm = task != nullptr ? task->comm : "?";
+        netlink_.request_alert(alert);
+      });
+}
+
+// --- process syscalls ---------------------------------------------------------
+
+Result<Pid> Kernel::sys_fork(Pid parent) { return processes_.fork(parent); }
+
+Result<Pid> Kernel::sys_clone_thread(Pid leader) {
+  return processes_.spawn_thread(leader);
+}
+
+Status Kernel::sys_execve(Pid pid, std::string exe, std::string comm) {
+  return processes_.execve(pid, std::move(exe), std::move(comm));
+}
+
+Result<Pid> Kernel::sys_spawn(Pid parent, std::string exe, std::string comm) {
+  auto child = processes_.fork(parent);
+  if (!child.is_ok()) return child.status();
+  if (auto s = processes_.execve(child.value(), std::move(exe), std::move(comm));
+      !s.is_ok())
+    return s;
+  return child.value();
+}
+
+Status Kernel::sys_exit(Pid pid) {
+  auto s = processes_.exit(pid);
+  netlink_.drop_dead_channels();
+  return s;
+}
+
+// --- file syscalls ---------------------------------------------------------------
+
+Result<int> Kernel::sys_open(Pid pid, const std::string& path,
+                             OpenFlags flags) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "open: no such process");
+
+  auto inode = vfs_.open(*task, path, flags);
+  if (!inode.is_ok()) return inode.status();
+
+  // --- Overhaul device mediation hook (augmented open(2), §IV-B) -----------
+  // "in addition to normal UNIX access control checks, looks up the
+  // interaction notification records ... for the running process to allow
+  // or deny access to the device accordingly."
+  if (config_.overhaul_enabled &&
+      inode.value()->type == InodeType::kDevice) {
+    if (const auto dev_id = devices_.device_at(path); dev_id.has_value()) {
+      const Device* dev = devices_.find(*dev_id);
+      if (dev != nullptr && dev->sensitive()) {
+        const Decision d = monitor_.check_now(pid, op_for_device(dev->cls), path);
+        if (d == Decision::kDeny)
+          return Status(Code::kOverhaulDenied,
+                        "no recent user interaction for " + path);
+      }
+    }
+  }
+
+  // Device nodes: the driver initializes its stream state on every open —
+  // identical work with or without Overhaul (it is the baseline cost the
+  // paper's Device Access benchmark measures against).
+  if (inode.value()->type == InodeType::kDevice &&
+      inode.value()->device != kNoDevice) {
+    devices_.simulate_open_work(inode.value()->device);
+  }
+
+  // Pty slave nodes hand out pty ends.
+  if (inode.value()->type == InodeType::kPty) {
+    auto pair = ptys_.find(inode.value()->pty_index);
+    if (pair == nullptr)
+      return Status(Code::kNotFound, "pty backing pair missing");
+    return task->install_fd(
+        std::make_shared<PtyEndDescription>(std::move(pair),
+                                            PtyPair::End::kSlave));
+  }
+
+  // FIFO nodes hand out pipe ends instead of plain file descriptions.
+  if (inode.value()->type == InodeType::kFifo) {
+    auto pipe = fifos_.find(inode.value()->fifo_key);
+    if (pipe == nullptr)
+      return Status(Code::kNotFound, "fifo backing object missing");
+    const auto dir =
+        wants_write(flags) ? PipeEnd::Dir::kWrite : PipeEnd::Dir::kRead;
+    return task->install_fd(std::make_shared<PipeEnd>(std::move(pipe), dir));
+  }
+
+  return task->install_fd(
+      std::make_shared<VfsFile>(std::move(inode).value(), path));
+}
+
+Status Kernel::sys_close(Pid pid, int fd) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "close: no such process");
+  return task->close_fd(fd) ? Status::ok()
+                            : Status(Code::kInvalidArgument, "bad fd");
+}
+
+Result<StatBuf> Kernel::sys_stat(const std::string& path) {
+  return vfs_.stat(path);
+}
+
+Status Kernel::sys_unlink(Pid pid, const std::string& path) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "unlink: no such process");
+  auto st = vfs_.stat(path);
+  if (!st.is_ok()) return st.status();
+  if (task->uid != kRootUid && task->uid != st.value().uid)
+    return Status(Code::kPermissionDenied, path);
+  return vfs_.unlink(path);
+}
+
+Status Kernel::sys_mkdir(Pid pid, const std::string& path) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "mkdir: no such process");
+  return vfs_.mkdir(path, task->uid);
+}
+
+Status Kernel::sys_mkfifo(Pid pid, const std::string& path) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "mkfifo: no such process");
+  const std::uint32_t key = fifos_.create();
+  auto s = vfs_.mkfifo(path, key, task->uid);
+  if (!s.is_ok()) fifos_.destroy(key);
+  return s;
+}
+
+Result<std::size_t> Kernel::sys_write(Pid pid, int fd, std::string_view data) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "write: no such process");
+  auto desc = task->fd(fd);
+  if (desc == nullptr) return Status(Code::kInvalidArgument, "bad fd");
+
+  if (auto* pipe_end = dynamic_cast<PipeEnd*>(desc.get())) {
+    if (pipe_end->dir() != PipeEnd::Dir::kWrite)
+      return Status(Code::kInvalidArgument, "fd not open for writing");
+    return pipe_end->pipe()->write(*task, data);
+  }
+  if (auto* pty_end = dynamic_cast<PtyEndDescription*>(desc.get())) {
+    if (auto s = pty_end->pair()->write(*task, pty_end->end(),
+                                        std::string(data));
+        !s.is_ok())
+      return s;
+    return data.size();
+  }
+  if (auto* sock = dynamic_cast<SocketDescription*>(desc.get())) {
+    if (auto s = sock->endpoint().send(*task, std::string(data)); !s.is_ok())
+      return s;
+    return data.size();
+  }
+  if (auto* file = dynamic_cast<VfsFile*>(desc.get())) {
+    if (file->inode()->type == InodeType::kRegular)
+      file->inode()->size += data.size();
+    return data.size();  // device writes are sinks
+  }
+  return Status(Code::kNotSupported, "write: unsupported description");
+}
+
+Result<std::string> Kernel::sys_read(Pid pid, int fd, std::size_t max_bytes) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "read: no such process");
+  auto desc = task->fd(fd);
+  if (desc == nullptr) return Status(Code::kInvalidArgument, "bad fd");
+
+  if (auto* pipe_end = dynamic_cast<PipeEnd*>(desc.get())) {
+    if (pipe_end->dir() != PipeEnd::Dir::kRead)
+      return Status(Code::kInvalidArgument, "fd not open for reading");
+    return pipe_end->pipe()->read(*task, max_bytes);
+  }
+  if (auto* pty_end = dynamic_cast<PtyEndDescription*>(desc.get())) {
+    auto data = pty_end->pair()->read(*task, pty_end->end());
+    if (!data.is_ok()) return data.status();
+    if (data.value().size() > max_bytes) data.value().resize(max_bytes);
+    return data;
+  }
+  if (auto* sock = dynamic_cast<SocketDescription*>(desc.get())) {
+    auto data = sock->endpoint().receive(*task);
+    if (!data.is_ok()) return data.status();
+    if (data.value().size() > max_bytes) data.value().resize(max_bytes);
+    return data;
+  }
+  if (auto* file = dynamic_cast<VfsFile*>(desc.get())) {
+    if (file->inode()->type == InodeType::kDevice) {
+      // Sensor data: a run of zero samples of the requested length.
+      return std::string(max_bytes, '\0');
+    }
+    const auto n = std::min<std::uint64_t>(max_bytes, file->inode()->size);
+    return std::string(static_cast<std::size_t>(n), '\0');
+  }
+  return Status(Code::kNotSupported, "read: unsupported description");
+}
+
+Result<std::pair<int, std::string>> Kernel::sys_openpt(Pid pid) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "openpt: no such process");
+  auto pair = ptys_.open_pair();
+  if (auto s = vfs_.mkpty(pair->slave_path(), pair->index(), task->uid);
+      !s.is_ok())
+    return s;
+  const int fd = task->install_fd(
+      std::make_shared<PtyEndDescription>(pair, PtyPair::End::kMaster));
+  return std::make_pair(fd, pair->slave_path());
+}
+
+Result<std::pair<int, int>> Kernel::sys_pipe(Pid pid) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "pipe: no such process");
+  auto pipe = std::make_shared<Pipe>(ipc_policy_);
+  const int rfd =
+      task->install_fd(std::make_shared<PipeEnd>(pipe, PipeEnd::Dir::kRead));
+  const int wfd =
+      task->install_fd(std::make_shared<PipeEnd>(pipe, PipeEnd::Dir::kWrite));
+  return std::make_pair(rfd, wfd);
+}
+
+Result<std::pair<int, int>> Kernel::sys_socketpair(Pid pid) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr)
+    return Status(Code::kNotFound, "socketpair: no such process");
+  auto [a, b] = UnixSocketPair::make(ipc_policy_);
+  const int fd_a =
+      task->install_fd(std::make_shared<SocketDescription>(std::move(a)));
+  const int fd_b =
+      task->install_fd(std::make_shared<SocketDescription>(std::move(b)));
+  return std::make_pair(fd_a, fd_b);
+}
+
+Result<std::shared_ptr<ShmMapping>> Kernel::sys_mmap_shared(
+    Pid pid, const std::shared_ptr<ShmSegment>& segment) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "mmap: no such process");
+  if (segment == nullptr)
+    return Status(Code::kInvalidArgument, "mmap: null segment");
+  // MAP_SHARED under Overhaul: the engine arms the mapping (revokes page
+  // permissions) at creation, so the first access faults. The unmodified
+  // kernel leaves the mapping alone entirely.
+  PageFaultEngine* engine =
+      config_.overhaul_enabled ? &page_faults_ : nullptr;
+  return std::make_shared<ShmMapping>(segment, engine, pid);
+}
+
+Result<std::shared_ptr<ShmMapping>> Kernel::sys_mmap_private(
+    Pid pid, const std::shared_ptr<ShmSegment>& segment) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "mmap: no such process");
+  if (segment == nullptr)
+    return Status(Code::kInvalidArgument, "mmap: null segment");
+  // MAP_PRIVATE: snapshot the contents (coarse-grained copy-on-write); the
+  // vm_area is not flagged shared, so the page-fault engine never touches
+  // it — in either configuration.
+  auto snapshot = std::make_shared<ShmSegment>(ipc_policy_, segment->size());
+  std::memcpy(snapshot->data(), segment->data(), segment->size());
+  return std::make_shared<ShmMapping>(std::move(snapshot), nullptr, pid);
+}
+
+Result<DeviceId> Kernel::install_device(DeviceClass cls, std::string model,
+                                        const std::string& dev_path) {
+  const DeviceId id = devices_.add(cls, std::move(model));
+  if (auto s = vfs_.mknod(dev_path, id, kRootUid); !s.is_ok()) return s;
+  return id;
+}
+
+Status Kernel::start_udev_helper() {
+  if (udev_helper_ != nullptr)
+    return Status(Code::kExists, "udev helper already running");
+  auto pid = sys_spawn(1, kUdevHelperExe, "udev-helper");
+  if (!pid.is_ok()) return pid.status();
+  udev_helper_pid_ = pid.value();
+
+  auto channel = netlink_.connect(udev_helper_pid_);
+  if (!channel.is_ok()) return channel.status();
+
+  udev_helper_ =
+      std::make_unique<UdevHelper>(devices_, std::move(channel).value());
+  vfs_.subscribe_devtree(udev_helper_.get());
+
+  // Coldplug pass: re-announce device nodes that existed before the helper
+  // started, mirroring `udevadm trigger` at boot. The helper applies its own
+  // classification and its channel enforces authorization.
+  for (const auto& [path, dev_id] : vfs_.device_nodes()) {
+    udev_helper_->on_node_added(path, dev_id);
+  }
+  return Status::ok();
+}
+
+}  // namespace overhaul::kern

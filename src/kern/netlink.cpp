@@ -1,0 +1,108 @@
+#include "kern/netlink.h"
+
+#include <algorithm>
+
+#include "kern/process_table.h"
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+Status NetlinkChannel::send_interaction(const InteractionNotification& note) {
+  if (auto s = check_peer_alive(); !s.is_ok()) return s;
+  if (role_ != NetlinkRole::kDisplayManager)
+    return Status(Code::kPermissionDenied,
+                  "interaction notifications accepted from the display "
+                  "manager only");
+  ++stats_.interactions_sent;
+  if (!hub_.on_interaction_)
+    return Status(Code::kNotSupported, "no kernel handler installed");
+  return hub_.on_interaction_(note);
+}
+
+Status NetlinkChannel::send_acg_grant(const AcgGrantNotification& note) {
+  if (auto s = check_peer_alive(); !s.is_ok()) return s;
+  if (role_ != NetlinkRole::kDisplayManager)
+    return Status(Code::kPermissionDenied,
+                  "ACG grants accepted from the display manager only");
+  ++stats_.interactions_sent;
+  if (!hub_.on_acg_grant_)
+    return Status(Code::kNotSupported, "no kernel handler installed");
+  return hub_.on_acg_grant_(note);
+}
+
+Result<PermissionReply> NetlinkChannel::query_permission(
+    const PermissionQuery& query) {
+  if (auto s = check_peer_alive(); !s.is_ok()) return s;
+  if (role_ != NetlinkRole::kDisplayManager)
+    return Status(Code::kPermissionDenied,
+                  "permission queries accepted from the display manager only");
+  ++stats_.queries_sent;
+  if (!hub_.on_query_)
+    return Status(Code::kNotSupported, "no kernel handler installed");
+  return hub_.on_query_(query);
+}
+
+Status NetlinkChannel::check_peer_alive() const {
+  if (hub_.processes_.lookup_live(peer_) == nullptr)
+    return Status(Code::kBrokenChannel, "netlink: peer process is dead");
+  return Status::ok();
+}
+
+Status NetlinkChannel::send_device_update(const DeviceMapUpdate& update) {
+  if (auto s = check_peer_alive(); !s.is_ok()) return s;
+  if (role_ != NetlinkRole::kDeviceHelper)
+    return Status(Code::kPermissionDenied,
+                  "device-map updates accepted from the trusted helper only");
+  ++stats_.device_updates_sent;
+  if (!hub_.on_device_update_)
+    return Status(Code::kNotSupported, "no kernel handler installed");
+  return hub_.on_device_update_(update);
+}
+
+Result<std::shared_ptr<NetlinkChannel>> NetlinkHub::connect(Pid pid) {
+  const TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr)
+    return Status(Code::kNotFound, "netlink connect: no such process");
+
+  // Introspection step 1: the peer's executable path must be one of the
+  // well-known authorized binaries.
+  const auto it = authorized_.find(task->exe_path);
+  if (it == authorized_.end())
+    return Status(Code::kNotAuthenticated,
+                  "executable not authorized: " + task->exe_path);
+
+  // Introspection step 2: the binary on disk must be superuser-owned, so a
+  // user cannot place a look-alike binary at a writable path. (The paper's
+  // check: "loaded from the well-known, and superuser-owned, filesystem
+  // path".)
+  auto st = vfs_.stat(task->exe_path);
+  if (!st.is_ok() || st.value().uid != kRootUid)
+    return Status(Code::kNotAuthenticated,
+                  "executable not root-owned: " + task->exe_path);
+
+  auto channel = std::make_shared<NetlinkChannel>(*this, pid, it->second);
+  channels_.push_back(channel);
+  return channel;
+}
+
+void NetlinkHub::request_alert(const AlertRequest& alert) {
+  for (auto& weak : channels_) {
+    if (auto ch = weak.lock();
+        ch && ch->role() == NetlinkRole::kDisplayManager) {
+      ++ch->stats_.alerts_received;
+      ch->deliver_alert(alert);
+    }
+  }
+}
+
+void NetlinkHub::drop_dead_channels() {
+  std::erase_if(channels_, [&](const std::weak_ptr<NetlinkChannel>& weak) {
+    auto ch = weak.lock();
+    return !ch || processes_.lookup_live(ch->peer()) == nullptr;
+  });
+}
+
+}  // namespace overhaul::kern

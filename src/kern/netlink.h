@@ -1,0 +1,180 @@
+// Netlink: the authenticated kernel ↔ userspace channel (§IV-B).
+//
+// The paper uses Linux netlink for the secure communication channel between
+// the kernel permission monitor and the X server, and solves authentication
+// by *introspection*: "it examines the virtual memory maps to check whether
+// the process it is communicating with is indeed the X server ... whether
+// the executable code mapped into the process is loaded from the well-known,
+// and superuser-owned, filesystem path". We reproduce that: connect() checks
+// the peer task's exe path against an authorized set AND verifies the binary
+// at that path is root-owned in the VFS.
+//
+// Three message families flow over the channel:
+//   userspace → kernel : interaction notifications N_{A,t}
+//   userspace → kernel : permission queries Q_{A,t} (synchronous reply R)
+//   userspace → kernel : device-map updates (trusted udev helper only)
+//   kernel → userspace : visual alert requests V_{A,op}
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kern/devices.h"
+#include "kern/task.h"
+#include "kern/vfs.h"
+#include "sim/clock.h"
+#include "util/audit_log.h"
+#include "util/status.h"
+
+namespace overhaul::kern {
+
+class ProcessTable;
+
+// Channel roles determine which message families a peer may send.
+enum class NetlinkRole : std::uint8_t { kDisplayManager, kDeviceHelper };
+
+struct InteractionNotification {
+  Pid pid = kNoPid;       // process that received the authentic input
+  sim::Timestamp ts;      // when the input arrived
+};
+
+// ACG comparison mode: a click on an op-specific access-control gadget.
+struct AcgGrantNotification {
+  Pid pid = kNoPid;
+  util::Op op = util::Op::kDeviceOther;
+  sim::Timestamp ts;
+};
+
+struct PermissionQuery {
+  Pid pid = kNoPid;       // process requesting the privileged operation
+  util::Op op = util::Op::kDeviceOther;
+  sim::Timestamp op_time; // timestamp issued together with the query
+  std::string detail;
+};
+
+struct PermissionReply {
+  util::Decision decision = util::Decision::kDeny;
+};
+
+struct DeviceMapUpdate {
+  bool add = true;        // add/refresh vs remove
+  std::string path;       // current /dev path
+  DeviceId device = kNoDevice;
+};
+
+struct AlertRequest {
+  Pid pid = kNoPid;
+  std::string comm;       // resolved by the kernel for display purposes
+  util::Op op = util::Op::kDeviceOther;
+  util::Decision decision = util::Decision::kDeny;
+};
+
+class NetlinkHub;
+
+// One authenticated endpoint held by a userspace process.
+class NetlinkChannel {
+ public:
+  NetlinkChannel(NetlinkHub& hub, Pid peer, NetlinkRole role)
+      : hub_(hub), peer_(peer), role_(role) {}
+
+  [[nodiscard]] Pid peer() const noexcept { return peer_; }
+  [[nodiscard]] NetlinkRole role() const noexcept { return role_; }
+
+  // Display-manager messages.
+  util::Status send_interaction(const InteractionNotification& note);
+  util::Status send_acg_grant(const AcgGrantNotification& note);
+  util::Result<PermissionReply> query_permission(const PermissionQuery& query);
+
+  // Device-helper messages.
+  util::Status send_device_update(const DeviceMapUpdate& update);
+
+  // Kernel → userspace alert delivery.
+  void set_alert_handler(std::function<void(const AlertRequest&)> fn) {
+    alert_fn_ = std::move(fn);
+  }
+  void deliver_alert(const AlertRequest& alert) {
+    if (alert_fn_) alert_fn_(alert);
+  }
+
+  struct Stats {
+    std::uint64_t interactions_sent = 0;
+    std::uint64_t queries_sent = 0;
+    std::uint64_t device_updates_sent = 0;
+    std::uint64_t alerts_received = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class NetlinkHub;
+
+  // The kernel-side endpoint of a dead process is closed: every message
+  // path re-checks peer liveness.
+  util::Status check_peer_alive() const;
+  NetlinkHub& hub_;
+  Pid peer_;
+  NetlinkRole role_;
+  std::function<void(const AlertRequest&)> alert_fn_;
+  Stats stats_;
+};
+
+// Kernel-side multiplexer. The Kernel facade installs the message handlers;
+// the hub enforces authentication and per-role routing.
+class NetlinkHub {
+ public:
+  NetlinkHub(ProcessTable& processes, Vfs& vfs)
+      : processes_(processes), vfs_(vfs) {}
+
+  // Declare an executable path as an authorized peer for `role`. The binary
+  // must exist in the VFS and be owned by root at connect() time.
+  void authorize(std::string exe_path, NetlinkRole role) {
+    authorized_[std::move(exe_path)] = role;
+  }
+
+  // Authenticate `pid` and hand it a channel. Fails with kNotAuthenticated
+  // when the peer's executable is not an authorized, root-owned binary.
+  util::Result<std::shared_ptr<NetlinkChannel>> connect(Pid pid);
+
+  // Kernel → display manager(s): request a visual alert.
+  void request_alert(const AlertRequest& alert);
+
+  // Handler installation (Kernel facade).
+  using InteractionHandler =
+      std::function<util::Status(const InteractionNotification&)>;
+  using AcgGrantHandler =
+      std::function<util::Status(const AcgGrantNotification&)>;
+  using QueryHandler =
+      std::function<util::Result<PermissionReply>(const PermissionQuery&)>;
+  using DeviceUpdateHandler = std::function<util::Status(const DeviceMapUpdate&)>;
+
+  void set_interaction_handler(InteractionHandler fn) {
+    on_interaction_ = std::move(fn);
+  }
+  void set_acg_grant_handler(AcgGrantHandler fn) {
+    on_acg_grant_ = std::move(fn);
+  }
+  void set_query_handler(QueryHandler fn) { on_query_ = std::move(fn); }
+  void set_device_update_handler(DeviceUpdateHandler fn) {
+    on_device_update_ = std::move(fn);
+  }
+
+  // Channel ownership bookkeeping: a channel whose peer died is dropped.
+  void drop_dead_channels();
+
+ private:
+  friend class NetlinkChannel;
+
+  ProcessTable& processes_;
+  Vfs& vfs_;
+  std::map<std::string, NetlinkRole> authorized_;
+  std::vector<std::weak_ptr<NetlinkChannel>> channels_;
+
+  InteractionHandler on_interaction_;
+  AcgGrantHandler on_acg_grant_;
+  QueryHandler on_query_;
+  DeviceUpdateHandler on_device_update_;
+};
+
+}  // namespace overhaul::kern

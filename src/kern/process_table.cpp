@@ -1,0 +1,132 @@
+#include "kern/process_table.h"
+
+#include <utility>
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+ProcessTable::ProcessTable() {
+  auto init = std::make_unique<TaskStruct>();
+  init->pid = allocate_pid();
+  init->ppid = 0;
+  init->tgid = init->pid;
+  init->uid = kRootUid;
+  init->comm = "init";
+  init->exe_path = "/sbin/init";
+  tasks_.emplace(init->pid, std::move(init));
+  ++live_count_;
+}
+
+Result<Pid> ProcessTable::fork(Pid parent_pid) {
+  TaskStruct* parent = lookup_live(parent_pid);
+  if (parent == nullptr)
+    return Status(Code::kNotFound, "fork: no such process");
+
+  auto child = std::make_unique<TaskStruct>();
+  const Pid pid = allocate_pid();
+  child->pid = pid;
+  child->ppid = parent_pid;
+  child->tgid = pid;  // new thread group
+  child->uid = parent->uid;
+  child->comm = parent->comm;
+  child->exe_path = parent->exe_path;
+  // P1: the child inherits the parent's interaction timestamp by virtue of
+  // the task_struct copy — no extra Overhaul code needed (paper §IV-B).
+  child->interaction_ts = parent->interaction_ts;
+  child->acg_grants = parent->acg_grants;
+  // fd table copied; descriptions shared (refcount), like real fork.
+  child->fds = parent->fds;
+  child->next_fd = parent->next_fd;
+
+  parent->children.push_back(pid);
+  tasks_.emplace(pid, std::move(child));
+  ++live_count_;
+  return pid;
+}
+
+Result<Pid> ProcessTable::spawn_thread(Pid leader_pid) {
+  TaskStruct* leader = lookup_live(leader_pid);
+  if (leader == nullptr)
+    return Status(Code::kNotFound, "clone: no such process");
+
+  auto thread = std::make_unique<TaskStruct>();
+  const Pid pid = allocate_pid();
+  thread->pid = pid;
+  thread->ppid = leader->ppid;
+  thread->tgid = leader->tgid;  // same thread group
+  thread->uid = leader->uid;
+  thread->comm = leader->comm;
+  thread->exe_path = leader->exe_path;
+  // Threads get their own task_struct on Linux, so the same P1 copy applies
+  // (paper: "This property also extends to the threads of a process").
+  thread->interaction_ts = leader->interaction_ts;
+  thread->acg_grants = leader->acg_grants;
+  thread->fds = leader->fds;
+  thread->next_fd = leader->next_fd;
+
+  leader->children.push_back(pid);
+  tasks_.emplace(pid, std::move(thread));
+  ++live_count_;
+  return pid;
+}
+
+Status ProcessTable::execve(Pid pid, std::string exe_path, std::string comm) {
+  TaskStruct* task = lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "execve: no such process");
+  task->exe_path = std::move(exe_path);
+  task->comm = std::move(comm);
+  // interaction_ts deliberately untouched: exec replaces the image, not the
+  // task_struct.
+  return Status::ok();
+}
+
+Status ProcessTable::exit(Pid pid) {
+  TaskStruct* task = lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "exit: no such process");
+  task->alive = false;
+  task->fds.clear();
+  task->traced_by = kNoPid;
+  // Detach anything this task was tracing.
+  for (auto& [other_pid, other] : tasks_) {
+    (void)other_pid;
+    if (other->traced_by == pid) other->traced_by = kNoPid;
+  }
+  --live_count_;
+  return Status::ok();
+}
+
+TaskStruct* ProcessTable::lookup(Pid pid) {
+  const auto it = tasks_.find(pid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+const TaskStruct* ProcessTable::lookup(Pid pid) const {
+  const auto it = tasks_.find(pid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+TaskStruct* ProcessTable::lookup_live(Pid pid) {
+  TaskStruct* t = lookup(pid);
+  return (t != nullptr && t->alive) ? t : nullptr;
+}
+
+bool ProcessTable::is_descendant(Pid ancestor, Pid descendant) const {
+  const TaskStruct* cur = lookup(descendant);
+  while (cur != nullptr && cur->pid != 1 && cur->ppid > 0) {
+    if (cur->ppid == ancestor) return true;
+    cur = lookup(cur->ppid);
+  }
+  return false;
+}
+
+void ProcessTable::for_each_live(const std::function<void(TaskStruct&)>& fn) {
+  for (auto& [pid, task] : tasks_) {
+    (void)pid;
+    if (task->alive) fn(*task);
+  }
+}
+
+}  // namespace overhaul::kern

@@ -1,0 +1,68 @@
+// ProcessTable: fork/clone/execve/exit over TaskStructs.
+//
+// Implements policy P1 from the paper (§III-D): "whenever a process X
+// creates a new process Y, all interaction notifications N_{X,t} recorded in
+// the permission monitor must be duplicated as N_{Y,t}". On Linux this falls
+// out of `fork` copying the parent's task_struct (§IV-B); we reproduce
+// exactly that: the child starts as a field-for-field copy, including the
+// interaction timestamp.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kern/task.h"
+#include "util/status.h"
+
+namespace overhaul::kern {
+
+class ProcessTable {
+ public:
+  ProcessTable();
+
+  // pid 1, uid 0, exe /sbin/init. Created by the constructor.
+  [[nodiscard]] TaskStruct& init_task() { return *lookup(1); }
+
+  // fork(2): duplicate `parent` into a new process. The returned child has
+  // copied uid/comm/exe/interaction_ts and *shares* open file descriptions
+  // (fd table copied, descriptions refcounted) — like the real call.
+  util::Result<Pid> fork(Pid parent);
+
+  // clone(2) with CLONE_THREAD: new task in the caller's thread group.
+  util::Result<Pid> spawn_thread(Pid leader);
+
+  // execve(2): replace the image. The task_struct persists, so — as in the
+  // paper — the interaction timestamp survives exec. This is what makes
+  // launcher → exec(screenshot-tool) work (Fig. 3).
+  util::Status execve(Pid pid, std::string exe_path, std::string comm);
+
+  // exit(2): mark dead, detach tracees, drop fds. The table keeps a tombstone
+  // so late permission queries against the pid fail cleanly.
+  util::Status exit(Pid pid);
+
+  [[nodiscard]] TaskStruct* lookup(Pid pid);
+  [[nodiscard]] const TaskStruct* lookup(Pid pid) const;
+
+  // Lookup that treats dead tasks as missing.
+  [[nodiscard]] TaskStruct* lookup_live(Pid pid);
+
+  // True if `descendant` is a (transitive) child of `ancestor`.
+  [[nodiscard]] bool is_descendant(Pid ancestor, Pid descendant) const;
+
+  void for_each_live(const std::function<void(TaskStruct&)>& fn);
+
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_count_; }
+  [[nodiscard]] Pid last_pid() const noexcept { return next_pid_ - 1; }
+
+ private:
+  Pid allocate_pid() { return next_pid_++; }
+
+  std::map<Pid, std::unique_ptr<TaskStruct>> tasks_;
+  Pid next_pid_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace overhaul::kern

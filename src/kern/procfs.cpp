@@ -1,0 +1,122 @@
+#include "kern/procfs.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr const char* kPtraceNode = "/proc/sys/overhaul/ptrace_protect";
+constexpr const char* kThresholdNode = "/proc/sys/overhaul/threshold_ms";
+constexpr const char* kEnabledNode = "/proc/sys/overhaul/enabled";
+
+// Parse "/proc/<pid>/<leaf>"; returns false if `path` is not of that shape.
+bool parse_pid_node(const std::string& path, Pid& pid, std::string& leaf) {
+  constexpr std::string_view prefix = "/proc/";
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  const std::size_t pid_start = prefix.size();
+  const std::size_t slash = path.find('/', pid_start);
+  if (slash == std::string::npos) return false;
+  const std::string_view pid_str(path.data() + pid_start, slash - pid_start);
+  const auto [ptr, ec] =
+      std::from_chars(pid_str.begin(), pid_str.end(), pid);
+  if (ec != std::errc{} || ptr != pid_str.end()) return false;
+  leaf = path.substr(slash + 1);
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> ProcFs::read(Pid reader, const std::string& path) {
+  if (processes_.lookup_live(reader) == nullptr)
+    return Status(Code::kNotFound, "proc read: no such process");
+
+  if (path == kPtraceNode)
+    return std::string(monitor_.ptrace_protect() ? "1" : "0");
+  if (path == kThresholdNode)
+    return std::to_string(monitor_.threshold().ns / 1'000'000);
+  if (path == kEnabledNode)
+    return std::string(overhaul_enabled_ ? "1" : "0");
+
+  Pid target = kNoPid;
+  std::string leaf;
+  if (parse_pid_node(path, target, leaf))
+    return read_pid_node(reader, target, leaf);
+
+  return Status(Code::kNotFound, "no such proc node: " + path);
+}
+
+Result<std::string> ProcFs::read_pid_node(Pid reader, Pid target,
+                                          const std::string& leaf) {
+  const TaskStruct* task = processes_.lookup(target);
+  if (task == nullptr)
+    return Status(Code::kNotFound, "no such pid in /proc");
+
+  if (leaf == "status") {
+    char buf[256];
+    const double age_s =
+        task->interaction_ts.is_never()
+            ? -1.0
+            : (clock_.now() - task->interaction_ts).to_seconds();
+    std::snprintf(buf, sizeof(buf),
+                  "Name:\t%s\nState:\t%s\nPid:\t%d\nPPid:\t%d\nUid:\t%d\n"
+                  "TracerPid:\t%d\nOverhaulInteractionAge:\t%.3f\n",
+                  task->comm.c_str(), task->alive ? "R (running)" : "Z (zombie)",
+                  task->pid, task->ppid, task->uid,
+                  task->traced_by == kNoPid ? 0 : task->traced_by, age_s);
+    return std::string(buf);
+  }
+  if (leaf == "mem") {
+    // /proc/<pid>/mem uses ptrace internally (§IV-B): the reader must have
+    // attached first.
+    if (auto s = ptrace_.peek_memory(reader, target); !s.is_ok()) return s;
+    return std::string();  // contents are out of scope; access is the point
+  }
+  if (leaf == "comm") return task->comm + "\n";
+  if (leaf == "exe") return task->exe_path;
+  if (leaf == "fd") {
+    // One line per open descriptor, like `ls -l /proc/<pid>/fd`.
+    std::string out;
+    for (const auto& [fd, desc] : task->fds) {
+      out += std::to_string(fd) + " -> " + desc->describe() + "\n";
+    }
+    return out;
+  }
+  return Status(Code::kNotFound, "no such proc node: " + leaf);
+}
+
+Status ProcFs::write(Pid writer, const std::string& path,
+                     const std::string& value) {
+  const TaskStruct* task = processes_.lookup_live(writer);
+  if (task == nullptr)
+    return Status(Code::kNotFound, "proc write: no such process");
+  if (task->uid != kRootUid)
+    return Status(Code::kPermissionDenied, "proc policy nodes are root-only");
+
+  if (path == kPtraceNode) {
+    if (value != "0" && value != "1")
+      return Status(Code::kInvalidArgument, "expected 0 or 1");
+    monitor_.set_ptrace_protect(value == "1");
+    return Status::ok();
+  }
+  if (path == kThresholdNode) {
+    long ms = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), ms);
+    if (ec != std::errc{} || ptr != value.data() + value.size() || ms <= 0)
+      return Status(Code::kInvalidArgument, "expected positive milliseconds");
+    monitor_.set_threshold(sim::Duration::millis(ms));
+    return Status::ok();
+  }
+  if (path == kEnabledNode)
+    return Status(Code::kNotSupported,
+                  "enabling/disabling Overhaul requires a reboot");
+  return Status(Code::kNotFound, "no such proc node: " + path);
+}
+
+}  // namespace overhaul::kern

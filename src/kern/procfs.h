@@ -1,0 +1,53 @@
+// ProcFs: the /proc interface to Overhaul's kernel state.
+//
+// The paper exposes exactly one runtime knob this way: "OVERHAUL enables
+// this [ptrace] protection by default, but it could be toggled by the super
+// user through a proc filesystem node to facilitate legitimate debugging
+// tasks" (§IV-B). We model the standard /proc surface around it:
+//   /proc/sys/overhaul/ptrace_protect   rw (root)   "0" | "1"
+//   /proc/sys/overhaul/threshold_ms     rw (root)   δ in milliseconds
+//   /proc/sys/overhaul/enabled          r           "0" | "1"
+//   /proc/<pid>/status                  r           name/state/interaction age
+//   /proc/<pid>/mem                     —           routed through ptrace
+// Reads and writes go through the calling task so DAC applies: only root
+// may change policy knobs.
+#pragma once
+
+#include <string>
+
+#include "kern/permission_monitor.h"
+#include "kern/process_table.h"
+#include "kern/ptrace.h"
+#include "util/status.h"
+
+namespace overhaul::kern {
+
+class ProcFs {
+ public:
+  ProcFs(ProcessTable& processes, PermissionMonitor& monitor,
+         PtraceManager& ptrace, sim::Clock& clock, bool overhaul_enabled)
+      : processes_(processes),
+        monitor_(monitor),
+        ptrace_(ptrace),
+        clock_(clock),
+        overhaul_enabled_(overhaul_enabled) {}
+
+  // read(2) on a proc node. `reader` is the calling process.
+  util::Result<std::string> read(Pid reader, const std::string& path);
+
+  // write(2) on a proc node. Policy knobs are root-only.
+  util::Status write(Pid writer, const std::string& path,
+                     const std::string& value);
+
+ private:
+  util::Result<std::string> read_pid_node(Pid reader, Pid target,
+                                          const std::string& leaf);
+
+  ProcessTable& processes_;
+  PermissionMonitor& monitor_;
+  PtraceManager& ptrace_;
+  sim::Clock& clock_;
+  bool overhaul_enabled_;
+};
+
+}  // namespace overhaul::kern

@@ -1,0 +1,54 @@
+#include "kern/ptrace.h"
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Status;
+
+Status PtraceManager::attach(Pid tracer_pid, Pid tracee_pid) {
+  TaskStruct* tracer = processes_.lookup_live(tracer_pid);
+  TaskStruct* tracee = processes_.lookup_live(tracee_pid);
+  if (tracer == nullptr || tracee == nullptr)
+    return Status(Code::kNotFound, "ptrace: no such process");
+  if (tracer_pid == tracee_pid)
+    return Status(Code::kInvalidArgument, "ptrace: cannot trace self");
+  if (tracee->is_traced())
+    return Status(Code::kBusy, "ptrace: already traced");
+
+  // Descendant rule (Yama-style, as described in the paper). Root exempt.
+  if (tracer->uid != kRootUid &&
+      !processes_.is_descendant(tracer_pid, tracee_pid)) {
+    ++stats_.denied_attaches;
+    return Status(Code::kPermissionDenied,
+                  "ptrace: tracee is not a descendant of tracer");
+  }
+  // Same-uid requirement for non-root tracers.
+  if (tracer->uid != kRootUid && tracer->uid != tracee->uid) {
+    ++stats_.denied_attaches;
+    return Status(Code::kPermissionDenied, "ptrace: uid mismatch");
+  }
+
+  tracee->traced_by = tracer_pid;
+  ++stats_.attaches;
+  return Status::ok();
+}
+
+Status PtraceManager::detach(Pid tracer_pid, Pid tracee_pid) {
+  TaskStruct* tracee = processes_.lookup_live(tracee_pid);
+  if (tracee == nullptr) return Status(Code::kNotFound, "ptrace: no tracee");
+  if (tracee->traced_by != tracer_pid)
+    return Status(Code::kPermissionDenied, "ptrace: not the tracer");
+  tracee->traced_by = kNoPid;
+  return Status::ok();
+}
+
+Status PtraceManager::peek_memory(Pid tracer_pid, Pid tracee_pid) {
+  const TaskStruct* tracee = processes_.lookup_live(tracee_pid);
+  if (tracee == nullptr) return Status(Code::kNotFound, "peek: no tracee");
+  if (tracee->traced_by != tracer_pid)
+    return Status(Code::kPermissionDenied,
+                  "peek: caller has not attached to tracee");
+  return Status::ok();
+}
+
+}  // namespace overhaul::kern

@@ -1,0 +1,49 @@
+// Ptrace model with Overhaul hardening (§IV-B "Processes isolation and
+// introspection").
+//
+// Two layers of defense:
+//  1. Baseline Linux semantics as the paper describes them: a process may
+//     only attach to its own descendants ("do not allow attaching to
+//     processes that are not direct descendants of the debugging process").
+//     Root may attach to anything.
+//  2. Overhaul hardening: while a process is traced, *all* of its Overhaul
+//     permissions are disabled (enforced inside the PermissionMonitor by
+//     checking TaskStruct::traced_by). This "prevents parent processes from
+//     tracing their own children [to steal their permissions], which, in
+//     turn, subverts attacks where a malicious program could launch another
+//     legitimate executable, and then inject code into it." The hardening is
+//     on by default and toggleable by the superuser via a proc node.
+#pragma once
+
+#include "kern/process_table.h"
+#include "util/status.h"
+
+namespace overhaul::kern {
+
+class PtraceManager {
+ public:
+  explicit PtraceManager(ProcessTable& processes) : processes_(processes) {}
+
+  // PTRACE_ATTACH. Enforces the descendant rule (uid 0 exempt).
+  util::Status attach(Pid tracer, Pid tracee);
+
+  // PTRACE_DETACH.
+  util::Status detach(Pid tracer, Pid tracee);
+
+  // Reading another process's memory via /proc/{pid}/mem goes through the
+  // same attach check (the paper notes /proc/PID/mem "also us[es] ptrace
+  // internally").
+  util::Status peek_memory(Pid tracer, Pid tracee);
+
+  struct Stats {
+    std::uint64_t attaches = 0;
+    std::uint64_t denied_attaches = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  ProcessTable& processes_;
+  Stats stats_;
+};
+
+}  // namespace overhaul::kern

@@ -1,0 +1,5 @@
+#include "kern/task.h"
+
+namespace overhaul::kern {
+// TaskStruct is a plain data aggregate; logic lives in ProcessTable.
+}  // namespace overhaul::kern

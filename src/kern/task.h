@@ -1,0 +1,101 @@
+// TaskStruct: the simulated `task_struct`.
+//
+// The paper's central kernel change is one new field in `task_struct`: the
+// most recent *authentic user interaction* timestamp for the process
+// (§IV-B, "Process permission management"). Everything else Overhaul does —
+// P1 fork propagation, P2 IPC propagation, pty propagation, device checks —
+// reads or writes this field.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "util/audit_log.h"
+
+namespace overhaul::kern {
+
+using Pid = int;
+using Uid = int;
+
+inline constexpr Pid kNoPid = -1;
+inline constexpr Uid kRootUid = 0;
+
+// An open file description (what a file descriptor points at). Concrete
+// resources (vfs files, pipe ends, pty ends, sockets) subclass this; the fd
+// table owns them via shared_ptr because dup()/fork() share descriptions.
+class FileDescription {
+ public:
+  virtual ~FileDescription() = default;
+  // Human-readable tag for /proc-style listings and debugging.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+// The per-process structure. Owned by the ProcessTable; referenced widely.
+//
+// Linux does not strictly distinguish threads from processes — every thread
+// has its own task_struct (and, under Overhaul, its own interaction
+// timestamp, seeded from the creator at clone time exactly like P1).
+struct TaskStruct {
+  Pid pid = kNoPid;
+  Pid ppid = kNoPid;        // parent pid at creation (not re-parented on exit)
+  Pid tgid = kNoPid;        // thread-group id (== pid for group leader)
+  Uid uid = 0;
+  std::string comm;         // process name (set by execve / spawn)
+  std::string exe_path;     // absolute path of the executable image
+  bool alive = true;
+
+  // --- Overhaul addition ---------------------------------------------------
+  // Most recent authentic user-interaction timestamp. `never()` until the
+  // display manager reports an interaction (or one is inherited/propagated).
+  sim::Timestamp interaction_ts = sim::Timestamp::never();
+
+  // Adopt a (possibly fresher) interaction timestamp. This single primitive
+  // implements the receive side of P1/P2 and the pty protocol: a process's
+  // effective timestamp only ever moves forward.
+  void adopt_interaction(sim::Timestamp ts) noexcept {
+    if (ts > interaction_ts) interaction_ts = ts;
+  }
+
+  // --- ACG comparison mode --------------------------------------------------
+  // Per-operation grants from access-control-gadget clicks (the white-box
+  // model of Roesner et al. [27], kept for head-to-head comparison). Copied
+  // by fork like the rest of the task_struct, but — faithfully to that
+  // model's intent-precision — never propagated over IPC.
+  std::map<util::Op, sim::Timestamp> acg_grants;
+
+  void adopt_acg_grant(util::Op op, sim::Timestamp ts) {
+    auto [it, inserted] = acg_grants.emplace(op, ts);
+    if (!inserted && ts > it->second) it->second = ts;
+  }
+
+  // --- ptrace state --------------------------------------------------------
+  Pid traced_by = kNoPid;  // tracer pid, or kNoPid when not traced
+
+  [[nodiscard]] bool is_traced() const noexcept { return traced_by != kNoPid; }
+
+  // --- descriptor table ----------------------------------------------------
+  std::map<int, std::shared_ptr<FileDescription>> fds;
+  int next_fd = 3;  // 0/1/2 notionally reserved for stdio
+
+  int install_fd(std::shared_ptr<FileDescription> desc) {
+    const int fd = next_fd++;
+    fds.emplace(fd, std::move(desc));
+    return fd;
+  }
+
+  [[nodiscard]] std::shared_ptr<FileDescription> fd(int n) const {
+    const auto it = fds.find(n);
+    return it == fds.end() ? nullptr : it->second;
+  }
+
+  bool close_fd(int n) { return fds.erase(n) > 0; }
+
+  // --- tree ----------------------------------------------------------------
+  std::vector<Pid> children;
+};
+
+}  // namespace overhaul::kern

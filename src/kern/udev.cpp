@@ -1,0 +1,33 @@
+#include "kern/udev.h"
+
+namespace overhaul::kern {
+
+void UdevHelper::on_node_added(const std::string& path, DeviceId id) {
+  const Device* dev = registry_.find(id);
+  if (dev == nullptr || !dev->sensitive()) return;  // harmless node: ignore
+  DeviceMapUpdate update;
+  update.add = true;
+  update.path = path;
+  update.device = id;
+  if (channel_ && channel_->send_device_update(update).is_ok()) {
+    ++stats_.updates_sent;
+  } else {
+    ++stats_.updates_rejected;
+  }
+}
+
+void UdevHelper::on_node_removed(const std::string& path, DeviceId id) {
+  const Device* dev = registry_.find(id);
+  if (dev == nullptr || !dev->sensitive()) return;
+  DeviceMapUpdate update;
+  update.add = false;
+  update.path = path;
+  update.device = id;
+  if (channel_ && channel_->send_device_update(update).is_ok()) {
+    ++stats_.updates_sent;
+  } else {
+    ++stats_.updates_rejected;
+  }
+}
+
+}  // namespace overhaul::kern

@@ -1,0 +1,51 @@
+// UdevHelper: the trusted device-naming helper (§IV-B).
+//
+// "modern Linux distributions often make use of dynamic device name
+// assignments at runtime using frameworks such as udev. Therefore, our
+// prototype relies on a trusted helper application, owned by the superuser
+// ... It is invoked in response to changes in the device filesystem ... and
+// propagates these changes to the kernel via an authenticated netlink
+// channel."
+//
+// The helper runs as a root-owned userspace process, observes /dev churn
+// through the VFS's device-tree notifications (standing in for inotify on
+// /dev), classifies nodes (standing in for sysfs metadata), and pushes
+// path→device map updates to the kernel. Only *sensitive* devices are
+// mapped; harmless nodes (e.g. /dev/null) are left unmediated.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kern/devices.h"
+#include "kern/netlink.h"
+#include "kern/vfs.h"
+
+namespace overhaul::kern {
+
+inline constexpr const char* kUdevHelperExe = "/usr/lib/overhaul/udev-helper";
+
+class UdevHelper final : public DevTreeObserver {
+ public:
+  // `registry` stands in for sysfs: the helper reads device classes from it
+  // but only ever *writes* the kernel map through its netlink channel.
+  UdevHelper(const DeviceRegistry& registry,
+             std::shared_ptr<NetlinkChannel> channel)
+      : registry_(registry), channel_(std::move(channel)) {}
+
+  void on_node_added(const std::string& path, DeviceId id) override;
+  void on_node_removed(const std::string& path, DeviceId id) override;
+
+  struct Stats {
+    std::uint64_t updates_sent = 0;
+    std::uint64_t updates_rejected = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  const DeviceRegistry& registry_;
+  std::shared_ptr<NetlinkChannel> channel_;
+  Stats stats_;
+};
+
+}  // namespace overhaul::kern

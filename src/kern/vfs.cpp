@@ -1,0 +1,196 @@
+#include "kern/vfs.h"
+
+#include <algorithm>
+
+namespace overhaul::kern {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+Vfs::Vfs() {
+  auto root = std::make_shared<Inode>();
+  root->ino = next_ino_++;
+  root->type = InodeType::kDirectory;
+  root->uid = kRootUid;
+  inodes_.emplace("/", std::move(root));
+  // Standard top-level directories every scenario expects.
+  for (const char* dir : {"/dev", "/tmp", "/usr", "/usr/bin", "/usr/lib",
+                          "/home", "/proc", "/sbin"}) {
+    (void)mkdir(dir, kRootUid, Mode::world_rw());
+  }
+}
+
+std::string Vfs::parent_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+Status Vfs::check_parent(const std::string& path) const {
+  if (path.empty() || path.front() != '/')
+    return Status(Code::kInvalidArgument, "path must be absolute: " + path);
+  const auto it = inodes_.find(parent_of(path));
+  if (it == inodes_.end() || it->second->type != InodeType::kDirectory)
+    return Status(Code::kNotFound, "no such directory: " + parent_of(path));
+  return Status::ok();
+}
+
+Status Vfs::mkdir(const std::string& path, Uid uid, Mode mode) {
+  if (auto s = check_parent(path); !s.is_ok()) return s;
+  if (inodes_.count(path) > 0) return Status(Code::kExists, path);
+  auto node = std::make_shared<Inode>();
+  node->ino = next_ino_++;
+  node->type = InodeType::kDirectory;
+  node->uid = uid;
+  node->mode = mode;
+  inodes_.emplace(path, std::move(node));
+  return Status::ok();
+}
+
+Status Vfs::mknod(const std::string& path, DeviceId device, Uid uid, Mode mode) {
+  if (auto s = check_parent(path); !s.is_ok()) return s;
+  if (inodes_.count(path) > 0) return Status(Code::kExists, path);
+  auto node = std::make_shared<Inode>();
+  node->ino = next_ino_++;
+  node->type = InodeType::kDevice;
+  node->uid = uid;
+  node->mode = mode;
+  node->device = device;
+  inodes_.emplace(path, std::move(node));
+  notify_added(path, device);
+  return Status::ok();
+}
+
+Status Vfs::mkfifo(const std::string& path, std::uint32_t fifo_key, Uid uid,
+                   Mode mode) {
+  if (auto s = check_parent(path); !s.is_ok()) return s;
+  if (inodes_.count(path) > 0) return Status(Code::kExists, path);
+  auto node = std::make_shared<Inode>();
+  node->ino = next_ino_++;
+  node->type = InodeType::kFifo;
+  node->uid = uid;
+  node->mode = mode;
+  node->fifo_key = fifo_key;
+  inodes_.emplace(path, std::move(node));
+  return Status::ok();
+}
+
+Status Vfs::mkpty(const std::string& path, int pty_index, Uid uid,
+                  Mode mode) {
+  if (auto s = check_parent(path); !s.is_ok()) return s;
+  if (inodes_.count(path) > 0) return Status(Code::kExists, path);
+  auto node = std::make_shared<Inode>();
+  node->ino = next_ino_++;
+  node->type = InodeType::kPty;
+  node->uid = uid;
+  node->mode = mode;
+  node->pty_index = pty_index;
+  inodes_.emplace(path, std::move(node));
+  return Status::ok();
+}
+
+Status Vfs::unlink(const std::string& path) {
+  const auto it = inodes_.find(path);
+  if (it == inodes_.end()) return Status(Code::kNotFound, path);
+  if (it->second->type == InodeType::kDirectory)
+    return Status(Code::kInvalidArgument, "is a directory: " + path);
+  const DeviceId dev = it->second->device;
+  const bool was_device = it->second->type == InodeType::kDevice;
+  inodes_.erase(it);
+  if (was_device) notify_removed(path, dev);
+  return Status::ok();
+}
+
+Status Vfs::rename(const std::string& from, const std::string& to) {
+  const auto it = inodes_.find(from);
+  if (it == inodes_.end()) return Status(Code::kNotFound, from);
+  if (auto s = check_parent(to); !s.is_ok()) return s;
+  if (inodes_.count(to) > 0) return Status(Code::kExists, to);
+  auto node = it->second;
+  const bool is_device = node->type == InodeType::kDevice;
+  const DeviceId dev = node->device;
+  inodes_.erase(it);
+  inodes_.emplace(to, node);
+  if (is_device) {
+    // A rename is a remove + add from the device-map perspective; this is
+    // exactly the udev dynamic-naming churn the trusted helper exists for.
+    notify_removed(from, dev);
+    notify_added(to, dev);
+  }
+  return Status::ok();
+}
+
+bool Vfs::dac_allows(const TaskStruct& task, const Inode& inode,
+                     OpenFlags flags) {
+  if (task.uid == kRootUid) return true;
+  const bool owner = task.uid == inode.uid;
+  if (wants_read(flags) &&
+      !(owner ? inode.mode.owner_read : inode.mode.other_read))
+    return false;
+  if (wants_write(flags) &&
+      !(owner ? inode.mode.owner_write : inode.mode.other_write))
+    return false;
+  return true;
+}
+
+Result<std::shared_ptr<Inode>> Vfs::open(const TaskStruct& task,
+                                         const std::string& path,
+                                         OpenFlags flags) {
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) {
+    if (!wants_create(flags))
+      return Status(Code::kNotFound, path);
+    if (auto s = check_parent(path); !s.is_ok()) return s;
+    auto node = std::make_shared<Inode>();
+    node->ino = next_ino_++;
+    node->type = InodeType::kRegular;
+    node->uid = task.uid;
+    node->mode = Mode::private_rw();
+    it = inodes_.emplace(path, std::move(node)).first;
+  }
+  const auto& inode = it->second;
+  if (inode->type == InodeType::kDirectory)
+    return Status(Code::kInvalidArgument, "is a directory: " + path);
+  if (!dac_allows(task, *inode, flags))
+    return Status(Code::kPermissionDenied, path);
+  return inode;
+}
+
+Result<StatBuf> Vfs::stat(const std::string& path) const {
+  const auto it = inodes_.find(path);
+  if (it == inodes_.end()) return Status(Code::kNotFound, path);
+  const auto& n = *it->second;
+  return StatBuf{n.ino, n.type, n.uid, n.size};
+}
+
+std::vector<std::string> Vfs::list(const std::string& dir) const {
+  std::vector<std::string> out;
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  for (const auto& [path, inode] : inodes_) {
+    (void)inode;
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, DeviceId>> Vfs::device_nodes() const {
+  std::vector<std::pair<std::string, DeviceId>> out;
+  for (const auto& [path, inode] : inodes_) {
+    if (inode->type == InodeType::kDevice) out.emplace_back(path, inode->device);
+  }
+  return out;
+}
+
+void Vfs::notify_added(const std::string& path, DeviceId id) {
+  for (auto* obs : observers_) obs->on_node_added(path, id);
+}
+
+void Vfs::notify_removed(const std::string& path, DeviceId id) {
+  for (auto* obs : observers_) obs->on_node_removed(path, id);
+}
+
+}  // namespace overhaul::kern

@@ -1,0 +1,8 @@
+#include "sim/clock.h"
+
+// Header-only by design; this translation unit pins the library target and
+// anchors the types for debuggers.
+namespace overhaul::sim {
+static_assert(Timestamp::never().is_never());
+static_assert(Duration::seconds(2).ns == 2'000'000'000);
+}  // namespace overhaul::sim

@@ -1,0 +1,81 @@
+// Virtual time for the Overhaul simulation.
+//
+// Every temporal-proximity decision in the paper ("the permission monitor
+// compares A's latest interaction time t with the access request time t+n
+// ... n < δ") depends on timestamps. Using a virtual clock makes those
+// decisions deterministic and lets the long-term harness (§V-D) simulate 21
+// days in milliseconds of wall time.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+
+namespace overhaul::sim {
+
+// Nanosecond-resolution duration. Plain value type; arithmetic never
+// saturates (the simulation never approaches the int64 range).
+struct Duration {
+  std::int64_t ns = 0;
+
+  static constexpr Duration nanos(std::int64_t v) { return {v}; }
+  static constexpr Duration micros(std::int64_t v) { return {v * 1'000}; }
+  static constexpr Duration millis(std::int64_t v) { return {v * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t v) {
+    return {v * 1'000'000'000};
+  }
+  static constexpr Duration seconds_f(double v) {
+    return {static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+  static constexpr Duration hours(std::int64_t v) { return minutes(v * 60); }
+  static constexpr Duration days(std::int64_t v) { return hours(v * 24); }
+
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns) / 1e9;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration other) const { return {ns + other.ns}; }
+  constexpr Duration operator-(Duration other) const { return {ns - other.ns}; }
+  constexpr Duration operator*(std::int64_t k) const { return {ns * k}; }
+};
+
+// Absolute virtual time (ns since simulation epoch).
+struct Timestamp {
+  std::int64_t ns = 0;
+
+  // A timestamp strictly before the epoch; used as "never interacted".
+  static constexpr Timestamp never() { return {-1}; }
+  [[nodiscard]] constexpr bool is_never() const { return ns < 0; }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+  constexpr Timestamp operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr Duration operator-(Timestamp other) const { return {ns - other.ns}; }
+
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns) / 1e9;
+  }
+};
+
+// Monotonic virtual clock. Advancing is explicit; nothing in the simulation
+// reads wall-clock time.
+class Clock {
+ public:
+  [[nodiscard]] Timestamp now() const noexcept { return now_; }
+
+  void advance(Duration d) noexcept {
+    assert(d.ns >= 0 && "virtual time cannot go backwards");
+    now_.ns += d.ns;
+  }
+
+  void advance_to(Timestamp t) noexcept {
+    assert(t >= now_ && "virtual time cannot go backwards");
+    now_ = t;
+  }
+
+ private:
+  Timestamp now_{0};
+};
+
+}  // namespace overhaul::sim

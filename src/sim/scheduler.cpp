@@ -1,0 +1,70 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace overhaul::sim {
+
+Scheduler::EventId Scheduler::at(Timestamp when, Callback fn) {
+  assert(when >= clock_.now() && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // Lazy cancellation: remember the id; skip it when popped. The cancelled
+  // list stays tiny in practice (re-arm timers).
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end())
+    return false;
+  // We cannot cheaply check membership in the priority queue; callers only
+  // cancel ids they know are pending, and double-cancel returns false above.
+  cancelled_.push_back(id);
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+bool Scheduler::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; we need to move the callback out,
+    // so copy the POD parts first and const_cast the one-shot move. This is
+    // the standard idiom for movable priority-queue payloads.
+    Event& top = const_cast<Event&>(queue_.top());
+    Event ev{top.when, top.seq, top.id, std::move(top.fn)};
+    queue_.pop();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  Event ev;
+  while (pop_next(ev)) {
+    --live_count_;
+    clock_.advance_to(ev.when);
+    ev.fn();
+  }
+}
+
+void Scheduler::run_until(Timestamp until) {
+  Event ev;
+  while (!queue_.empty()) {
+    // Peek: if the next live event is beyond the horizon, stop without
+    // consuming it.
+    if (queue_.top().when > until) break;
+    if (!pop_next(ev)) break;
+    --live_count_;
+    clock_.advance_to(ev.when);
+    ev.fn();
+  }
+  if (clock_.now() < until) clock_.advance_to(until);
+}
+
+}  // namespace overhaul::sim

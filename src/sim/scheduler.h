@@ -1,0 +1,73 @@
+// Deterministic discrete-event scheduler.
+//
+// Workload harnesses (the §V-D 21-day run, the shared-memory wait-list
+// re-arm timer, delayed screenshots in §V-C) schedule callbacks at virtual
+// times; run() drains them in timestamp order, advancing the shared Clock.
+// Ties are broken by insertion order so runs are fully reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace overhaul::sim {
+
+class Scheduler {
+ public:
+  explicit Scheduler(Clock& clock) : clock_(clock) {}
+
+  using Callback = std::function<void()>;
+
+  // Handle that can be used to cancel a pending event.
+  using EventId = std::uint64_t;
+
+  // Schedule `fn` to run at absolute virtual time `when` (must not be in the
+  // past). Returns a handle usable with cancel().
+  EventId at(Timestamp when, Callback fn);
+
+  // Schedule `fn` after a relative delay from now.
+  EventId after(Duration delay, Callback fn) {
+    return at(clock_.now() + delay, std::move(fn));
+  }
+
+  // Cancel a pending event. Returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  // Run events until the queue is empty (or `until` is reached, if given).
+  // The clock is advanced to each event's timestamp before its callback runs.
+  // Callbacks may schedule further events.
+  void run();
+  void run_until(Timestamp until);
+
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
+  [[nodiscard]] Clock& clock() noexcept { return clock_; }
+
+ private:
+  struct Event {
+    Timestamp when;
+    std::uint64_t seq;  // insertion order, breaks timestamp ties
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  Clock& clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace overhaul::sim

@@ -1,0 +1,100 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace overhaul::util {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x'};
+}
+
+std::string AsciiChart::render() const {
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  if (series_.empty()) return out + "(no data)\n";
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = 0.0;  // anchor at zero: these are rates/counts
+  double ymax = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series_) {
+    for (double v : s.x) {
+      xmin = std::min(xmin, v);
+      xmax = std::max(xmax, v);
+    }
+    for (double v : s.y) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  if (!(xmax > xmin)) xmax = xmin + 1;
+  if (!(ymax > ymin)) ymax = ymin + 1;
+
+  // Plot grid.
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  const auto to_col = [&](double x) {
+    return std::clamp(static_cast<int>(std::lround(
+                          (x - xmin) / (xmax - xmin) * (width_ - 1))),
+                      0, width_ - 1);
+  };
+  const auto to_row = [&](double y) {
+    return std::clamp(static_cast<int>(std::lround(
+                          (1.0 - (y - ymin) / (ymax - ymin)) * (height_ - 1))),
+                      0, height_ - 1);
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char marker = kMarkers[si % sizeof(kMarkers)];
+    const auto& s = series_[si];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    // Connect consecutive points with linear interpolation for readability.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const int c0 = to_col(s.x[i]), c1 = to_col(s.x[i + 1]);
+      for (int c = c0; c <= c1; ++c) {
+        const double t =
+            c1 == c0 ? 0.0 : static_cast<double>(c - c0) / (c1 - c0);
+        const double y = s.y[i] + t * (s.y[i + 1] - s.y[i]);
+        grid[static_cast<std::size_t>(to_row(y))][static_cast<std::size_t>(c)] =
+            marker;
+      }
+    }
+    if (n == 1) {
+      grid[static_cast<std::size_t>(to_row(s.y[0]))]
+          [static_cast<std::size_t>(to_col(s.x[0]))] = marker;
+    }
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.3g |", ymax);
+  out += std::string(buf) + grid[0] + "\n";
+  for (int r = 1; r < height_ - 1; ++r) {
+    out += std::string(10, ' ') + " |" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.3g |", ymin);
+  out += std::string(buf) + grid[static_cast<std::size_t>(height_ - 1)] + "\n";
+  out += std::string(11, ' ') + '+' + std::string(static_cast<std::size_t>(width_), '-') + "\n";
+  std::snprintf(buf, sizeof(buf), "%-12.4g", xmin);
+  std::string axis = std::string(12, ' ') + buf;
+  std::snprintf(buf, sizeof(buf), "%12.4g", xmax);
+  // Right-align xmax at the end of the plot width.
+  const std::size_t target =
+      12 + static_cast<std::size_t>(width_) - std::string(buf).size() + 1;
+  if (axis.size() < target) axis += std::string(target - axis.size(), ' ');
+  axis += buf;
+  out += axis + "\n";
+
+  // Legend.
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out += "            ";
+    out += kMarkers[si % sizeof(kMarkers)];
+    out += " " + series_[si].label + "\n";
+  }
+  if (!y_label_.empty()) out += "            y: " + y_label_ + "\n";
+  return out;
+}
+
+}  // namespace overhaul::util

@@ -1,0 +1,39 @@
+// AsciiChart: tiny terminal plots for benchmark sweep output.
+//
+// The ablation benches print curves (false-deny rate vs δ, faults vs wait);
+// a picture of the knee communicates the paper's parameter choices better
+// than a table alone. No dependencies, fixed-width output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace overhaul::util {
+
+struct ChartSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class AsciiChart {
+ public:
+  AsciiChart(int width, int height) : width_(width), height_(height) {}
+
+  void add_series(ChartSeries series) { series_.push_back(std::move(series)); }
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  // Render to a string: title, y-axis scale, plot area (one marker glyph
+  // per series: *, o, +, x), x-axis with min/max.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  int width_;
+  int height_;
+  std::string title_;
+  std::string y_label_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace overhaul::util

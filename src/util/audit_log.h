@@ -1,0 +1,67 @@
+// Structured audit log of Overhaul policy decisions.
+//
+// The paper relies on Overhaul's logs in two evaluation sections: §V-C uses
+// them to verify clipboard decisions without visual alerts, and §V-D inspects
+// them after the 21-day deployment ("We checked OVERHAUL's logs and verified
+// that attempts to access the protected resources were detected and
+// blocked"). This log is that facility: an append-only record of every
+// grant/deny with enough context to drive those analyses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace overhaul::util {
+
+// The privileged operations Overhaul mediates (paper §III-C:
+// op ∈ {copy, paste, scr, mic, cam}; we also log device opens generically).
+enum class Op : std::uint8_t {
+  kCopy,
+  kPaste,
+  kScreenCapture,
+  kMicrophone,
+  kCamera,
+  kDeviceOther,  // a protected device that is neither mic nor cam
+};
+
+std::string_view op_name(Op op) noexcept;
+
+enum class Decision : std::uint8_t { kGrant, kDeny };
+
+struct AuditRecord {
+  std::int64_t time_ns = 0;   // virtual time of the decision
+  int pid = -1;               // requesting process
+  std::string comm;           // process name, if known
+  Op op = Op::kDeviceOther;
+  Decision decision = Decision::kDeny;
+  std::int64_t interaction_age_ns = -1;  // now - last interaction; -1 = never
+  std::string detail;                    // device path, selection atom, ...
+};
+
+// Append-only decision log with simple query helpers. Not thread-safe; the
+// simulation is single-threaded by design (determinism).
+class AuditLog {
+ public:
+  void append(AuditRecord record) { records_.push_back(std::move(record)); }
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] const std::vector<AuditRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  [[nodiscard]] std::size_t count(Decision decision) const noexcept;
+  [[nodiscard]] std::size_t count(Op op, Decision decision) const noexcept;
+  [[nodiscard]] std::vector<AuditRecord> filter(
+      const std::function<bool(const AuditRecord&)>& pred) const;
+
+  // Render one record as a single log line (used by examples and harnesses).
+  static std::string format(const AuditRecord& record);
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace overhaul::util

@@ -1,0 +1,78 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace overhaul::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      bins_(bins, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void Histogram::add(double sample) {
+  ++count_;
+  sum_ += sample;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+  if (sample < lo_) {
+    ++underflow_;
+    ++bins_.front();
+    return;
+  }
+  if (sample >= hi_) {
+    ++overflow_;
+    ++bins_.back();
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((sample - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(bins_.size()));
+  ++bins_[std::min(idx, bins_.size() - 1)];
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t running = 0;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const std::uint64_t next = running + bins_[i];
+    if (static_cast<double>(next) >= target) {
+      const double within =
+          bins_[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(running)) /
+                    static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i) + within) * bin_width;
+    }
+    running = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(int bar_width) const {
+  std::string out;
+  const std::uint64_t peak =
+      *std::max_element(bins_.begin(), bins_.end());
+  if (peak == 0) return "(empty)\n";
+  const double bin_width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  char line[160];
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const int bar = static_cast<int>(
+        static_cast<double>(bins_[i]) / static_cast<double>(peak) * bar_width);
+    std::snprintf(line, sizeof(line), "%10.3f..%-10.3f %8llu |%s\n",
+                  lo_ + static_cast<double>(i) * bin_width,
+                  lo_ + static_cast<double>(i + 1) * bin_width,
+                  static_cast<unsigned long long>(bins_[i]),
+                  std::string(static_cast<std::size_t>(std::max(bar, 1)), '#')
+                      .c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace overhaul::util

@@ -1,0 +1,52 @@
+// Histogram: fixed-bin statistics for workload characterization.
+//
+// The δ ablation's false-deny curve is only as meaningful as the latency
+// distribution behind it; benches print the distribution alongside the
+// curve so a reader can audit the model (mean, percentiles, bin counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace overhaul::util {
+
+class Histogram {
+ public:
+  // Uniform bins over [lo, hi); samples outside are clamped into the edge
+  // bins and counted separately as underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  // Percentile via linear interpolation across bins (p in [0, 100]).
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  // Compact text rendering: one line per non-empty bin with a bar.
+  [[nodiscard]] std::string to_string(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace overhaul::util

@@ -1,0 +1,42 @@
+// Deterministic random number generation for workload models.
+//
+// All stochastic pieces of the reproduction (user think times, the §V-B
+// attention model, the §V-D diurnal interaction model) draw from this RNG so
+// every harness run is reproducible from a seed printed in its output.
+#pragma once
+
+#include <cstdint>
+
+namespace overhaul::util {
+
+// splitmix64-seeded xoshiro256**. Small, fast, and good enough statistical
+// quality for workload synthesis; never used for anything security-relevant.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Bernoulli trial.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Exponentially distributed with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  // Normal via Box-Muller (unclamped).
+  double normal(double mean, double stddev) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace overhaul::util

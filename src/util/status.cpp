@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace overhaul::util {
+
+std::string_view code_name(Code code) noexcept {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kExists: return "EXISTS";
+    case Code::kPermissionDenied: return "PERMISSION_DENIED";
+    case Code::kOverhaulDenied: return "OVERHAUL_DENIED";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kNotSupported: return "NOT_SUPPORTED";
+    case Code::kWouldBlock: return "WOULD_BLOCK";
+    case Code::kBrokenChannel: return "BROKEN_CHANNEL";
+    case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kBusy: return "BUSY";
+    case Code::kBadAccess: return "BAD_ACCESS";
+    case Code::kBadWindow: return "BAD_WINDOW";
+    case Code::kBadAtom: return "BAD_ATOM";
+    case Code::kBadRequest: return "BAD_REQUEST";
+    case Code::kNotAuthenticated: return "NOT_AUTHENTICATED";
+    case Code::kSyntheticInput: return "SYNTHETIC_INPUT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace overhaul::util

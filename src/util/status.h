@@ -1,0 +1,103 @@
+// Lightweight status / result types used across all Overhaul subsystems.
+//
+// The simulated kernel and display server report errors the way their real
+// counterparts do (errno-style codes, X11 BadAccess-style errors), so the
+// status vocabulary below is deliberately close to those domains instead of
+// being a generic error enum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace overhaul::util {
+
+// Error codes shared by the kernel and display-server layers. Values are
+// stable so they can be logged and asserted on in tests.
+enum class Code : std::uint8_t {
+  kOk = 0,
+  // Generic / kernel-side (errno-flavoured).
+  kNotFound,          // ENOENT: no such file, process, or IPC object
+  kExists,            // EEXIST
+  kPermissionDenied,  // EACCES: denied by classic UNIX DAC
+  kOverhaulDenied,    // denied by the Overhaul permission monitor
+  kInvalidArgument,   // EINVAL
+  kNotSupported,      // ENOSYS
+  kWouldBlock,        // EAGAIN: empty pipe/queue in non-blocking mode
+  kBrokenChannel,     // EPIPE: peer closed
+  kResourceExhausted, // ENOSPC / ENFILE
+  kBusy,              // EBUSY
+  // Display-server side (X11-flavoured).
+  kBadAccess,   // X11 BadAccess: protocol-level denial
+  kBadWindow,   // X11 BadWindow
+  kBadAtom,     // X11 BadAtom: unknown selection/property
+  kBadRequest,  // malformed or out-of-protocol request
+  // Trusted-path specific.
+  kNotAuthenticated,  // netlink peer failed introspection check
+  kSyntheticInput,    // event rejected as software-generated
+};
+
+// Human-readable name for a code ("OVERHAUL_DENIED", "BAD_ACCESS", ...).
+std::string_view code_name(Code code) noexcept;
+
+// A status is a code plus optional context. kOk statuses carry no message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // OK
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  // True when the failure was an Overhaul policy decision (as opposed to a
+  // classic DAC or protocol error). Used by the audit log and tests.
+  [[nodiscard]] bool is_policy_denial() const noexcept {
+    return code_ == Code::kOverhaulDenied || code_ == Code::kBadAccess;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK status. Minimal std::expected stand-in
+// (C++20 toolchain; std::expected is C++23).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) { // NOLINT(google-explicit-constructor)
+  }
+  Result(Code code) : status_(code) {}                 // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+  [[nodiscard]] Code code() const noexcept { return status_.code(); }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ present
+};
+
+}  // namespace overhaul::util

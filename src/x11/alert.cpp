@@ -1,0 +1,60 @@
+#include "x11/alert.h"
+
+namespace overhaul::x11 {
+namespace {
+
+std::string render_text(const std::string& comm, util::Op op,
+                        util::Decision decision) {
+  std::string verb;
+  switch (op) {
+    case util::Op::kMicrophone: verb = "is recording from the microphone"; break;
+    case util::Op::kCamera: verb = "is using the camera"; break;
+    case util::Op::kScreenCapture: verb = "is capturing the screen"; break;
+    case util::Op::kDeviceOther: verb = "is accessing a protected device"; break;
+    case util::Op::kCopy: verb = "copied to the clipboard"; break;
+    case util::Op::kPaste: verb = "pasted from the clipboard"; break;
+  }
+  if (decision == util::Decision::kDeny) {
+    return "Blocked: " + comm + " tried and " + verb;
+  }
+  return comm + " " + verb;
+}
+
+}  // namespace
+
+const Alert& AlertOverlay::show(int pid, const std::string& comm, util::Op op,
+                                util::Decision decision) {
+  Alert alert;
+  alert.shown_at_ns = clock_.now().ns;
+  alert.expires_at_ns = (clock_.now() + duration_).ns;
+  alert.pid = pid;
+  alert.comm = comm;
+  alert.op = op;
+  alert.decision = decision;
+  alert.text = render_text(comm, op, decision);
+  alert.secret = secret_;
+  history_.push_back(std::move(alert));
+  return history_.back();
+}
+
+std::string AlertOverlay::render_banner(const Alert& alert) {
+  // [ <secret> | <message>                          ]
+  const std::string secret =
+      alert.secret.empty() ? "(no secret!)" : alert.secret;
+  const std::string body = " " + secret + " | " + alert.text + " ";
+  std::string out;
+  out += "+" + std::string(body.size(), '-') + "+\n";
+  out += "|" + body + "|\n";
+  out += "+" + std::string(body.size(), '-') + "+\n";
+  return out;
+}
+
+std::vector<const Alert*> AlertOverlay::active(sim::Timestamp now) const {
+  std::vector<const Alert*> out;
+  for (const auto& alert : history_) {
+    if (alert.active_at(now)) out.push_back(&alert);
+  }
+  return out;
+}
+
+}  // namespace overhaul::x11

@@ -1,0 +1,159 @@
+#include "x11/screen.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "x11/server.h"
+
+namespace overhaul::x11 {
+
+using util::Code;
+using util::Decision;
+using util::Op;
+using util::Result;
+using util::Status;
+
+Status ScreenResources::authorize_capture(ClientId client, WindowId window_id) {
+  Window* win = server_.window(window_id);
+  if (win == nullptr) return Status(Code::kBadWindow, "no such window");
+
+  // Capturing your own window is always fine; the root window and foreign
+  // windows require the input-correlation check.
+  if (window_id != kRootWindow && win->owner() == client) return Status::ok();
+
+  if (!server_.overhaul_enabled()) return Status::ok();  // unmodified server
+
+  const Decision d = server_.ask_monitor(
+      client, Op::kScreenCapture,
+      window_id == kRootWindow ? "root" : "window " + std::to_string(window_id));
+  if (d == Decision::kDeny) {
+    ++stats_.captures_denied;
+    return Status(Code::kBadAccess, "screen capture not preceded by input");
+  }
+  ++stats_.captures_granted;
+  return Status::ok();
+}
+
+Image ScreenResources::composite_screen() const {
+  const Window* root =
+      const_cast<XServer&>(server_).window(kRootWindow);
+  Image img;
+  img.width = root->rect().width;
+  img.height = root->rect().height;
+  img.pixels = root->pixels();  // background first
+  // Paint mapped windows bottom → top, clipped to the screen.
+  for (WindowId wid : server_.stacking_order()) {
+    if (wid == kRootWindow) continue;
+    const Window* win = const_cast<XServer&>(server_).window(wid);
+    if (win == nullptr || !win->mapped() || win->transparent()) continue;
+    const Rect& r = win->rect();
+    for (int y = std::max(0, r.y);
+         y < std::min(img.height, r.y + r.height); ++y) {
+      const int x0 = std::max(0, r.x);
+      const int x1 = std::min(img.width, r.x + r.width);
+      if (x1 <= x0) continue;
+      const auto* src =
+          win->pixels().data() +
+          static_cast<std::size_t>(y - r.y) * static_cast<std::size_t>(r.width) +
+          static_cast<std::size_t>(x0 - r.x);
+      auto* dst = img.pixels.data() +
+                  static_cast<std::size_t>(y) * static_cast<std::size_t>(img.width) +
+                  static_cast<std::size_t>(x0);
+      std::memcpy(dst, src, static_cast<std::size_t>(x1 - x0) * 4);
+    }
+  }
+  return img;
+}
+
+Result<Image> ScreenResources::get_image(ClientId client, WindowId window_id) {
+  if (auto s = authorize_capture(client, window_id); !s.is_ok()) return s;
+
+  if (window_id == kRootWindow) return composite_screen();
+
+  Window* win = server_.window(window_id);
+  Image img;
+  img.width = win->rect().width;
+  img.height = win->rect().height;
+  img.pixels = win->pixels();  // real copy — the baseline cost of GetImage
+  return img;
+}
+
+Result<std::size_t> ScreenResources::xshm_get_image(ClientId client,
+                                                    WindowId window_id,
+                                                    kern::ShmMapping& dst) {
+  if (auto s = authorize_capture(client, window_id); !s.is_ok()) return s;
+
+  std::vector<std::uint32_t> composed;
+  const std::vector<std::uint32_t>* pixels_ptr = nullptr;
+  if (window_id == kRootWindow) {
+    composed = composite_screen().pixels;
+    pixels_ptr = &composed;
+  } else {
+    pixels_ptr = &server_.window(window_id)->pixels();
+  }
+  const auto& pixels = *pixels_ptr;
+  const std::size_t bytes = pixels.size() * sizeof(std::uint32_t);
+  if (bytes > dst.segment()->size())
+    return Status(Code::kInvalidArgument, "shm segment too small for image");
+
+  // Write through the X server's own task so the kernel page-fault
+  // interposition sees the transfer like any other shared-memory IPC.
+  kern::TaskStruct* server_task =
+      server_.kernel().processes().lookup_live(server_.pid());
+  if (server_task == nullptr)
+    return Status(Code::kNotFound, "X server task missing");
+  if (auto s = dst.write(*server_task, 0, pixels.data(), bytes); !s.is_ok())
+    return s;
+  return bytes;
+}
+
+Status ScreenResources::copy_area(ClientId client, WindowId src_id,
+                                  WindowId dst_id) {
+  Window* src = server_.window(src_id);
+  Window* dst = server_.window(dst_id);
+  if (src == nullptr || dst == nullptr)
+    return Status(Code::kBadWindow, "copy_area: bad window");
+  if (dst->owner() != client)
+    return Status(Code::kBadAccess, "copy_area: destination not owned");
+
+  // §IV-A: "If the owners of both buffers are identical ... the request is
+  // allowed to proceed" — no permission query for a self-copy.
+  if (src_id != kRootWindow && src->owner() == dst->owner()) {
+    ++stats_.same_owner_copies;
+  } else if (auto s = authorize_capture(client, src_id); !s.is_ok()) {
+    return s;
+  }
+
+  const std::size_t n = std::min(src->pixels().size(), dst->pixels().size());
+  std::memcpy(dst->pixels().data(), src->pixels().data(),
+              n * sizeof(std::uint32_t));
+  return Status::ok();
+}
+
+Status ScreenResources::copy_plane(ClientId client, WindowId src_id,
+                                   WindowId dst_id, unsigned plane) {
+  if (plane >= 32)
+    return Status(Code::kInvalidArgument, "copy_plane: bad plane");
+  Window* src = server_.window(src_id);
+  Window* dst = server_.window(dst_id);
+  if (src == nullptr || dst == nullptr)
+    return Status(Code::kBadWindow, "copy_plane: bad window");
+  if (dst->owner() != client)
+    return Status(Code::kBadAccess, "copy_plane: destination not owned");
+
+  if (src_id != kRootWindow && src->owner() == dst->owner()) {
+    ++stats_.same_owner_copies;
+  } else if (auto s = authorize_capture(client, src_id); !s.is_ok()) {
+    return s;
+  }
+
+  const std::uint32_t mask = 1u << plane;
+  const std::size_t n = std::min(src->pixels().size(), dst->pixels().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    dst->pixels()[i] =
+        (dst->pixels()[i] & ~mask) | (src->pixels()[i] & mask);
+  }
+  return Status::ok();
+}
+
+}  // namespace overhaul::x11

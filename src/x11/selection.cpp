@@ -1,0 +1,323 @@
+#include "x11/selection.h"
+
+#include <algorithm>
+
+#include "x11/server.h"
+
+namespace overhaul::x11 {
+
+using util::Code;
+using util::Decision;
+using util::Op;
+using util::Result;
+using util::Status;
+
+// --- Fig. 6 step 2: SetSelection ---------------------------------------------
+
+Status SelectionManager::set_selection_owner(ClientId client,
+                                             const std::string& selection,
+                                             WindowId owner_window) {
+  if (server_.client(client) == nullptr)
+    return Status(Code::kNotFound, "no such client");
+  Window* win = server_.window(owner_window);
+  if (win == nullptr || win->owner() != client)
+    return Status(Code::kBadWindow, "selection owner window invalid");
+
+  // Overhaul modification: the copy must be correlated with user input
+  // before ownership is granted; otherwise the client gets BadAccess.
+  if (server_.overhaul_enabled()) {
+    const Decision d = server_.ask_monitor(client, Op::kCopy, selection);
+    if (d == Decision::kDeny) {
+      ++stats_.copies_denied;
+      return Status(Code::kBadAccess, "copy not preceded by user input");
+    }
+    ++stats_.copies_granted;
+  }
+
+  owners_[selection] = SelectionOwner{client, owner_window};
+  return Status::ok();
+}
+
+std::optional<SelectionOwner> SelectionManager::selection_owner(
+    const std::string& selection) const {
+  const auto it = owners_.find(selection);
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- Fig. 6 step 6: ConvertSelection -------------------------------------------
+
+Status SelectionManager::convert_selection(ClientId requestor,
+                                           const std::string& selection,
+                                           WindowId requestor_window,
+                                           const std::string& property,
+                                           const std::string& target) {
+  XClient* req = server_.client(requestor);
+  if (req == nullptr) return Status(Code::kNotFound, "no such client");
+  Window* win = server_.window(requestor_window);
+  if (win == nullptr || win->owner() != requestor)
+    return Status(Code::kBadWindow, "requestor window invalid");
+
+  const auto owner_it = owners_.find(selection);
+  if (owner_it == owners_.end())
+    return Status(Code::kBadAtom, "selection has no owner: " + selection);
+
+  // Overhaul modification: the paste must be correlated with user input.
+  // TARGETS negotiation is metadata, not data — ICCCM clients routinely ask
+  // for the format list before the user-driven paste, so it is exempt from
+  // the input-correlation check (no clipboard *contents* move).
+  if (server_.overhaul_enabled() && target != "TARGETS") {
+    const Decision d = server_.ask_monitor(requestor, Op::kPaste, selection);
+    if (d == Decision::kDeny) {
+      ++stats_.pastes_denied;
+      return Status(Code::kBadAccess, "paste not preceded by user input");
+    }
+    ++stats_.pastes_granted;
+  }
+
+  // Record the in-flight transfer and issue SelectionRequest to the owner
+  // (step 7). SelectionRequest events originate from the server only.
+  transfers_.push_back(Transfer{selection, owner_it->second.client, requestor,
+                                requestor_window, property, target,
+                                Transfer::State::kRequested, false});
+
+  XClient* owner = server_.client(owner_it->second.client);
+  if (owner != nullptr) {
+    XEvent ev;
+    ev.type = EventType::kSelectionRequest;
+    ev.provenance = Provenance::kHardware;  // server-originated, trusted
+    ev.synthetic_flag = false;
+    ev.window = owner_it->second.window;
+    ev.selection = selection;
+    ev.property = property;
+    ev.target = target;
+    ev.requestor = requestor_window;
+    owner->enqueue(std::move(ev));
+  }
+  return Status::ok();
+}
+
+// --- Fig. 6 step 8: ChangeProperty -----------------------------------------------
+
+Status SelectionManager::change_property(ClientId client, WindowId window,
+                                         const std::string& property,
+                                         std::string data) {
+  Window* win = server_.window(window);
+  if (win == nullptr) return Status(Code::kBadWindow, "no such window");
+  // The X maximum-request size bounds one-shot property writes; larger
+  // transfers must use INCR.
+  if (data.size() > kIncrThreshold)
+    return Status(Code::kInvalidArgument,
+                  "property exceeds max request size; use INCR");
+
+  // A client may always write properties on its own windows; writing on a
+  // foreign window is allowed only for the owner side of an in-flight
+  // transfer targeting that window/property pair (the ICCCM data handoff).
+  if (win->owner() != client) {
+    Transfer* transfer = transfer_on_property(window, property);
+    const bool is_owner_handoff = transfer != nullptr &&
+                                  transfer->owner == client &&
+                                  transfer->state == Transfer::State::kRequested;
+    if (!is_owner_handoff)
+      return Status(Code::kBadAccess, "property write on foreign window");
+    transfer->state = Transfer::State::kDataReady;
+  }
+
+  properties_[{window, property}] = std::move(data);
+  deliver_property_notify(window, property);
+  return Status::ok();
+}
+
+// --- Fig. 6 steps 11–12: GetProperty ----------------------------------------------
+
+Result<std::string> SelectionManager::get_property(ClientId client,
+                                                   WindowId window,
+                                                   const std::string& property) {
+  const auto it = properties_.find({window, property});
+  if (it == properties_.end())
+    return Status(Code::kBadAtom, "no such property: " + property);
+
+  // Core X11 lets ANY client read ANY window's properties — that is the
+  // clipboard-sniffing vector. Overhaul restricts in-flight clipboard data
+  // to the paste target.
+  if (server_.overhaul_enabled()) {
+    if (Transfer* transfer = transfer_on_property(window, property);
+        transfer != nullptr && transfer->requestor != client) {
+      ++stats_.snoops_blocked;
+      return Status(Code::kBadAccess,
+                    "in-flight clipboard data restricted to paste target");
+    }
+  }
+  return it->second;
+}
+
+// --- Fig. 6 step 13: DeleteProperty -------------------------------------------------
+
+Status SelectionManager::delete_property(ClientId client, WindowId window,
+                                         const std::string& property) {
+  const auto it = properties_.find({window, property});
+  if (it == properties_.end())
+    return Status(Code::kBadAtom, "no such property: " + property);
+  Window* win = server_.window(window);
+  if (win == nullptr || (win->owner() != client))
+    return Status(Code::kBadAccess, "delete on foreign window");
+  properties_.erase(it);
+
+  // INCR: deleting a non-final chunk just frees the property for the next
+  // one; the transfer stays in flight (and stays protected).
+  if (Transfer* t = transfer_on_property(window, property);
+      t != nullptr && t->state == Transfer::State::kIncrActive &&
+      !t->incr_final_sent) {
+    return Status::ok();
+  }
+
+  // Completing transfer(s) on this property ends the in-flight window.
+  std::erase_if(transfers_, [&](const Transfer& t) {
+    return t.requestor_window == window && t.property == property;
+  });
+  return Status::ok();
+}
+
+// --- INCR protocol --------------------------------------------------------------------
+
+Status SelectionManager::begin_incr(ClientId owner, WindowId requestor_window,
+                                    const std::string& property,
+                                    std::size_t total_size) {
+  Transfer* transfer = transfer_on_property(requestor_window, property);
+  if (transfer == nullptr || transfer->owner != owner ||
+      transfer->state != Transfer::State::kRequested)
+    return Status(Code::kBadAccess, "no matching transfer awaiting data");
+  transfer->state = Transfer::State::kIncrActive;
+  properties_[{requestor_window, property}] =
+      "INCR:" + std::to_string(total_size);
+  deliver_property_notify(requestor_window, property);
+  return Status::ok();
+}
+
+Status SelectionManager::send_incr_chunk(ClientId owner,
+                                         WindowId requestor_window,
+                                         const std::string& property,
+                                         std::string chunk) {
+  Transfer* transfer = transfer_on_property(requestor_window, property);
+  if (transfer == nullptr || transfer->owner != owner ||
+      transfer->state != Transfer::State::kIncrActive)
+    return Status(Code::kBadAccess, "no INCR transfer in progress");
+  if (transfer->incr_final_sent)
+    return Status(Code::kBadRequest, "INCR transfer already terminated");
+  if (properties_.count({requestor_window, property}) > 0)
+    return Status(Code::kWouldBlock,
+                  "previous chunk not yet consumed by the requestor");
+  if (chunk.size() > kIncrThreshold)
+    return Status(Code::kInvalidArgument, "chunk exceeds maximum size");
+
+  if (chunk.empty()) transfer->incr_final_sent = true;
+  properties_[{requestor_window, property}] = std::move(chunk);
+  deliver_property_notify(requestor_window, property);
+  return Status::ok();
+}
+
+void SelectionManager::subscribe_property_events(ClientId client,
+                                                 WindowId window) {
+  (void)server_.select_input(client, window, kPropertyChangeMask);
+}
+
+void SelectionManager::on_client_disconnected(ClientId client) {
+  std::erase_if(owners_, [&](const auto& entry) {
+    return entry.second.client == client;
+  });
+  std::erase_if(transfers_, [&](const Transfer& t) {
+    return t.owner == client || t.requestor == client;
+  });
+}
+
+// --- SendEvent policing ------------------------------------------------------------
+
+bool SelectionManager::send_event_allowed(ClientId sender,
+                                          const XEvent& event) {
+  switch (event.type) {
+    case EventType::kSelectionRequest:
+      // Only the server issues SelectionRequest events; a client sending one
+      // is pumping the selection owner for data (the bypass described in
+      // §IV-A). Always blocked.
+      return false;
+    case EventType::kSelectionNotify: {
+      // Allowed only as step 9 of an in-flight transfer: the true owner
+      // notifying the true requestor after the data is in place.
+      Transfer* t = find_transfer(event.selection, kNoWindow);
+      // Search by requestor window since the notify targets it.
+      for (auto& transfer : transfers_) {
+        if (transfer.selection == event.selection &&
+            transfer.requestor_window == event.window) {
+          t = &transfer;
+          break;
+        }
+      }
+      return t != nullptr && t->owner == sender &&
+             (t->state == Transfer::State::kDataReady ||
+              t->state == Transfer::State::kIncrActive);
+    }
+    default:
+      return true;  // other synthetic events are delivered (flagged)
+  }
+}
+
+void SelectionManager::on_selection_notify_sent(ClientId sender,
+                                                const XEvent& event) {
+  for (auto& transfer : transfers_) {
+    if (transfer.selection == event.selection &&
+        transfer.requestor_window == event.window &&
+        transfer.owner == sender) {
+      if (transfer.state == Transfer::State::kDataReady) {
+        transfer.state = Transfer::State::kNotified;
+      }
+      // kIncrActive: the notify accompanies the INCR announcement; the
+      // transfer stays in the streaming state.
+      return;
+    }
+  }
+}
+
+// --- internals ------------------------------------------------------------------------
+
+Transfer* SelectionManager::find_transfer(const std::string& selection,
+                                          ClientId requestor) {
+  for (auto& t : transfers_) {
+    if (t.selection == selection &&
+        (requestor == kNoWindow || t.requestor == requestor))
+      return &t;
+  }
+  return nullptr;
+}
+
+Transfer* SelectionManager::transfer_on_property(WindowId window,
+                                                 const std::string& property) {
+  for (auto& t : transfers_) {
+    if (t.requestor_window == window && t.property == property) return &t;
+  }
+  return nullptr;
+}
+
+void SelectionManager::deliver_property_notify(WindowId window,
+                                               const std::string& property) {
+  Transfer* transfer = transfer_on_property(window, property);
+  for (ClientId client_id :
+       server_.clients_selecting(window, kPropertyChangeMask)) {
+    // Overhaul: while clipboard data is in flight, property events for it
+    // are delivered only to the paste target (§IV-A).
+    if (server_.overhaul_enabled() && transfer != nullptr &&
+        client_id != transfer->requestor) {
+      ++stats_.snoops_blocked;
+      continue;
+    }
+    if (XClient* c = server_.client(client_id); c != nullptr) {
+      XEvent ev;
+      ev.type = EventType::kPropertyNotify;
+      ev.provenance = Provenance::kHardware;  // server-originated
+      ev.window = window;
+      ev.property = property;
+      c->enqueue(std::move(ev));
+    }
+  }
+}
+
+}  // namespace overhaul::x11

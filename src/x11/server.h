@@ -1,0 +1,220 @@
+// XServer: the display manager with Overhaul's enhancements (§IV-A).
+//
+// Responsibilities reproduced from the paper:
+//  * Trusted input path — distinguish hardware input from SendEvent
+//    (synthetic wire flag) and XTEST (provenance tag) injections; only
+//    hardware events generate interaction notifications.
+//  * Clickjacking defense — notifications only for clients whose receiving
+//    window is a valid, non-transparent mapped window that has stayed
+//    visible longer than a threshold.
+//  * Kernel liaison — connect the authenticated netlink channel at server
+//    initialization; send N_{A,t}, issue Q_{A,t}, receive V_{A,op}.
+//  * Trusted output — the AlertOverlay rendered above all client windows.
+//  * Resource interposition — SelectionManager (clipboard) and
+//    ScreenResources (display contents) call back into ask_monitor().
+//
+// `XServerConfig::overhaul_enabled = false` gives the unmodified X server
+// for benchmark baselines: no provenance filtering, no notifications, no
+// permission queries.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "kern/kernel.h"
+#include "x11/acg.h"
+#include "x11/alert.h"
+#include "x11/client.h"
+#include "x11/prompt.h"
+#include "x11/screen.h"
+#include "x11/selection.h"
+#include "x11/window.h"
+#include "x11/wire.h"
+
+namespace overhaul::x11 {
+
+inline constexpr const char* kXorgExe = "/usr/lib/xorg/Xorg";
+
+struct XServerConfig {
+  bool overhaul_enabled = true;
+  // Clickjacking visibility threshold: a window must have been continuously
+  // visible at least this long before events on it count as interaction.
+  // (The paper uses "a predefined time threshold" without quoting a value;
+  // 500 ms is our default and the ablation bench sweeps it.)
+  sim::Duration visibility_threshold = sim::Duration::millis(500);
+  int screen_width = 1024;
+  int screen_height = 768;
+};
+
+class XServer {
+ public:
+  // Spawns the Xorg process (as a child of init) and, when Overhaul is
+  // enabled, connects the authenticated netlink channel.
+  XServer(kern::Kernel& kernel, XServerConfig config = {});
+
+  XServer(const XServer&) = delete;
+  XServer& operator=(const XServer&) = delete;
+
+  [[nodiscard]] kern::Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] const XServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool overhaul_enabled() const noexcept {
+    return config_.overhaul_enabled;
+  }
+  [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] sim::Clock& clock() noexcept { return kernel_.clock(); }
+
+  // --- client connections -----------------------------------------------------
+  // The pid is the kernel-verified socket peer; clients cannot forge it.
+  util::Result<ClientId> connect_client(kern::Pid pid);
+  util::Status disconnect_client(ClientId id);
+  [[nodiscard]] XClient* client(ClientId id);
+  [[nodiscard]] XClient* client_of_pid(kern::Pid pid);
+
+  // --- window management ---------------------------------------------------------
+  util::Result<WindowId> create_window(ClientId client, Rect rect);
+  util::Status map_window(ClientId client, WindowId window);
+  util::Status unmap_window(ClientId client, WindowId window);
+  util::Status raise_window(ClientId client, WindowId window);
+  util::Status set_transparent(ClientId client, WindowId window, bool on);
+  // ConfigureWindow: move and/or resize. Restarts the visibility clock on a
+  // mapped window (clickjacking hardening; see Window::move_to).
+  util::Status configure_window(ClientId client, WindowId window, Rect rect);
+  [[nodiscard]] Window* window(WindowId id);
+  [[nodiscard]] const std::vector<WindowId>& stacking_order() const noexcept {
+    return stacking_;  // bottom → top; the alert overlay sits above all of it
+  }
+
+  // Topmost mapped window containing the point, or nullptr.
+  [[nodiscard]] Window* window_at(int x, int y);
+
+  // --- event selection (XSelectInput) -----------------------------------------
+  // Replaces any previous mask this client held for the window. Any client
+  // may select on any window (core X semantics).
+  util::Status select_input(ClientId client, WindowId window,
+                            std::uint32_t mask);
+  // Clients currently selecting `mask` bits on `window`.
+  [[nodiscard]] std::vector<ClientId> clients_selecting(
+      WindowId window, std::uint32_t mask) const;
+
+  // --- input path -------------------------------------------------------------------
+  // Hardware events (from the input driver). Button press: delivered to the
+  // topmost window at (x,y); sets keyboard focus. Key press: delivered to
+  // the focus window.
+  void hardware_button_press(int x, int y, int button = 1);
+  void hardware_key_press(int keycode);
+
+  // Core-protocol SendEvent: the event is delivered with the synthetic flag
+  // set; it is also the vehicle for protocol attacks, so it is policed (see
+  // selection manager integration).
+  util::Status send_event(ClientId sender, WindowId target, XEvent event);
+
+  // XTEST extension: fake input that is *not* flagged on the wire; the
+  // modified server tags its provenance instead.
+  util::Status xtest_fake_button(ClientId sender, int x, int y);
+  util::Status xtest_fake_key(ClientId sender, int keycode);
+
+  void set_focus(WindowId window) noexcept { focus_ = window; }
+  [[nodiscard]] WindowId focus() const noexcept { return focus_; }
+
+  // --- input grabs (XGrabKeyboard / XGrabPointer) -----------------------------
+  // A grab redirects ALL input of that class to the grabbing window — the
+  // classic keylogger vector. Grabbed input still goes through the trusted
+  // input path: interaction notifications for the grabber obey the same
+  // visibility rules, so an invisible grab window harvests keystroke data
+  // but can never mint Overhaul permissions from them.
+  util::Status grab_keyboard(ClientId client, WindowId window);
+  util::Status ungrab_keyboard(ClientId client);
+  util::Status grab_pointer(ClientId client, WindowId window);
+  util::Status ungrab_pointer(ClientId client);
+  [[nodiscard]] WindowId keyboard_grab() const noexcept {
+    return keyboard_grab_;
+  }
+  [[nodiscard]] WindowId pointer_grab() const noexcept {
+    return pointer_grab_;
+  }
+
+  // --- Overhaul liaison ------------------------------------------------------------
+  // Ask the kernel permission monitor about `op` for the process behind
+  // `client`. Grant-by-default when Overhaul is disabled (baseline).
+  util::Decision ask_monitor(ClientId client, util::Op op,
+                             const std::string& detail);
+
+  // --- sub-managers -------------------------------------------------------------------
+  [[nodiscard]] SelectionManager& selections() noexcept { return selections_; }
+  [[nodiscard]] ScreenResources& screen() noexcept { return screen_; }
+  [[nodiscard]] AlertOverlay& alerts() noexcept { return alerts_; }
+  [[nodiscard]] PromptManager& prompts() noexcept { return prompts_; }
+  [[nodiscard]] AcgManager& acg() noexcept { return acg_; }
+  [[nodiscard]] AtomRegistry& atoms() noexcept { return atoms_; }
+
+  struct Stats {
+    std::uint64_t hardware_events = 0;
+    std::uint64_t synthetic_events = 0;
+    std::uint64_t interaction_notifications = 0;
+    std::uint64_t clickjack_suppressed = 0;  // hardware events w/o notification
+    std::uint64_t blocked_send_events = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // --- input trace -------------------------------------------------------------
+  // Bounded record of every delivered input event: what arrived, from which
+  // source, who received it, and whether it produced an interaction
+  // notification. Feeds the core::Timeline explainability view.
+  struct InputTraceEntry {
+    sim::Timestamp time;
+    EventType type = EventType::kKeyPress;
+    Provenance provenance = Provenance::kHardware;
+    kern::Pid receiver_pid = kern::kNoPid;
+    WindowId window = kNoWindow;
+    bool produced_notification = false;
+    bool clickjack_suppressed = false;
+  };
+  static constexpr std::size_t kInputTraceCapacity = 10'000;
+  [[nodiscard]] const std::deque<InputTraceEntry>& input_trace() const {
+    return input_trace_;
+  }
+
+ private:
+  friend class SelectionManager;
+  friend class ScreenResources;
+
+  // Deliver an input event to the owner of `win`, generating an interaction
+  // notification when the trusted-input checks pass.
+  void deliver_input(XEvent event, Window& win);
+
+  // Emit a StructureNotify-family event to every client selecting it.
+  void emit_structure_notify(WindowId window, EventType type);
+
+  // The clickjacking rule (§IV-A).
+  [[nodiscard]] bool passes_visibility_check(const Window& win) const;
+
+  kern::Kernel& kernel_;
+  XServerConfig config_;
+  kern::Pid pid_ = kern::kNoPid;
+  std::shared_ptr<kern::NetlinkChannel> channel_;
+
+  std::map<ClientId, std::unique_ptr<XClient>> clients_;
+  std::map<WindowId, std::unique_ptr<Window>> windows_;
+  std::vector<WindowId> stacking_;  // bottom → top
+  ClientId next_client_ = 1;
+  WindowId next_window_ = 2;  // 1 is the root window
+  WindowId focus_ = kNoWindow;
+  WindowId keyboard_grab_ = kNoWindow;
+  WindowId pointer_grab_ = kNoWindow;
+  std::map<std::pair<ClientId, WindowId>, std::uint32_t> event_masks_;
+
+  AlertOverlay alerts_;
+  SelectionManager selections_;
+  ScreenResources screen_;
+  PromptManager prompts_{*this};
+  AcgManager acg_{*this};
+  AtomRegistry atoms_;
+  Stats stats_;
+  std::deque<InputTraceEntry> input_trace_;
+};
+
+}  // namespace overhaul::x11

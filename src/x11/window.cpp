@@ -1,0 +1,5 @@
+#include "x11/window.h"
+
+namespace overhaul::x11 {
+// Header-only; anchors the translation unit.
+}  // namespace overhaul::x11

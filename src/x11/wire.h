@@ -1,0 +1,71 @@
+// Wire codec for the X11-like protocol.
+//
+// Real X11 events travel as fixed 32-byte records whose first byte carries
+// the event code — with the top bit set when the event was produced by
+// SendEvent. That bit is the "flag set that indicates that the event is
+// synthetic" the paper's trusted-input filter checks (§IV-A): it is part of
+// the wire format, so a client cannot ship a synthetic event without it.
+//
+// Strings (selection and property names) do not travel inline: X interns
+// them as atoms. AtomRegistry reproduces that, with the usual predefined
+// atoms below 100.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "x11/client.h"
+
+namespace overhaul::x11 {
+
+using Atom = std::uint32_t;
+inline constexpr Atom kAtomNone = 0;
+
+class AtomRegistry {
+ public:
+  AtomRegistry();
+
+  // InternAtom: existing name → its atom; new name → fresh atom.
+  Atom intern(const std::string& name);
+  // GetAtomName. kBadAtom for unknown atoms.
+  util::Result<std::string> name(Atom atom) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
+
+  // Predefined atoms (a subset of the X11 list).
+  static constexpr Atom kPrimary = 1;
+  static constexpr Atom kSecondary = 2;
+  static constexpr Atom kClipboard = 3;
+  static constexpr Atom kString = 31;
+  static constexpr Atom kIncr = 32;
+
+ private:
+  std::map<std::string, Atom> by_name_;
+  std::vector<std::string> names_;  // index = atom - kFirstDynamic
+  static constexpr Atom kFirstDynamic = 100;
+};
+
+namespace wire {
+
+inline constexpr std::size_t kEventSize = 32;
+using EventRecord = std::array<std::uint8_t, kEventSize>;
+
+// The wire synthetic bit (top bit of the event-code byte).
+inline constexpr std::uint8_t kSyntheticBit = 0x80;
+
+// Serialize an event. Selection/property strings are interned through
+// `atoms` (both sides of a connection share the server's registry).
+EventRecord encode_event(const XEvent& event, AtomRegistry& atoms);
+
+// Parse a record. Fails with kBadRequest on an unknown event code and
+// kBadAtom on an unknown atom.
+util::Result<XEvent> decode_event(const EventRecord& record,
+                                  const AtomRegistry& atoms);
+
+}  // namespace wire
+
+}  // namespace overhaul::x11

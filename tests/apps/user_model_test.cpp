@@ -1,0 +1,100 @@
+#include "apps/user_model.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::apps {
+namespace {
+
+TEST(ThinkTimeModel, SamplesArePositiveAndPlausible) {
+  ThinkTimeModel model;
+  util::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto d = model.sample(rng);
+    EXPECT_GT(d.ns, 0);
+    EXPECT_LT(d.to_seconds(), 10.0);  // no absurd tail
+  }
+}
+
+TEST(ThinkTimeModel, MostSamplesUnderTwoSecondsFewUnderQuarter) {
+  // The calibration target: δ=2s catches nearly everything; δ=0.25s does
+  // not (§IV-B's empirical observation, bench_ablation_delta's curve).
+  ThinkTimeModel model;
+  util::Rng rng(2);
+  const int n = 20'000;
+  int under_2s = 0, under_250ms = 0;
+  for (int i = 0; i < n; ++i) {
+    const double s = model.sample(rng).to_seconds();
+    under_2s += s < 2.0;
+    under_250ms += s < 0.25;
+  }
+  EXPECT_GT(static_cast<double>(under_2s) / n, 0.99);
+  EXPECT_LT(static_cast<double>(under_250ms) / n, 0.75);
+}
+
+TEST(DiurnalSchedule, WorkAndEveningHoursActive) {
+  DiurnalSchedule sched;
+  const auto at_hour = [](int h) {
+    return sim::Timestamp{sim::Duration::hours(h).ns};
+  };
+  EXPECT_FALSE(sched.active_at(at_hour(3)));
+  EXPECT_FALSE(sched.active_at(at_hour(8)));
+  EXPECT_TRUE(sched.active_at(at_hour(9)));
+  EXPECT_TRUE(sched.active_at(at_hour(13)));
+  EXPECT_FALSE(sched.active_at(at_hour(17)));
+  EXPECT_FALSE(sched.active_at(at_hour(19)));
+  EXPECT_TRUE(sched.active_at(at_hour(21)));
+  EXPECT_FALSE(sched.active_at(at_hour(23)));
+}
+
+TEST(DiurnalSchedule, WrapsAcrossDays) {
+  DiurnalSchedule sched;
+  const sim::Timestamp day5_noon{sim::Duration::days(5).ns +
+                                 sim::Duration::hours(12).ns};
+  EXPECT_TRUE(sched.active_at(day5_noon));
+  const sim::Timestamp day5_4am{sim::Duration::days(5).ns +
+                                sim::Duration::hours(4).ns};
+  EXPECT_FALSE(sched.active_at(day5_4am));
+}
+
+TEST(DiurnalSchedule, GapsShorterWhileActive) {
+  DiurnalSchedule sched;
+  util::Rng rng(3);
+  const sim::Timestamp noon{sim::Duration::hours(12).ns};
+  const sim::Timestamp night{sim::Duration::hours(3).ns};
+  double active_sum = 0, idle_sum = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    active_sum += sched.next_gap(noon, rng).to_seconds();
+    idle_sum += sched.next_gap(night, rng).to_seconds();
+  }
+  EXPECT_LT(active_sum / 1'000, 300.0);
+  EXPECT_GT(idle_sum / 1'000, 300.0);
+}
+
+TEST(AttentionModel, PopulationMatchesPaperSplit) {
+  AttentionModel model;
+  util::Rng rng(46);
+  const int n = 100'000;
+  int immediate = 0, prompted = 0, missed = 0;
+  for (int i = 0; i < n; ++i) {
+    switch (model.sample(rng)) {
+      case AlertReaction::kInterruptsImmediately: ++immediate; break;
+      case AlertReaction::kReportsWhenPrompted: ++prompted; break;
+      case AlertReaction::kMissesAlert: ++missed; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(immediate) / n, 24.0 / 46.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(prompted) / n, 16.0 / 46.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(missed) / n, 6.0 / 46.0, 0.01);
+}
+
+TEST(AttentionModel, Deterministic) {
+  AttentionModel model;
+  util::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(static_cast<int>(model.sample(a)),
+              static_cast<int>(model.sample(b)));
+  }
+}
+
+}  // namespace
+}  // namespace overhaul::apps

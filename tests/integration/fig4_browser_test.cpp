@@ -1,0 +1,111 @@
+// Figure 4: a multi-process browser commands a tab to start the camera via
+// shared-memory IPC — P2 (IPC propagation through the page-fault
+// interposition) carries the interaction record from Browser to Tab.
+#include <gtest/gtest.h>
+
+#include "apps/browser.h"
+#include "core/system.h"
+
+namespace overhaul {
+namespace {
+
+using util::Code;
+
+class Fig4Test : public ::testing::Test {
+ protected:
+  core::OverhaulSystem sys_;
+};
+
+TEST_F(Fig4Test, TabCameraGrantedViaShmPropagation) {
+  auto browser = apps::MultiProcessBrowser::launch(sys_).value();
+  auto tab = browser->open_tab().value();
+
+  // Tab opened long ago; its fork-time inherited stamp (if any) is expired.
+  sys_.advance(sim::Duration::seconds(30));
+
+  // (1) user clicks the browser's "start video conference" button.
+  auto [cx, cy] = browser->click_point();
+  sys_.input().click(cx, cy);
+  // (4) browser → shm command; (5) tab polls, opens the camera.
+  ASSERT_TRUE(browser->command_start_camera(tab).is_ok());
+  sys_.advance(sim::Duration::millis(20));
+  auto s = browser->tab_poll_and_run(tab);
+  EXPECT_TRUE(s.is_ok()) << s.to_string();
+}
+
+TEST_F(Fig4Test, TabDeniedWithoutUserClick) {
+  auto browser = apps::MultiProcessBrowser::launch(sys_).value();
+  auto tab = browser->open_tab().value();
+  sys_.advance(sim::Duration::seconds(30));
+  // A page script triggers the camera without any user interaction.
+  ASSERT_TRUE(browser->command_start_camera(tab).is_ok());
+  auto s = browser->tab_poll_and_run(tab);
+  EXPECT_EQ(s.code(), Code::kOverhaulDenied);
+}
+
+TEST_F(Fig4Test, StaleClickDenied) {
+  auto browser = apps::MultiProcessBrowser::launch(sys_).value();
+  auto tab = browser->open_tab().value();
+  sys_.advance(sim::Duration::seconds(30));
+  auto [cx, cy] = browser->click_point();
+  sys_.input().click(cx, cy);
+  ASSERT_TRUE(browser->command_start_camera(tab).is_ok());
+  sys_.advance(sys_.config().delta + sim::Duration::millis(1));
+  EXPECT_EQ(browser->tab_poll_and_run(tab).code(), Code::kOverhaulDenied);
+}
+
+TEST_F(Fig4Test, MultipleTabsIndependent) {
+  auto browser = apps::MultiProcessBrowser::launch(sys_).value();
+  auto tab1 = browser->open_tab().value();
+  auto tab2 = browser->open_tab().value();
+  sys_.advance(sim::Duration::seconds(30));
+
+  auto [cx, cy] = browser->click_point();
+  sys_.input().click(cx, cy);
+  ASSERT_TRUE(browser->command_start_camera(tab1).is_ok());
+  ASSERT_TRUE(browser->tab_poll_and_run(tab1).is_ok());
+
+  // tab2 received no command and no propagation: still denied directly.
+  auto& k = sys_.kernel();
+  auto fd = k.sys_open(browser->tab(tab2).pid,
+                       core::OverhaulSystem::camera_path(),
+                       kern::OpenFlags::kRead);
+  EXPECT_EQ(fd.code(), Code::kOverhaulDenied);
+}
+
+TEST_F(Fig4Test, ShmWindowMissThenRearmStillWorksForSlowPolls) {
+  // If the tab polls *within* the 500 ms disarmed window of a pre-click
+  // write, the click stamp is missed — but a later poll after re-arm gets
+  // it. This documents the paper's trade-off precisely.
+  auto browser = apps::MultiProcessBrowser::launch(sys_).value();
+  auto tab = browser->open_tab().value();
+  sys_.advance(sim::Duration::seconds(30));
+
+  // Pre-click write disarms the browser-side mapping.
+  ASSERT_TRUE(browser->command_start_camera(tab).is_ok());
+  // Click arrives.
+  auto [cx, cy] = browser->click_point();
+  sys_.input().click(cx, cy);
+  // Browser writes again immediately (inside its disarmed window): the shm
+  // stamp is NOT refreshed by this write.
+  ASSERT_TRUE(browser->command_start_camera(tab).is_ok());
+  const auto stamp_before = browser->tab(tab).channel->stamp();
+  EXPECT_LT(stamp_before.ns, sys_.clock().now().ns);
+
+  // After the re-arm window, the next write faults and carries the stamp.
+  sys_.advance(sim::Duration::millis(500));
+  ASSERT_TRUE(browser->command_start_camera(tab).is_ok());
+  EXPECT_GT(browser->tab(tab).channel->stamp().ns, stamp_before.ns);
+}
+
+TEST_F(Fig4Test, BaselineTabAlwaysGranted) {
+  core::OverhaulSystem base(core::OverhaulConfig::baseline());
+  auto browser = apps::MultiProcessBrowser::launch(base).value();
+  auto tab = browser->open_tab().value();
+  base.advance(sim::Duration::seconds(30));
+  ASSERT_TRUE(browser->command_start_camera(tab).is_ok());
+  EXPECT_TRUE(browser->tab_poll_and_run(tab).is_ok());
+}
+
+}  // namespace
+}  // namespace overhaul

@@ -1,0 +1,95 @@
+#include "kern/devices.h"
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.h"
+#include "kern/udev.h"
+
+namespace overhaul::kern {
+namespace {
+
+TEST(DeviceRegistry, AddAndFind) {
+  DeviceRegistry reg;
+  const DeviceId mic = reg.add(DeviceClass::kMicrophone, "usb mic");
+  const DeviceId nul = reg.add(DeviceClass::kHarmless, "null");
+  ASSERT_NE(reg.find(mic), nullptr);
+  EXPECT_TRUE(reg.find(mic)->sensitive());
+  EXPECT_FALSE(reg.find(nul)->sensitive());
+  EXPECT_EQ(reg.find(999), nullptr);
+}
+
+TEST(DeviceRegistry, PathMapLifecycle) {
+  DeviceRegistry reg;
+  const DeviceId cam = reg.add(DeviceClass::kCamera, "cam");
+  reg.map_path("/dev/video0", cam);
+  EXPECT_EQ(reg.device_at("/dev/video0"), cam);
+  reg.unmap_path("/dev/video0");
+  EXPECT_FALSE(reg.device_at("/dev/video0").has_value());
+}
+
+TEST(DeviceRegistry, OpForDeviceClasses) {
+  EXPECT_EQ(op_for_device(DeviceClass::kMicrophone), util::Op::kMicrophone);
+  EXPECT_EQ(op_for_device(DeviceClass::kCamera), util::Op::kCamera);
+  EXPECT_EQ(op_for_device(DeviceClass::kSensor), util::Op::kDeviceOther);
+}
+
+class UdevTest : public ::testing::Test {
+ protected:
+  UdevTest() : kernel_(clock_) {}
+  sim::Clock clock_;
+  Kernel kernel_;
+};
+
+TEST_F(UdevTest, HelperMapsSensitiveNodesOnColdplug) {
+  // Install devices before the helper starts → coldplug must map them.
+  auto mic = kernel_.install_device(DeviceClass::kMicrophone, "mic",
+                                    "/dev/snd/mic0");
+  ASSERT_TRUE(mic.is_ok());
+  ASSERT_TRUE(kernel_.start_udev_helper().is_ok());
+  EXPECT_EQ(kernel_.devices().device_at("/dev/snd/mic0"), mic.value());
+}
+
+TEST_F(UdevTest, HelperTracksHotplugAndRename) {
+  ASSERT_TRUE(kernel_.start_udev_helper().is_ok());
+  auto cam =
+      kernel_.install_device(DeviceClass::kCamera, "cam", "/dev/video7");
+  ASSERT_TRUE(cam.is_ok());
+  EXPECT_EQ(kernel_.devices().device_at("/dev/video7"), cam.value());
+
+  // udev-style rename: old mapping removed, new one added.
+  ASSERT_TRUE(kernel_.vfs().rename("/dev/video7", "/dev/video0").is_ok());
+  EXPECT_FALSE(kernel_.devices().device_at("/dev/video7").has_value());
+  EXPECT_EQ(kernel_.devices().device_at("/dev/video0"), cam.value());
+}
+
+TEST_F(UdevTest, HarmlessDevicesNotMapped) {
+  ASSERT_TRUE(kernel_.start_udev_helper().is_ok());
+  ASSERT_TRUE(kernel_.install_device(DeviceClass::kHarmless, "null",
+                                     "/dev/null").is_ok());
+  EXPECT_FALSE(kernel_.devices().device_at("/dev/null").has_value());
+}
+
+TEST_F(UdevTest, HelperRemovalUnmaps) {
+  ASSERT_TRUE(kernel_.start_udev_helper().is_ok());
+  auto cam = kernel_.install_device(DeviceClass::kCamera, "cam", "/dev/video1");
+  ASSERT_TRUE(cam.is_ok());
+  ASSERT_TRUE(kernel_.vfs().unlink("/dev/video1").is_ok());
+  EXPECT_FALSE(kernel_.devices().device_at("/dev/video1").has_value());
+}
+
+TEST_F(UdevTest, DoubleStartRejected) {
+  ASSERT_TRUE(kernel_.start_udev_helper().is_ok());
+  EXPECT_EQ(kernel_.start_udev_helper().code(), util::Code::kExists);
+}
+
+TEST_F(UdevTest, UnauthorizedHelperUpdatesRejected) {
+  // An impostor helper (wrong exe path) cannot push device-map updates —
+  // its channel connect fails outright.
+  auto impostor = kernel_.sys_spawn(1, "/home/user/fake-helper", "udevd");
+  ASSERT_TRUE(impostor.is_ok());
+  auto ch = kernel_.netlink().connect(impostor.value());
+  EXPECT_EQ(ch.code(), util::Code::kNotAuthenticated);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

@@ -1,0 +1,111 @@
+// Unit tests for the P2 primitive itself (every IPC facility builds on it).
+#include "kern/ipc/ipc_object.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::kern {
+namespace {
+
+TEST(IpcObject, StartsExpired) {
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  EXPECT_TRUE(obj.stamp().is_never());
+}
+
+TEST(IpcObject, SendEmbedsFresherTimestampOnly) {
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  TaskStruct fresh{.pid = 1};
+  fresh.interaction_ts = sim::Timestamp{100};
+  obj.stamp_on_send(fresh);
+  EXPECT_EQ(obj.stamp().ns, 100);
+
+  TaskStruct stale{.pid = 2};
+  stale.interaction_ts = sim::Timestamp{50};
+  obj.stamp_on_send(stale);
+  EXPECT_EQ(obj.stamp().ns, 100);  // "unless ... a more recent timestamp"
+
+  TaskStruct fresher{.pid = 3};
+  fresher.interaction_ts = sim::Timestamp{200};
+  obj.stamp_on_send(fresher);
+  EXPECT_EQ(obj.stamp().ns, 200);
+}
+
+TEST(IpcObject, ReceiveAdoptsOnlyForward) {
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  TaskStruct sender{.pid = 1};
+  sender.interaction_ts = sim::Timestamp{100};
+  obj.stamp_on_send(sender);
+
+  TaskStruct receiver{.pid = 2};
+  obj.propagate_on_recv(receiver);
+  EXPECT_EQ(receiver.interaction_ts.ns, 100);
+
+  // A receiver with a fresher own record keeps it.
+  TaskStruct ahead{.pid = 3};
+  ahead.interaction_ts = sim::Timestamp{500};
+  obj.propagate_on_recv(ahead);
+  EXPECT_EQ(ahead.interaction_ts.ns, 500);
+}
+
+TEST(IpcObject, NeverSenderDoesNotPoisonReceiver) {
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  TaskStruct never_sender{.pid = 1};
+  obj.stamp_on_send(never_sender);
+  TaskStruct receiver{.pid = 2};
+  receiver.interaction_ts = sim::Timestamp{42};
+  obj.propagate_on_recv(receiver);
+  EXPECT_EQ(receiver.interaction_ts.ns, 42);
+}
+
+TEST(IpcObject, PolicyOffDisablesEverything) {
+  IpcPolicy policy{false};
+  IpcObject obj(policy);
+  TaskStruct sender{.pid = 1};
+  sender.interaction_ts = sim::Timestamp{100};
+  obj.stamp_on_send(sender);
+  EXPECT_TRUE(obj.stamp().is_never());
+  TaskStruct receiver{.pid = 2};
+  obj.propagate_on_recv(receiver);
+  EXPECT_TRUE(receiver.interaction_ts.is_never());
+}
+
+TEST(IpcObject, PolicyFlipAtRuntimeRespected) {
+  // The policy struct is shared by reference: flipping it (what a mode
+  // switch would do) takes effect immediately on existing channels.
+  IpcPolicy policy{false};
+  IpcObject obj(policy);
+  TaskStruct sender{.pid = 1};
+  sender.interaction_ts = sim::Timestamp{100};
+  obj.stamp_on_send(sender);
+  EXPECT_TRUE(obj.stamp().is_never());
+  policy.propagate = true;
+  obj.stamp_on_send(sender);
+  EXPECT_EQ(obj.stamp().ns, 100);
+}
+
+TEST(IpcObject, ResetReturnsToExpired) {
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  TaskStruct sender{.pid = 1};
+  sender.interaction_ts = sim::Timestamp{100};
+  obj.stamp_on_send(sender);
+  obj.reset_stamp();
+  EXPECT_TRUE(obj.stamp().is_never());
+}
+
+TEST(IpcObject, CountersTrackCalls) {
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  TaskStruct t{.pid = 1};
+  obj.stamp_on_send(t);
+  obj.stamp_on_send(t);
+  obj.propagate_on_recv(t);
+  EXPECT_EQ(obj.send_stamps(), 2u);
+  EXPECT_EQ(obj.recv_adoptions(), 1u);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

@@ -1,0 +1,111 @@
+#include "kern/ipc/unix_socket.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::kern {
+namespace {
+
+using util::Code;
+
+class UnixSocketTest : public ::testing::Test {
+ protected:
+  IpcPolicy policy_{true};
+  TaskStruct client_{.pid = 1, .comm = "client"};
+  TaskStruct server_{.pid = 2, .comm = "server"};
+};
+
+TEST_F(UnixSocketTest, RoundTripBothDirections) {
+  auto [a, b] = UnixSocketPair::make(policy_);
+  ASSERT_TRUE(a.send(client_, "ping").is_ok());
+  EXPECT_EQ(b.receive(server_).value(), "ping");
+  ASSERT_TRUE(b.send(server_, "pong").is_ok());
+  EXPECT_EQ(a.receive(client_).value(), "pong");
+}
+
+TEST_F(UnixSocketTest, MessagesQueueInOrder) {
+  auto [a, b] = UnixSocketPair::make(policy_);
+  ASSERT_TRUE(a.send(client_, "1").is_ok());
+  ASSERT_TRUE(a.send(client_, "2").is_ok());
+  EXPECT_EQ(b.pending(), 2u);
+  EXPECT_EQ(b.receive(server_).value(), "1");
+  EXPECT_EQ(b.receive(server_).value(), "2");
+}
+
+TEST_F(UnixSocketTest, EmptyReceiveWouldBlock) {
+  auto [a, b] = UnixSocketPair::make(policy_);
+  (void)a;
+  EXPECT_EQ(b.receive(server_).code(), Code::kWouldBlock);
+}
+
+TEST_F(UnixSocketTest, PeerCloseSemantics) {
+  auto [a, b] = UnixSocketPair::make(policy_);
+  ASSERT_TRUE(a.send(client_, "last").is_ok());
+  a.close();
+  EXPECT_TRUE(b.peer_closed());
+  EXPECT_EQ(b.receive(server_).value(), "last");  // drain queued data
+  EXPECT_EQ(b.receive(server_).value(), "");      // then EOF
+  EXPECT_EQ(b.send(server_, "x").code(), Code::kBrokenChannel);
+}
+
+// P2 across the socket: directional stamps.
+TEST_F(UnixSocketTest, TimestampPropagatesSenderToReceiver) {
+  auto [a, b] = UnixSocketPair::make(policy_);
+  client_.interaction_ts = sim::Timestamp{88};
+  ASSERT_TRUE(a.send(client_, "m").is_ok());
+  ASSERT_TRUE(b.receive(server_).is_ok());
+  EXPECT_EQ(server_.interaction_ts.ns, 88);
+}
+
+TEST_F(UnixSocketTest, DirectionsCarryIndependentStamps) {
+  auto [a, b] = UnixSocketPair::make(policy_);
+  client_.interaction_ts = sim::Timestamp{88};
+  ASSERT_TRUE(a.send(client_, "m").is_ok());
+  // The *client→server* direction is stamped; a receive on the client side
+  // (server→client direction) must not expose that stamp.
+  TaskStruct other_client{.pid = 3};
+  ASSERT_TRUE(b.send(server_, "reply").is_ok());  // server never interacted
+  ASSERT_TRUE(a.receive(other_client).is_ok());
+  EXPECT_TRUE(other_client.interaction_ts.is_never());
+}
+
+TEST_F(UnixSocketTest, NamespaceBindConnect) {
+  UnixSocketNamespace ns(policy_);
+  EXPECT_EQ(ns.connect("/run/dbus.sock").code(), Code::kNotFound);
+  ASSERT_TRUE(ns.bind("/run/dbus.sock").is_ok());
+  EXPECT_EQ(ns.bind("/run/dbus.sock").code(), Code::kExists);
+  auto pair = ns.connect("/run/dbus.sock");
+  ASSERT_TRUE(pair.is_ok());
+  auto [c, s] = std::move(pair).value();
+  ASSERT_TRUE(c.send(client_, "hello").is_ok());
+  EXPECT_EQ(s.receive(server_).value(), "hello");
+  ASSERT_TRUE(ns.unbind("/run/dbus.sock").is_ok());
+  EXPECT_FALSE(ns.bound("/run/dbus.sock"));
+}
+
+// D-Bus style: a chain of processes over sockets propagates transitively.
+TEST_F(UnixSocketTest, TransitivePropagationThroughDaemon) {
+  auto [app, bus_in] = UnixSocketPair::make(policy_);
+  auto [bus_out, svc] = UnixSocketPair::make(policy_);
+  TaskStruct bus{.pid = 10, .comm = "dbus-daemon"};
+  TaskStruct service{.pid = 11, .comm = "service"};
+
+  client_.interaction_ts = sim::Timestamp{500};
+  ASSERT_TRUE(app.send(client_, "MethodCall").is_ok());
+  ASSERT_TRUE(bus_in.receive(bus).is_ok());      // bus adopts 500
+  EXPECT_EQ(bus.interaction_ts.ns, 500);
+  ASSERT_TRUE(bus_out.send(bus, "MethodCall").is_ok());
+  ASSERT_TRUE(svc.receive(service).is_ok());     // service adopts 500
+  EXPECT_EQ(service.interaction_ts.ns, 500);
+}
+
+TEST_F(UnixSocketTest, BaselineNoPropagation) {
+  IpcPolicy off{false};
+  auto [a, b] = UnixSocketPair::make(off);
+  client_.interaction_ts = sim::Timestamp{88};
+  ASSERT_TRUE(a.send(client_, "m").is_ok());
+  ASSERT_TRUE(b.receive(server_).is_ok());
+  EXPECT_TRUE(server_.interaction_ts.is_never());
+}
+
+}  // namespace
+}  // namespace overhaul::kern

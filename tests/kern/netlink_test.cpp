@@ -1,0 +1,169 @@
+#include "kern/netlink.h"
+
+#include <gtest/gtest.h>
+
+#include "kern/kernel.h"
+#include "kern/udev.h"
+
+namespace overhaul::kern {
+namespace {
+
+using util::Code;
+using util::Decision;
+using util::Op;
+
+class NetlinkTest : public ::testing::Test {
+ protected:
+  NetlinkTest() : kernel_(clock_) {
+    xorg_pid_ =
+        kernel_.sys_spawn(1, "/usr/lib/xorg/Xorg", "Xorg").value();
+  }
+
+  sim::Clock clock_;
+  Kernel kernel_;
+  Pid xorg_pid_ = kNoPid;
+};
+
+TEST_F(NetlinkTest, AuthorizedExeConnects) {
+  auto ch = kernel_.netlink().connect(xorg_pid_);
+  ASSERT_TRUE(ch.is_ok());
+  EXPECT_EQ(ch.value()->role(), NetlinkRole::kDisplayManager);
+  EXPECT_EQ(ch.value()->peer(), xorg_pid_);
+}
+
+TEST_F(NetlinkTest, UnauthorizedExeRejected) {
+  auto mallory = kernel_.sys_spawn(1, "/home/user/fakexorg", "Xorg").value();
+  auto ch = kernel_.netlink().connect(mallory);
+  EXPECT_EQ(ch.code(), Code::kNotAuthenticated);
+}
+
+TEST_F(NetlinkTest, NonRootOwnedBinaryRejected) {
+  // A user-owned file at an authorized-looking path fails the introspection
+  // ownership check. Plant a user-owned binary and authorize its path.
+  auto pid = kernel_.sys_spawn(1, "/tmp/Xorg", "Xorg").value();
+  TaskStruct fake_owner{.pid = 50, .uid = 1000, .comm = "u"};
+  ASSERT_TRUE(
+      kernel_.vfs().open(fake_owner, "/tmp/Xorg", OpenFlags::kCreate).is_ok());
+  kernel_.netlink().authorize("/tmp/Xorg", NetlinkRole::kDisplayManager);
+  auto ch = kernel_.netlink().connect(pid);
+  EXPECT_EQ(ch.code(), Code::kNotAuthenticated);
+}
+
+TEST_F(NetlinkTest, DeadPidRejected) {
+  ASSERT_TRUE(kernel_.sys_exit(xorg_pid_).is_ok());
+  EXPECT_EQ(kernel_.netlink().connect(xorg_pid_).code(), Code::kNotFound);
+}
+
+TEST_F(NetlinkTest, InteractionNotificationReachesMonitor) {
+  auto ch = kernel_.netlink().connect(xorg_pid_).value();
+  auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  clock_.advance(sim::Duration::seconds(1));
+  ASSERT_TRUE(ch->send_interaction({app, clock_.now()}).is_ok());
+  EXPECT_EQ(kernel_.processes().lookup(app)->interaction_ts, clock_.now());
+}
+
+TEST_F(NetlinkTest, QueryRoundTrip) {
+  auto ch = kernel_.netlink().connect(xorg_pid_).value();
+  auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  ASSERT_TRUE(ch->send_interaction({app, clock_.now()}).is_ok());
+  auto reply = ch->query_permission({app, Op::kPaste, clock_.now(), "q"});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().decision, Decision::kGrant);
+
+  clock_.advance(sim::Duration::seconds(10));
+  reply = ch->query_permission({app, Op::kPaste, clock_.now(), "q"});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().decision, Decision::kDeny);
+}
+
+TEST_F(NetlinkTest, DeviceUpdateRequiresHelperRole) {
+  auto ch = kernel_.netlink().connect(xorg_pid_).value();
+  DeviceMapUpdate update{true, "/dev/evil", 1};
+  EXPECT_EQ(ch->send_device_update(update).code(), Code::kPermissionDenied);
+}
+
+TEST_F(NetlinkTest, HelperRoleCannotSendInteractions) {
+  auto helper_pid =
+      kernel_.sys_spawn(1, kUdevHelperExe, "udev-helper").value();
+  auto ch = kernel_.netlink().connect(helper_pid).value();
+  EXPECT_EQ(ch->role(), NetlinkRole::kDeviceHelper);
+  EXPECT_EQ(ch->send_interaction({1, clock_.now()}).code(),
+            Code::kPermissionDenied);
+  EXPECT_EQ(ch->query_permission({1, Op::kPaste, clock_.now(), ""}).code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(NetlinkTest, HelperDeviceUpdateAppliesToKernelMap) {
+  auto helper_pid =
+      kernel_.sys_spawn(1, kUdevHelperExe, "udev-helper").value();
+  auto ch = kernel_.netlink().connect(helper_pid).value();
+  const DeviceId dev = kernel_.devices().add(DeviceClass::kCamera, "cam");
+  ASSERT_TRUE(ch->send_device_update({true, "/dev/video5", dev}).is_ok());
+  EXPECT_EQ(kernel_.devices().device_at("/dev/video5"), dev);
+  ASSERT_TRUE(ch->send_device_update({false, "/dev/video5", dev}).is_ok());
+  EXPECT_FALSE(kernel_.devices().device_at("/dev/video5").has_value());
+}
+
+TEST_F(NetlinkTest, AlertRoutedToDisplayManagerChannels) {
+  auto ch = kernel_.netlink().connect(xorg_pid_).value();
+  std::vector<AlertRequest> received;
+  ch->set_alert_handler(
+      [&](const AlertRequest& a) { received.push_back(a); });
+
+  auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  // A denied mic check fires V_{A,mic}.
+  (void)kernel_.monitor().check_now(app, Op::kMicrophone, "mic");
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].pid, app);
+  EXPECT_EQ(received[0].comm, "app");
+  EXPECT_EQ(received[0].decision, Decision::kDeny);
+  EXPECT_EQ(ch->stats().alerts_received, 1u);
+}
+
+TEST_F(NetlinkTest, DeadChannelsDropped) {
+  auto ch = kernel_.netlink().connect(xorg_pid_).value();
+  int received = 0;
+  ch->set_alert_handler([&](const AlertRequest&) { ++received; });
+  ASSERT_TRUE(kernel_.sys_exit(xorg_pid_).is_ok());
+  auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  (void)kernel_.monitor().check_now(app, Op::kMicrophone, "mic");
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetlinkTest, DeadPeerChannelRejectsAllTraffic) {
+  auto ch = kernel_.netlink().connect(xorg_pid_).value();
+  auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  ASSERT_TRUE(kernel_.sys_exit(xorg_pid_).is_ok());
+  EXPECT_EQ(ch->send_interaction({app, clock_.now()}).code(),
+            Code::kBrokenChannel);
+  EXPECT_EQ(
+      ch->query_permission({app, Op::kPaste, clock_.now(), ""}).code(),
+      Code::kBrokenChannel);
+}
+
+TEST_F(NetlinkTest, TwoDisplayManagerChannelsBothReceiveAlerts) {
+  // E.g. during an X server handover both ends may briefly hold channels.
+  auto ch1 = kernel_.netlink().connect(xorg_pid_).value();
+  auto xorg2 = kernel_.sys_spawn(1, "/usr/lib/xorg/Xorg", "Xorg").value();
+  auto ch2 = kernel_.netlink().connect(xorg2).value();
+  int got1 = 0, got2 = 0;
+  ch1->set_alert_handler([&](const AlertRequest&) { ++got1; });
+  ch2->set_alert_handler([&](const AlertRequest&) { ++got2; });
+  auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  (void)kernel_.monitor().check_now(app, Op::kCamera, "cam");
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+}
+
+TEST_F(NetlinkTest, ChannelStatsCount) {
+  auto ch = kernel_.netlink().connect(xorg_pid_).value();
+  auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  (void)ch->send_interaction({app, clock_.now()});
+  (void)ch->send_interaction({app, clock_.now()});
+  (void)ch->query_permission({app, Op::kCopy, clock_.now(), ""});
+  EXPECT_EQ(ch->stats().interactions_sent, 2u);
+  EXPECT_EQ(ch->stats().queries_sent, 1u);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

@@ -1,0 +1,182 @@
+#include "kern/permission_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::kern {
+namespace {
+
+using util::Decision;
+using util::Op;
+
+class PermissionMonitorTest : public ::testing::Test {
+ protected:
+  PermissionMonitorTest() : monitor_(processes_, clock_, audit_) {
+    app_ = processes_.fork(1).value();
+    processes_.lookup(app_)->comm = "app";
+  }
+
+  sim::Timestamp now() const { return clock_.now(); }
+
+  ProcessTable processes_;
+  sim::Clock clock_;
+  util::AuditLog audit_;
+  PermissionMonitor monitor_;
+  Pid app_ = kNoPid;
+};
+
+TEST_F(PermissionMonitorTest, DeniesWithoutAnyInteraction) {
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"), Decision::kDeny);
+}
+
+TEST_F(PermissionMonitorTest, GrantsWithinThreshold) {
+  clock_.advance(sim::Duration::seconds(10));
+  monitor_.record_interaction(app_, now());
+  clock_.advance(sim::Duration::millis(500));
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"),
+            Decision::kGrant);
+}
+
+TEST_F(PermissionMonitorTest, DeniesAfterThresholdExpires) {
+  monitor_.record_interaction(app_, now());
+  clock_.advance(sim::Duration::seconds(2));  // exactly δ: expired (n < δ)
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"), Decision::kDeny);
+}
+
+TEST_F(PermissionMonitorTest, GrantJustInsideThreshold) {
+  monitor_.record_interaction(app_, now());
+  clock_.advance(sim::Duration::seconds(2) - sim::Duration::nanos(1));
+  EXPECT_EQ(monitor_.check_now(app_, Op::kCamera, "cam"), Decision::kGrant);
+}
+
+TEST_F(PermissionMonitorTest, ThresholdConfigurable) {
+  monitor_.set_threshold(sim::Duration::millis(100));
+  monitor_.record_interaction(app_, now());
+  clock_.advance(sim::Duration::millis(150));
+  EXPECT_EQ(monitor_.check_now(app_, Op::kCamera, "cam"), Decision::kDeny);
+  monitor_.set_threshold(sim::Duration::seconds(1));
+  EXPECT_EQ(monitor_.check_now(app_, Op::kCamera, "cam"), Decision::kGrant);
+}
+
+TEST_F(PermissionMonitorTest, InteractionOnlyMovesForward) {
+  clock_.advance(sim::Duration::seconds(5));
+  monitor_.record_interaction(app_, now());
+  // A stale (replayed) notification cannot regress the record.
+  monitor_.record_interaction(app_, sim::Timestamp{0});
+  clock_.advance(sim::Duration::seconds(1));
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"),
+            Decision::kGrant);
+}
+
+TEST_F(PermissionMonitorTest, UnknownPidDenied) {
+  EXPECT_EQ(monitor_.check_now(9999, Op::kCamera, "cam"), Decision::kDeny);
+  EXPECT_FALSE(monitor_.record_interaction(9999, now()));
+}
+
+TEST_F(PermissionMonitorTest, DeadProcessDenied) {
+  monitor_.record_interaction(app_, now());
+  ASSERT_TRUE(processes_.exit(app_).is_ok());
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"), Decision::kDeny);
+}
+
+TEST_F(PermissionMonitorTest, TracedProcessDeniedWhenHardeningOn) {
+  monitor_.record_interaction(app_, now());
+  processes_.lookup(app_)->traced_by = 1;
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"), Decision::kDeny);
+  EXPECT_EQ(monitor_.stats().ptrace_denials, 1u);
+}
+
+TEST_F(PermissionMonitorTest, TracedProcessGrantedWhenHardeningOff) {
+  // The proc-node toggle for legitimate debugging (§IV-B).
+  monitor_.set_ptrace_protect(false);
+  monitor_.record_interaction(app_, now());
+  processes_.lookup(app_)->traced_by = 1;
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"),
+            Decision::kGrant);
+}
+
+TEST_F(PermissionMonitorTest, GrantAlwaysModeForcesGrant) {
+  monitor_.set_mode(MonitorMode::kGrantAlways);
+  EXPECT_EQ(monitor_.check_now(app_, Op::kMicrophone, "mic"),
+            Decision::kGrant);
+  EXPECT_EQ(monitor_.check_now(9999, Op::kMicrophone, "mic"),
+            Decision::kGrant);
+}
+
+TEST_F(PermissionMonitorTest, AuditRecordsDecisions) {
+  monitor_.record_interaction(app_, now());
+  (void)monitor_.check_now(app_, Op::kCamera, "/dev/video0");
+  clock_.advance(sim::Duration::seconds(5));
+  (void)monitor_.check_now(app_, Op::kCamera, "/dev/video0");
+  ASSERT_EQ(audit_.size(), 2u);
+  EXPECT_EQ(audit_.records()[0].decision, Decision::kGrant);
+  EXPECT_EQ(audit_.records()[1].decision, Decision::kDeny);
+  EXPECT_EQ(audit_.records()[0].comm, "app");
+  EXPECT_EQ(audit_.records()[0].detail, "/dev/video0");
+}
+
+TEST_F(PermissionMonitorTest, AuditCanBeSilenced) {
+  monitor_.set_audit_enabled(false);
+  (void)monitor_.check_now(app_, Op::kCamera, "cam");
+  EXPECT_EQ(audit_.size(), 0u);
+}
+
+TEST_F(PermissionMonitorTest, AlertsFireForHardwareOpsOnly) {
+  int alerts = 0;
+  util::Op last_op = Op::kCopy;
+  monitor_.set_alert_request_handler(
+      [&](Pid, util::Op op, Decision) { ++alerts; last_op = op; });
+  monitor_.record_interaction(app_, now());
+  (void)monitor_.check_now(app_, Op::kMicrophone, "mic");
+  EXPECT_EQ(alerts, 1);
+  EXPECT_EQ(last_op, Op::kMicrophone);
+  // Clipboard ops are logged but never alerted (§V-C usability choice).
+  (void)monitor_.check_now(app_, Op::kCopy, "CLIPBOARD");
+  (void)monitor_.check_now(app_, Op::kPaste, "CLIPBOARD");
+  EXPECT_EQ(alerts, 1);
+}
+
+TEST_F(PermissionMonitorTest, AlertsFireOnDenialsToo) {
+  std::vector<Decision> seen;
+  monitor_.set_alert_request_handler(
+      [&](Pid, util::Op, Decision d) { seen.push_back(d); });
+  (void)monitor_.check_now(app_, Op::kCamera, "cam");  // denied
+  monitor_.record_interaction(app_, now());
+  (void)monitor_.check_now(app_, Op::kCamera, "cam");  // granted
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], Decision::kDeny);
+  EXPECT_EQ(seen[1], Decision::kGrant);
+}
+
+TEST_F(PermissionMonitorTest, NoAlertsInGrantAlwaysMode) {
+  // Benchmark mode must not spam the overlay.
+  int alerts = 0;
+  monitor_.set_alert_request_handler([&](Pid, util::Op, Decision) { ++alerts; });
+  monitor_.set_mode(MonitorMode::kGrantAlways);
+  (void)monitor_.check_now(app_, Op::kMicrophone, "mic");
+  EXPECT_EQ(alerts, 0);
+}
+
+TEST_F(PermissionMonitorTest, StatsAccumulate) {
+  monitor_.record_interaction(app_, now());
+  (void)monitor_.check_now(app_, Op::kMicrophone, "mic");
+  clock_.advance(sim::Duration::seconds(5));
+  (void)monitor_.check_now(app_, Op::kMicrophone, "mic");
+  const auto& s = monitor_.stats();
+  EXPECT_EQ(s.notifications, 1u);
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_EQ(s.grants, 1u);
+  EXPECT_EQ(s.denials, 1u);
+}
+
+// The op_time used for correlation is the one issued with the query, not
+// the wall clock at decision time (paper: "comparing a timestamp issued
+// together with the query with the stored interaction timestamp").
+TEST_F(PermissionMonitorTest, UsesQueryTimestampNotCurrentTime) {
+  monitor_.record_interaction(app_, now());
+  const sim::Timestamp op_time = now() + sim::Duration::millis(100);
+  clock_.advance(sim::Duration::seconds(30));  // long after
+  EXPECT_EQ(monitor_.check(app_, Op::kPaste, op_time, "q"), Decision::kGrant);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

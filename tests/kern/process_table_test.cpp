@@ -1,0 +1,158 @@
+#include "kern/process_table.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::kern {
+namespace {
+
+TEST(ProcessTable, InitExistsAsPidOne) {
+  ProcessTable pt;
+  ASSERT_NE(pt.lookup(1), nullptr);
+  EXPECT_EQ(pt.init_task().pid, 1);
+  EXPECT_EQ(pt.init_task().uid, kRootUid);
+  EXPECT_EQ(pt.init_task().exe_path, "/sbin/init");
+  EXPECT_EQ(pt.live_count(), 1u);
+}
+
+TEST(ProcessTable, ForkCopiesIdentity) {
+  ProcessTable pt;
+  pt.init_task().uid = 1000;
+  pt.init_task().comm = "launcher";
+  auto child = pt.fork(1);
+  ASSERT_TRUE(child.is_ok());
+  const TaskStruct* c = pt.lookup(child.value());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->ppid, 1);
+  EXPECT_EQ(c->uid, 1000);
+  EXPECT_EQ(c->comm, "launcher");
+  EXPECT_EQ(c->tgid, c->pid);
+}
+
+// P1: the paper's fork-propagation policy — the child task_struct copy
+// carries the parent's interaction timestamp.
+TEST(ProcessTable, ForkInheritsInteractionTimestamp) {
+  ProcessTable pt;
+  pt.init_task().interaction_ts = sim::Timestamp{123456789};
+  auto child = pt.fork(1);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(pt.lookup(child.value())->interaction_ts.ns, 123456789);
+}
+
+TEST(ProcessTable, ForkOfNeverInteractedStaysNever) {
+  ProcessTable pt;
+  auto child = pt.fork(1);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_TRUE(pt.lookup(child.value())->interaction_ts.is_never());
+}
+
+TEST(ProcessTable, ThreadSharesThreadGroup) {
+  ProcessTable pt;
+  auto leader = pt.fork(1);
+  ASSERT_TRUE(leader.is_ok());
+  auto thread = pt.spawn_thread(leader.value());
+  ASSERT_TRUE(thread.is_ok());
+  const TaskStruct* t = pt.lookup(thread.value());
+  EXPECT_EQ(t->tgid, leader.value());
+  EXPECT_NE(t->pid, leader.value());
+}
+
+TEST(ProcessTable, ThreadInheritsInteractionTimestamp) {
+  ProcessTable pt;
+  auto leader = pt.fork(1);
+  pt.lookup(leader.value())->interaction_ts = sim::Timestamp{777};
+  auto thread = pt.spawn_thread(leader.value());
+  EXPECT_EQ(pt.lookup(thread.value())->interaction_ts.ns, 777);
+}
+
+TEST(ProcessTable, ExecveReplacesImageKeepsTimestamp) {
+  ProcessTable pt;
+  auto child = pt.fork(1);
+  pt.lookup(child.value())->interaction_ts = sim::Timestamp{42};
+  ASSERT_TRUE(pt.execve(child.value(), "/usr/bin/shot", "shot").is_ok());
+  const TaskStruct* c = pt.lookup(child.value());
+  EXPECT_EQ(c->exe_path, "/usr/bin/shot");
+  EXPECT_EQ(c->comm, "shot");
+  EXPECT_EQ(c->interaction_ts.ns, 42);  // exec does not clear the record
+}
+
+TEST(ProcessTable, ExitMarksDeadAndKeepsTombstone) {
+  ProcessTable pt;
+  auto child = pt.fork(1);
+  ASSERT_TRUE(pt.exit(child.value()).is_ok());
+  EXPECT_EQ(pt.lookup_live(child.value()), nullptr);
+  ASSERT_NE(pt.lookup(child.value()), nullptr);
+  EXPECT_FALSE(pt.lookup(child.value())->alive);
+  EXPECT_EQ(pt.live_count(), 1u);
+}
+
+TEST(ProcessTable, ExitDetachesTracees) {
+  ProcessTable pt;
+  auto tracer = pt.fork(1);
+  auto tracee = pt.fork(tracer.value());
+  pt.lookup(tracee.value())->traced_by = tracer.value();
+  ASSERT_TRUE(pt.exit(tracer.value()).is_ok());
+  EXPECT_FALSE(pt.lookup(tracee.value())->is_traced());
+}
+
+TEST(ProcessTable, ForkOfDeadParentFails) {
+  ProcessTable pt;
+  auto child = pt.fork(1);
+  ASSERT_TRUE(pt.exit(child.value()).is_ok());
+  EXPECT_FALSE(pt.fork(child.value()).is_ok());
+}
+
+TEST(ProcessTable, IsDescendantTransitive) {
+  ProcessTable pt;
+  auto a = pt.fork(1);
+  auto b = pt.fork(a.value());
+  auto c = pt.fork(b.value());
+  EXPECT_TRUE(pt.is_descendant(a.value(), b.value()));
+  EXPECT_TRUE(pt.is_descendant(a.value(), c.value()));
+  EXPECT_TRUE(pt.is_descendant(1, c.value()));
+  EXPECT_FALSE(pt.is_descendant(b.value(), a.value()));
+  EXPECT_FALSE(pt.is_descendant(c.value(), a.value()));
+}
+
+TEST(ProcessTable, SiblingsAreNotDescendants) {
+  ProcessTable pt;
+  auto a = pt.fork(1);
+  auto b = pt.fork(1);
+  EXPECT_FALSE(pt.is_descendant(a.value(), b.value()));
+  EXPECT_FALSE(pt.is_descendant(b.value(), a.value()));
+}
+
+TEST(ProcessTable, FdTableSharedDescriptionsOnFork) {
+  ProcessTable pt;
+  class Dummy final : public FileDescription {
+   public:
+    [[nodiscard]] std::string describe() const override { return "dummy"; }
+  };
+  auto desc = std::make_shared<Dummy>();
+  const int fd = pt.init_task().install_fd(desc);
+  auto child = pt.fork(1);
+  EXPECT_EQ(pt.lookup(child.value())->fd(fd).get(), desc.get());
+}
+
+TEST(ProcessTable, ForEachLiveSkipsDead) {
+  ProcessTable pt;
+  auto a = pt.fork(1);
+  auto b = pt.fork(1);
+  (void)pt.exit(a.value());
+  int count = 0;
+  pt.for_each_live([&](TaskStruct&) { ++count; });
+  EXPECT_EQ(count, 2);  // init + b
+  (void)b;
+}
+
+TEST(TaskStruct, AdoptInteractionOnlyMovesForward) {
+  TaskStruct t;
+  t.adopt_interaction(sim::Timestamp{100});
+  EXPECT_EQ(t.interaction_ts.ns, 100);
+  t.adopt_interaction(sim::Timestamp{50});
+  EXPECT_EQ(t.interaction_ts.ns, 100);
+  t.adopt_interaction(sim::Timestamp{200});
+  EXPECT_EQ(t.interaction_ts.ns, 200);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

@@ -1,0 +1,87 @@
+#include "kern/ptrace.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::kern {
+namespace {
+
+using util::Code;
+
+class PtraceTest : public ::testing::Test {
+ protected:
+  PtraceTest() : mgr_(pt_) {
+    parent_ = pt_.fork(1).value();
+    pt_.lookup(parent_)->uid = 1000;
+    child_ = pt_.fork(parent_).value();
+    unrelated_ = pt_.fork(1).value();
+    pt_.lookup(unrelated_)->uid = 1000;
+  }
+
+  ProcessTable pt_;
+  PtraceManager mgr_;
+  Pid parent_ = kNoPid, child_ = kNoPid, unrelated_ = kNoPid;
+};
+
+TEST_F(PtraceTest, ParentMayAttachToChild) {
+  ASSERT_TRUE(mgr_.attach(parent_, child_).is_ok());
+  EXPECT_TRUE(pt_.lookup(child_)->is_traced());
+  EXPECT_EQ(pt_.lookup(child_)->traced_by, parent_);
+}
+
+TEST_F(PtraceTest, NonDescendantAttachDenied) {
+  // §IV-B: "do not allow attaching to processes that are not direct
+  // descendants" — even with identical credentials.
+  EXPECT_EQ(mgr_.attach(unrelated_, child_).code(), Code::kPermissionDenied);
+  EXPECT_EQ(mgr_.stats().denied_attaches, 1u);
+}
+
+TEST_F(PtraceTest, ChildCannotAttachToParent) {
+  EXPECT_EQ(mgr_.attach(child_, parent_).code(), Code::kPermissionDenied);
+}
+
+TEST_F(PtraceTest, RootMayAttachToAnything) {
+  auto roottask = pt_.fork(1).value();  // uid 0 inherited from init
+  ASSERT_TRUE(mgr_.attach(roottask, unrelated_).is_ok());
+}
+
+TEST_F(PtraceTest, UidMismatchDenied) {
+  auto grandchild = pt_.fork(child_).value();
+  pt_.lookup(grandchild)->uid = 2000;  // setuid-style divergence
+  EXPECT_EQ(mgr_.attach(parent_, grandchild).code(), Code::kPermissionDenied);
+}
+
+TEST_F(PtraceTest, CannotTraceSelf) {
+  EXPECT_EQ(mgr_.attach(parent_, parent_).code(), Code::kInvalidArgument);
+}
+
+TEST_F(PtraceTest, CannotDoubleAttach) {
+  ASSERT_TRUE(mgr_.attach(parent_, child_).is_ok());
+  auto second = pt_.fork(parent_).value();
+  (void)second;
+  EXPECT_EQ(mgr_.attach(parent_, child_).code(), Code::kBusy);
+}
+
+TEST_F(PtraceTest, DetachRestores) {
+  ASSERT_TRUE(mgr_.attach(parent_, child_).is_ok());
+  ASSERT_TRUE(mgr_.detach(parent_, child_).is_ok());
+  EXPECT_FALSE(pt_.lookup(child_)->is_traced());
+}
+
+TEST_F(PtraceTest, OnlyTracerMayDetach) {
+  ASSERT_TRUE(mgr_.attach(parent_, child_).is_ok());
+  EXPECT_EQ(mgr_.detach(unrelated_, child_).code(), Code::kPermissionDenied);
+}
+
+TEST_F(PtraceTest, PeekRequiresAttach) {
+  EXPECT_EQ(mgr_.peek_memory(parent_, child_).code(), Code::kPermissionDenied);
+  ASSERT_TRUE(mgr_.attach(parent_, child_).is_ok());
+  EXPECT_TRUE(mgr_.peek_memory(parent_, child_).is_ok());
+}
+
+TEST_F(PtraceTest, AttachToDeadProcessFails) {
+  ASSERT_TRUE(pt_.exit(child_).is_ok());
+  EXPECT_EQ(mgr_.attach(parent_, child_).code(), Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

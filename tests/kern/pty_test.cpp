@@ -1,0 +1,98 @@
+#include "kern/pty.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::kern {
+namespace {
+
+using util::Code;
+
+class PtyTest : public ::testing::Test {
+ protected:
+  IpcPolicy policy_{true};
+  PtyDriver driver_{policy_};
+  TaskStruct term_{.pid = 10, .comm = "xterm"};
+  TaskStruct shell_{.pid = 11, .comm = "bash"};
+};
+
+TEST_F(PtyTest, PairAllocation) {
+  auto a = driver_.open_pair();
+  auto b = driver_.open_pair();
+  EXPECT_EQ(a->index(), 0);
+  EXPECT_EQ(b->index(), 1);
+  EXPECT_EQ(a->slave_path(), "/dev/pts/0");
+  EXPECT_EQ(driver_.count(), 2u);
+  EXPECT_EQ(driver_.find(1).get(), b.get());
+  EXPECT_EQ(driver_.find(7), nullptr);
+}
+
+TEST_F(PtyTest, DataFlowsMasterToSlave) {
+  auto pty = driver_.open_pair();
+  ASSERT_TRUE(pty->write(term_, PtyPair::End::kMaster, "ls -la").is_ok());
+  auto out = pty->read(shell_, PtyPair::End::kSlave);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), "ls -la");
+}
+
+TEST_F(PtyTest, DataFlowsSlaveToMaster) {
+  auto pty = driver_.open_pair();
+  ASSERT_TRUE(pty->write(shell_, PtyPair::End::kSlave, "output").is_ok());
+  auto out = pty->read(term_, PtyPair::End::kMaster);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), "output");
+}
+
+TEST_F(PtyTest, EmptyReadsWouldBlock) {
+  auto pty = driver_.open_pair();
+  EXPECT_EQ(pty->read(shell_, PtyPair::End::kSlave).code(), Code::kWouldBlock);
+}
+
+// §IV-B "CLI interactions": writer embeds its timestamp; reader adopts it.
+TEST_F(PtyTest, TimestampPropagatesWriterToReader) {
+  auto pty = driver_.open_pair();
+  term_.interaction_ts = sim::Timestamp{5'000};
+  ASSERT_TRUE(pty->write(term_, PtyPair::End::kMaster, "arecord").is_ok());
+  EXPECT_TRUE(shell_.interaction_ts.is_never());
+  ASSERT_TRUE(pty->read(shell_, PtyPair::End::kSlave).is_ok());
+  EXPECT_EQ(shell_.interaction_ts.ns, 5'000);
+}
+
+TEST_F(PtyTest, ReaderKeepsFresherOwnTimestamp) {
+  auto pty = driver_.open_pair();
+  term_.interaction_ts = sim::Timestamp{5'000};
+  shell_.interaction_ts = sim::Timestamp{9'000};
+  ASSERT_TRUE(pty->write(term_, PtyPair::End::kMaster, "x").is_ok());
+  ASSERT_TRUE(pty->read(shell_, PtyPair::End::kSlave).is_ok());
+  EXPECT_EQ(shell_.interaction_ts.ns, 9'000);  // unchanged: already fresher
+}
+
+TEST_F(PtyTest, StaleWriterDoesNotRegressDeviceStamp) {
+  auto pty = driver_.open_pair();
+  term_.interaction_ts = sim::Timestamp{9'000};
+  ASSERT_TRUE(pty->write(term_, PtyPair::End::kMaster, "a").is_ok());
+  TaskStruct stale{.pid = 12};
+  stale.interaction_ts = sim::Timestamp{100};
+  ASSERT_TRUE(pty->write(stale, PtyPair::End::kSlave, "b").is_ok());
+  EXPECT_EQ(pty->stamp().ns, 9'000);
+}
+
+TEST_F(PtyTest, NoPropagationWhenPolicyDisabled) {
+  IpcPolicy off{false};
+  PtyDriver driver(off);
+  auto pty = driver.open_pair();
+  term_.interaction_ts = sim::Timestamp{5'000};
+  ASSERT_TRUE(pty->write(term_, PtyPair::End::kMaster, "x").is_ok());
+  ASSERT_TRUE(pty->read(shell_, PtyPair::End::kSlave).is_ok());
+  EXPECT_TRUE(shell_.interaction_ts.is_never());  // baseline kernel
+}
+
+TEST_F(PtyTest, PendingCounts) {
+  auto pty = driver_.open_pair();
+  ASSERT_TRUE(pty->write(term_, PtyPair::End::kMaster, "a").is_ok());
+  ASSERT_TRUE(pty->write(term_, PtyPair::End::kMaster, "b").is_ok());
+  EXPECT_EQ(pty->pending(PtyPair::End::kSlave), 2u);
+  EXPECT_EQ(pty->pending(PtyPair::End::kMaster), 0u);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

@@ -1,0 +1,162 @@
+#include "kern/vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::kern {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  Vfs vfs_;
+  TaskStruct root_task_{.pid = 1, .uid = kRootUid, .comm = "init"};
+  TaskStruct user_task_{.pid = 2, .uid = 1000, .comm = "user"};
+};
+
+TEST_F(VfsTest, StandardDirectoriesExist) {
+  for (const char* d : {"/", "/dev", "/tmp", "/usr", "/usr/bin", "/home"}) {
+    auto st = vfs_.stat(d);
+    ASSERT_TRUE(st.is_ok()) << d;
+    EXPECT_EQ(st.value().type, InodeType::kDirectory) << d;
+  }
+}
+
+TEST_F(VfsTest, CreateAndStatFile) {
+  auto inode = vfs_.open(user_task_, "/tmp/a.txt", OpenFlags::kCreate);
+  ASSERT_TRUE(inode.is_ok());
+  auto st = vfs_.stat("/tmp/a.txt");
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_EQ(st.value().type, InodeType::kRegular);
+  EXPECT_EQ(st.value().uid, 1000);
+}
+
+TEST_F(VfsTest, OpenMissingWithoutCreateFails) {
+  auto r = vfs_.open(user_task_, "/tmp/missing", OpenFlags::kRead);
+  EXPECT_EQ(r.code(), util::Code::kNotFound);
+}
+
+TEST_F(VfsTest, CreateInMissingDirectoryFails) {
+  auto r = vfs_.open(user_task_, "/nosuch/a", OpenFlags::kCreate);
+  EXPECT_EQ(r.code(), util::Code::kNotFound);
+}
+
+TEST_F(VfsTest, RelativePathRejected) {
+  EXPECT_EQ(vfs_.mkdir("relative/dir", 0).code(),
+            util::Code::kInvalidArgument);
+}
+
+TEST_F(VfsTest, MkdirDuplicateFails) {
+  ASSERT_TRUE(vfs_.mkdir("/tmp/d", 0).is_ok());
+  EXPECT_EQ(vfs_.mkdir("/tmp/d", 0).code(), util::Code::kExists);
+}
+
+TEST_F(VfsTest, DacOwnerPrivateFile) {
+  // user creates a private file; another uid cannot open it.
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/secret", OpenFlags::kCreate).is_ok());
+  TaskStruct other{.pid = 3, .uid = 2000};
+  EXPECT_EQ(vfs_.open(other, "/tmp/secret", OpenFlags::kRead).code(),
+            util::Code::kPermissionDenied);
+  // Root bypasses DAC.
+  EXPECT_TRUE(vfs_.open(root_task_, "/tmp/secret", OpenFlags::kRead).is_ok());
+}
+
+TEST_F(VfsTest, DacWorldReadOnlyBlocksWrite) {
+  ASSERT_TRUE(
+      vfs_.mknod("/dev/ro", 1, kRootUid, Mode{true, true, true, false}).is_ok());
+  EXPECT_TRUE(vfs_.open(user_task_, "/dev/ro", OpenFlags::kRead).is_ok());
+  EXPECT_EQ(vfs_.open(user_task_, "/dev/ro", OpenFlags::kWrite).code(),
+            util::Code::kPermissionDenied);
+}
+
+TEST_F(VfsTest, OpenDirectoryFails) {
+  EXPECT_EQ(vfs_.open(user_task_, "/tmp", OpenFlags::kRead).code(),
+            util::Code::kInvalidArgument);
+}
+
+TEST_F(VfsTest, UnlinkRemoves) {
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/x", OpenFlags::kCreate).is_ok());
+  ASSERT_TRUE(vfs_.unlink("/tmp/x").is_ok());
+  EXPECT_FALSE(vfs_.exists("/tmp/x"));
+  EXPECT_EQ(vfs_.unlink("/tmp/x").code(), util::Code::kNotFound);
+}
+
+TEST_F(VfsTest, UnlinkDirectoryFails) {
+  EXPECT_EQ(vfs_.unlink("/tmp").code(), util::Code::kInvalidArgument);
+}
+
+TEST_F(VfsTest, RenameMovesInode) {
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/a", OpenFlags::kCreate).is_ok());
+  ASSERT_TRUE(vfs_.rename("/tmp/a", "/tmp/b").is_ok());
+  EXPECT_FALSE(vfs_.exists("/tmp/a"));
+  EXPECT_TRUE(vfs_.exists("/tmp/b"));
+}
+
+TEST_F(VfsTest, RenameOntoExistingFails) {
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/a", OpenFlags::kCreate).is_ok());
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/b", OpenFlags::kCreate).is_ok());
+  EXPECT_EQ(vfs_.rename("/tmp/a", "/tmp/b").code(), util::Code::kExists);
+}
+
+TEST_F(VfsTest, ListOneLevel) {
+  ASSERT_TRUE(vfs_.mkdir("/tmp/sub", 0).is_ok());
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/f1", OpenFlags::kCreate).is_ok());
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/sub/f2", OpenFlags::kCreate).is_ok());
+  const auto entries = vfs_.list("/tmp");
+  EXPECT_NE(std::find(entries.begin(), entries.end(), "/tmp/f1"), entries.end());
+  EXPECT_NE(std::find(entries.begin(), entries.end(), "/tmp/sub"), entries.end());
+  EXPECT_EQ(std::find(entries.begin(), entries.end(), "/tmp/sub/f2"),
+            entries.end());
+}
+
+// Device-tree notifications feed the udev helper (§IV-B).
+class RecordingObserver final : public DevTreeObserver {
+ public:
+  std::vector<std::pair<std::string, bool>> events;  // path, added
+  void on_node_added(const std::string& path, DeviceId) override {
+    events.emplace_back(path, true);
+  }
+  void on_node_removed(const std::string& path, DeviceId) override {
+    events.emplace_back(path, false);
+  }
+};
+
+TEST_F(VfsTest, DeviceNodeNotifications) {
+  RecordingObserver obs;
+  vfs_.subscribe_devtree(&obs);
+  ASSERT_TRUE(vfs_.mknod("/dev/video9", 7, kRootUid).is_ok());
+  ASSERT_TRUE(vfs_.rename("/dev/video9", "/dev/video0").is_ok());
+  ASSERT_TRUE(vfs_.unlink("/dev/video0").is_ok());
+  ASSERT_EQ(obs.events.size(), 4u);
+  EXPECT_EQ(obs.events[0], (std::pair<std::string, bool>{"/dev/video9", true}));
+  EXPECT_EQ(obs.events[1], (std::pair<std::string, bool>{"/dev/video9", false}));
+  EXPECT_EQ(obs.events[2], (std::pair<std::string, bool>{"/dev/video0", true}));
+  EXPECT_EQ(obs.events[3], (std::pair<std::string, bool>{"/dev/video0", false}));
+}
+
+TEST_F(VfsTest, DeviceNodesEnumerated) {
+  ASSERT_TRUE(vfs_.mknod("/dev/miau", 3, kRootUid).is_ok());
+  const auto nodes = vfs_.device_nodes();
+  bool found = false;
+  for (const auto& [path, id] : nodes) {
+    if (path == "/dev/miau") {
+      found = true;
+      EXPECT_EQ(id, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(VfsTest, FifoNodeCarriesKey) {
+  ASSERT_TRUE(vfs_.mkfifo("/tmp/fifo", 99, 1000).is_ok());
+  auto st = vfs_.stat("/tmp/fifo");
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_EQ(st.value().type, InodeType::kFifo);
+}
+
+TEST_F(VfsTest, EntryCountGrows) {
+  const auto before = vfs_.entry_count();
+  ASSERT_TRUE(vfs_.open(user_task_, "/tmp/new", OpenFlags::kCreate).is_ok());
+  EXPECT_EQ(vfs_.entry_count(), before + 1);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

@@ -1,0 +1,69 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::sim {
+namespace {
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::nanos(5).ns, 5);
+  EXPECT_EQ(Duration::micros(5).ns, 5'000);
+  EXPECT_EQ(Duration::millis(5).ns, 5'000'000);
+  EXPECT_EQ(Duration::seconds(5).ns, 5'000'000'000);
+  EXPECT_EQ(Duration::minutes(2).ns, 120'000'000'000);
+  EXPECT_EQ(Duration::hours(1).ns, 3'600'000'000'000);
+  EXPECT_EQ(Duration::days(1).ns, 86'400'000'000'000);
+}
+
+TEST(Duration, FractionalSeconds) {
+  EXPECT_EQ(Duration::seconds_f(0.5).ns, 500'000'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(2);
+  const Duration b = Duration::millis(500);
+  EXPECT_EQ((a + b).ns, 2'500'000'000);
+  EXPECT_EQ((a - b).ns, 1'500'000'000);
+  EXPECT_EQ((b * 3).ns, 1'500'000'000);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::millis(999), Duration::seconds(1));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+}
+
+TEST(Timestamp, NeverIsBeforeEpoch) {
+  EXPECT_TRUE(Timestamp::never().is_never());
+  EXPECT_FALSE(Timestamp{0}.is_never());
+  EXPECT_LT(Timestamp::never(), Timestamp{0});
+}
+
+TEST(Timestamp, Arithmetic) {
+  const Timestamp t{1'000'000'000};
+  EXPECT_EQ((t + Duration::seconds(1)).ns, 2'000'000'000);
+  EXPECT_EQ((Timestamp{3'000'000'000} - t).ns, 2'000'000'000);
+}
+
+TEST(Clock, StartsAtEpoch) {
+  Clock c;
+  EXPECT_EQ(c.now().ns, 0);
+}
+
+TEST(Clock, AdvanceAccumulates) {
+  Clock c;
+  c.advance(Duration::seconds(1));
+  c.advance(Duration::millis(500));
+  EXPECT_EQ(c.now().ns, 1'500'000'000);
+}
+
+TEST(Clock, AdvanceTo) {
+  Clock c;
+  c.advance_to(Timestamp{42});
+  EXPECT_EQ(c.now().ns, 42);
+  c.advance_to(Timestamp{42});  // same time is fine
+  EXPECT_EQ(c.now().ns, 42);
+}
+
+}  // namespace
+}  // namespace overhaul::sim

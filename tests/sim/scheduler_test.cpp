@@ -1,0 +1,142 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace overhaul::sim {
+namespace {
+
+TEST(Scheduler, RunsInTimestampOrder) {
+  Clock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  sched.at(Timestamp{300}, [&] { order.push_back(3); });
+  sched.at(Timestamp{100}, [&] { order.push_back(1); });
+  sched.at(Timestamp{200}, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now().ns, 300);
+}
+
+TEST(Scheduler, TieBrokenByInsertionOrder) {
+  Clock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  sched.at(Timestamp{100}, [&] { order.push_back(1); });
+  sched.at(Timestamp{100}, [&] { order.push_back(2); });
+  sched.at(Timestamp{100}, [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, AfterUsesRelativeDelay) {
+  Clock clock;
+  clock.advance(Duration::seconds(10));
+  Scheduler sched(clock);
+  Timestamp fired{};
+  sched.after(Duration::seconds(5), [&] { fired = clock.now(); });
+  sched.run();
+  EXPECT_EQ(fired.ns, Duration::seconds(15).ns);
+}
+
+TEST(Scheduler, CallbacksCanScheduleMore) {
+  Clock clock;
+  Scheduler sched(clock);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sched.after(Duration::seconds(1), tick);
+  };
+  sched.after(Duration::seconds(1), tick);
+  sched.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(clock.now().ns, Duration::seconds(5).ns);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Clock clock;
+  Scheduler sched(clock);
+  bool ran = false;
+  const auto id = sched.at(Timestamp{100}, [&] { ran = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  sched.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, DoubleCancelReturnsFalse) {
+  Clock clock;
+  Scheduler sched(clock);
+  const auto id = sched.at(Timestamp{100}, [] {});
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Clock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  sched.at(Timestamp{100}, [&] { order.push_back(1); });
+  sched.at(Timestamp{500}, [&] { order.push_back(2); });
+  sched.run_until(Timestamp{250});
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(clock.now().ns, 250);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWithoutEvents) {
+  Clock clock;
+  Scheduler sched(clock);
+  sched.run_until(Timestamp{1'000});
+  EXPECT_EQ(clock.now().ns, 1'000);
+}
+
+TEST(Scheduler, PendingAndEmpty) {
+  Clock clock;
+  Scheduler sched(clock);
+  EXPECT_TRUE(sched.empty());
+  sched.at(Timestamp{10}, [] {});
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, CancelFromInsideCallback) {
+  Clock clock;
+  Scheduler sched(clock);
+  bool second_ran = false;
+  Scheduler::EventId second =
+      sched.at(Timestamp{200}, [&] { second_ran = true; });
+  sched.at(Timestamp{100}, [&] { EXPECT_TRUE(sched.cancel(second)); });
+  sched.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Scheduler, ManyInterleavedEventsKeepOrder) {
+  Clock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  // Insert in shuffled timestamp order.
+  const int times[] = {5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+  for (int t : times) {
+    sched.at(Timestamp{t * 100}, [&order, t] { order.push_back(t); });
+  }
+  sched.run();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+TEST(Scheduler, EventAtCurrentTimeRuns) {
+  Clock clock;
+  clock.advance(Duration::seconds(1));
+  Scheduler sched(clock);
+  bool ran = false;
+  sched.at(clock.now(), [&] { ran = true; });
+  sched.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace overhaul::sim

@@ -1,0 +1,78 @@
+#include "util/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::util {
+namespace {
+
+TEST(AsciiChart, EmptyChart) {
+  AsciiChart chart(20, 5);
+  chart.set_title("empty");
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("empty"), std::string::npos);
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointRenders) {
+  AsciiChart chart(20, 5);
+  chart.add_series({"one", {1.0}, {2.0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("one"), std::string::npos);
+}
+
+TEST(AsciiChart, MonotoneSeriesDescendsInRows) {
+  AsciiChart chart(40, 10);
+  chart.add_series({"falling", {0, 1, 2, 3, 4}, {100, 50, 25, 10, 0}});
+  const std::string out = chart.render();
+  // First grid row (max) contains a marker near the left; last contains one
+  // near the right. Verify markers exist on both the top and bottom rows.
+  const auto first_nl = out.find('\n');
+  (void)first_nl;
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  // lines[0] is the top (ymax) row, lines[height-1] the bottom.
+  EXPECT_NE(lines[0].find('*'), std::string::npos);
+  EXPECT_NE(lines[9].find('*'), std::string::npos);
+  const auto top_col = lines[0].find('*');
+  const auto bottom_col = lines[9].rfind('*');
+  EXPECT_LT(top_col, bottom_col);  // falls from left-high to right-low
+}
+
+TEST(AsciiChart, MultipleSeriesDistinctMarkers) {
+  AsciiChart chart(30, 8);
+  chart.add_series({"a", {0, 1}, {0, 1}});
+  chart.add_series({"b", {0, 1}, {1, 0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("a\n"), std::string::npos);
+  EXPECT_NE(out.find("b\n"), std::string::npos);
+}
+
+TEST(AsciiChart, AxisLabelsShowRange) {
+  AsciiChart chart(30, 6);
+  chart.add_series({"s", {0.25, 4.0}, {0, 42}});
+  chart.set_y_label("rate %");
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+  EXPECT_NE(out.find("4"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("rate %"), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(20, 5);
+  chart.add_series({"flat", {1, 2, 3}, {5, 5, 5}});
+  const std::string out = chart.render();
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace overhaul::util

@@ -1,0 +1,89 @@
+#include "util/audit_log.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::util {
+namespace {
+
+AuditRecord make(Op op, Decision d, int pid = 100) {
+  AuditRecord r;
+  r.time_ns = 1'500'000'000;
+  r.pid = pid;
+  r.comm = "testapp";
+  r.op = op;
+  r.decision = d;
+  r.interaction_age_ns = 250'000'000;
+  r.detail = "/dev/snd/mic0";
+  return r;
+}
+
+TEST(AuditLog, AppendAndSize) {
+  AuditLog log;
+  EXPECT_EQ(log.size(), 0u);
+  log.append(make(Op::kMicrophone, Decision::kGrant));
+  log.append(make(Op::kCamera, Decision::kDeny));
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(AuditLog, CountByDecision) {
+  AuditLog log;
+  log.append(make(Op::kMicrophone, Decision::kGrant));
+  log.append(make(Op::kCamera, Decision::kDeny));
+  log.append(make(Op::kCamera, Decision::kDeny));
+  EXPECT_EQ(log.count(Decision::kGrant), 1u);
+  EXPECT_EQ(log.count(Decision::kDeny), 2u);
+}
+
+TEST(AuditLog, CountByOpAndDecision) {
+  AuditLog log;
+  log.append(make(Op::kPaste, Decision::kGrant));
+  log.append(make(Op::kPaste, Decision::kDeny));
+  log.append(make(Op::kCopy, Decision::kGrant));
+  EXPECT_EQ(log.count(Op::kPaste, Decision::kGrant), 1u);
+  EXPECT_EQ(log.count(Op::kPaste, Decision::kDeny), 1u);
+  EXPECT_EQ(log.count(Op::kCopy, Decision::kDeny), 0u);
+}
+
+TEST(AuditLog, FilterByPredicate) {
+  AuditLog log;
+  log.append(make(Op::kMicrophone, Decision::kGrant, 10));
+  log.append(make(Op::kMicrophone, Decision::kGrant, 20));
+  log.append(make(Op::kCamera, Decision::kDeny, 20));
+  auto hits =
+      log.filter([](const AuditRecord& r) { return r.pid == 20; });
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(AuditLog, ClearEmpties) {
+  AuditLog log;
+  log.append(make(Op::kScreenCapture, Decision::kGrant));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(AuditLog, FormatContainsKeyFields) {
+  const std::string line = AuditLog::format(make(Op::kMicrophone, Decision::kDeny));
+  EXPECT_NE(line.find("pid=100"), std::string::npos);
+  EXPECT_NE(line.find("mic"), std::string::npos);
+  EXPECT_NE(line.find("DENY"), std::string::npos);
+  EXPECT_NE(line.find("/dev/snd/mic0"), std::string::npos);
+}
+
+TEST(AuditLog, FormatNeverInteracted) {
+  AuditRecord r = make(Op::kCamera, Decision::kDeny);
+  r.interaction_age_ns = -1;
+  const std::string line = AuditLog::format(r);
+  EXPECT_NE(line.find("age=-1.000"), std::string::npos);
+}
+
+TEST(OpNames, AllDistinct) {
+  EXPECT_EQ(op_name(Op::kCopy), "copy");
+  EXPECT_EQ(op_name(Op::kPaste), "paste");
+  EXPECT_EQ(op_name(Op::kScreenCapture), "scr");
+  EXPECT_EQ(op_name(Op::kMicrophone), "mic");
+  EXPECT_EQ(op_name(Op::kCamera), "cam");
+  EXPECT_EQ(op_name(Op::kDeviceOther), "dev");
+}
+
+}  // namespace
+}  // namespace overhaul::util

@@ -1,0 +1,71 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace overhaul::util {
+namespace {
+
+TEST(Histogram, CountsAndMoments) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 9.5);
+  for (std::uint64_t b : h.bins()) EXPECT_EQ(b, 1u);
+}
+
+TEST(Histogram, UnderflowOverflowClampedToEdgeBins) {
+  Histogram h(0, 10, 5);
+  h.add(-3);
+  h.add(42);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, PercentilesMonotone) {
+  Histogram h(0, 100, 100);
+  Rng rng(5);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.next_double() * 100);
+  const double p10 = h.percentile(10);
+  const double p50 = h.percentile(50);
+  const double p99 = h.percentile(99);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p99);
+  // Uniform distribution: percentiles near their nominal positions.
+  EXPECT_NEAR(p50, 50.0, 2.0);
+  EXPECT_NEAR(p99, 99.0, 2.0);
+}
+
+TEST(Histogram, PercentileOfExponentialMatchesTheory) {
+  Histogram h(0, 20, 400);
+  Rng rng(9);
+  for (int i = 0; i < 200'000; ++i) h.add(rng.exponential(1.0));
+  // Median of exp(1) is ln 2 ≈ 0.693.
+  EXPECT_NEAR(h.percentile(50), 0.693, 0.05);
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h(0, 1, 4);
+  EXPECT_EQ(h.percentile(50), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.to_string(), "(empty)\n");
+}
+
+TEST(Histogram, ToStringShowsBars) {
+  Histogram h(0, 4, 4);
+  for (int i = 0; i < 8; ++i) h.add(0.5);
+  h.add(2.5);
+  const std::string out = h.to_string(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(out.find("       8"), std::string::npos);
+  EXPECT_NE(out.find("       1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace overhaul::util

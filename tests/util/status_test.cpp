@@ -1,0 +1,80 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s(Code::kNotFound, "no such file");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kNotFound);
+  EXPECT_EQ(s.message(), "no such file");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: no such file");
+}
+
+TEST(Status, ToStringWithoutMessage) {
+  EXPECT_EQ(Status(Code::kBadAccess).to_string(), "BAD_ACCESS");
+}
+
+TEST(Status, PolicyDenialClassification) {
+  EXPECT_TRUE(Status(Code::kOverhaulDenied).is_policy_denial());
+  EXPECT_TRUE(Status(Code::kBadAccess).is_policy_denial());
+  EXPECT_FALSE(Status(Code::kPermissionDenied).is_policy_denial());
+  EXPECT_FALSE(Status(Code::kNotFound).is_policy_denial());
+  EXPECT_FALSE(Status::ok().is_policy_denial());
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status(Code::kBusy, "a"), Status(Code::kBusy, "b"));
+  EXPECT_FALSE(Status(Code::kBusy) == Status(Code::kExists));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int i = 0; i <= static_cast<int>(Code::kSyntheticInput); ++i) {
+    EXPECT_NE(code_name(static_cast<Code>(i)), "UNKNOWN") << "code " << i;
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Code::kOk);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(Status(Code::kWouldBlock, "empty"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Code::kWouldBlock);
+  EXPECT_EQ(r.status().message(), "empty");
+}
+
+TEST(Result, ImplicitFromCode) {
+  Result<std::string> r(Code::kInvalidArgument);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Code::kInvalidArgument);
+}
+
+TEST(Result, ValueOr) {
+  Result<int> ok(7);
+  Result<int> bad(Code::kNotFound);
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace overhaul::util

@@ -1,0 +1,149 @@
+// Wire codec tests: atom interning and the 32-byte event records whose
+// top bit is the SendEvent synthetic flag.
+#include "x11/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::x11 {
+namespace {
+
+using util::Code;
+
+TEST(AtomRegistry, PredefinedAtoms) {
+  AtomRegistry atoms;
+  EXPECT_EQ(atoms.intern("CLIPBOARD"), AtomRegistry::kClipboard);
+  EXPECT_EQ(atoms.intern("PRIMARY"), AtomRegistry::kPrimary);
+  EXPECT_EQ(atoms.intern("INCR"), AtomRegistry::kIncr);
+  EXPECT_EQ(atoms.name(AtomRegistry::kClipboard).value(), "CLIPBOARD");
+}
+
+TEST(AtomRegistry, InternIsStable) {
+  AtomRegistry atoms;
+  const Atom a = atoms.intern("MY_PROPERTY");
+  EXPECT_EQ(atoms.intern("MY_PROPERTY"), a);
+  EXPECT_NE(atoms.intern("OTHER"), a);
+  EXPECT_EQ(atoms.name(a).value(), "MY_PROPERTY");
+}
+
+TEST(AtomRegistry, UnknownAtomIsBadAtom) {
+  AtomRegistry atoms;
+  EXPECT_EQ(atoms.name(0xDEAD).code(), Code::kBadAtom);
+}
+
+TEST(AtomRegistry, NoneAtomIsEmptyName) {
+  AtomRegistry atoms;
+  EXPECT_EQ(atoms.name(kAtomNone).value(), "");
+}
+
+TEST(Wire, EventRoundTrip) {
+  AtomRegistry atoms;
+  XEvent ev;
+  ev.type = EventType::kSelectionRequest;
+  ev.provenance = Provenance::kSendEvent;
+  ev.synthetic_flag = true;
+  ev.window = 0xABCD1234;
+  ev.requestor = 42;
+  ev.selection = "CLIPBOARD";
+  ev.property = "XSEL_DATA";
+  ev.target = "UTF8_STRING";
+  ev.keycode = -7;
+  ev.button = 3;
+  ev.x = 1023;
+  ev.y = -5;
+
+  const auto rec = wire::encode_event(ev, atoms);
+  auto back = wire::decode_event(rec, atoms);
+  ASSERT_TRUE(back.is_ok());
+  const XEvent& d = back.value();
+  EXPECT_EQ(d.type, ev.type);
+  EXPECT_EQ(d.provenance, ev.provenance);
+  EXPECT_EQ(d.synthetic_flag, ev.synthetic_flag);
+  EXPECT_EQ(d.window, ev.window);
+  EXPECT_EQ(d.requestor, ev.requestor);
+  EXPECT_EQ(d.selection, ev.selection);
+  EXPECT_EQ(d.property, ev.property);
+  EXPECT_EQ(d.target, ev.target);
+  EXPECT_EQ(d.keycode, ev.keycode);
+  EXPECT_EQ(d.button, ev.button);
+  EXPECT_EQ(d.x, ev.x);
+  EXPECT_EQ(d.y, ev.y);
+}
+
+TEST(Wire, SyntheticFlagIsTopBitOfCodeByte) {
+  AtomRegistry atoms;
+  XEvent ev;
+  ev.type = EventType::kKeyPress;
+  ev.synthetic_flag = false;
+  auto rec = wire::encode_event(ev, atoms);
+  EXPECT_EQ(rec[0] & wire::kSyntheticBit, 0);
+
+  ev.synthetic_flag = true;
+  rec = wire::encode_event(ev, atoms);
+  EXPECT_EQ(rec[0] & wire::kSyntheticBit, wire::kSyntheticBit);
+  // The flag survives decoding even if the struct field were cleared: it
+  // lives in the wire format.
+  auto back = wire::decode_event(rec, atoms);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(back.value().synthetic_flag);
+}
+
+TEST(Wire, FlagCannotBeMaskedWithoutChangingTheCode) {
+  // An attacker stripping the synthetic bit changes byte 0 — the event
+  // remains parseable only as a *different* (non-forged) record, there is
+  // no side channel to carry "synthetic but unflagged".
+  AtomRegistry atoms;
+  XEvent ev;
+  ev.type = EventType::kButtonPress;
+  ev.provenance = Provenance::kSendEvent;
+  ev.synthetic_flag = true;
+  auto rec = wire::encode_event(ev, atoms);
+  rec[0] &= ~wire::kSyntheticBit;  // stripped on the wire
+  auto back = wire::decode_event(rec, atoms);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_FALSE(back.value().synthetic_flag);
+  // ...but the server-side provenance tag (§IV-A's generalization) still
+  // says kSendEvent — defense in depth against flag stripping.
+  EXPECT_EQ(back.value().provenance, Provenance::kSendEvent);
+}
+
+TEST(Wire, UnknownEventCodeRejected) {
+  AtomRegistry atoms;
+  wire::EventRecord rec{};
+  rec[0] = 0x55;  // nonsense code
+  EXPECT_EQ(wire::decode_event(rec, atoms).code(), Code::kBadRequest);
+}
+
+TEST(Wire, UnknownProvenanceRejected) {
+  AtomRegistry atoms;
+  wire::EventRecord rec{};
+  rec[0] = static_cast<std::uint8_t>(EventType::kKeyPress);
+  rec[1] = 0x7F;
+  EXPECT_EQ(wire::decode_event(rec, atoms).code(), Code::kBadRequest);
+}
+
+TEST(Wire, UnknownAtomRejected) {
+  AtomRegistry atoms;
+  XEvent ev;
+  ev.type = EventType::kSelectionNotify;
+  ev.selection = "CLIPBOARD";
+  auto rec = wire::encode_event(ev, atoms);
+  rec[12] = 0xFF;  // corrupt the selection atom
+  rec[13] = 0xFF;
+  EXPECT_EQ(wire::decode_event(rec, atoms).code(), Code::kBadAtom);
+}
+
+TEST(Wire, EmptyStringsTravelAsNoneAtom) {
+  AtomRegistry atoms;
+  const std::size_t before = atoms.size();
+  XEvent ev;
+  ev.type = EventType::kKeyPress;
+  const auto rec = wire::encode_event(ev, atoms);
+  EXPECT_EQ(atoms.size(), before);  // nothing interned for empty strings
+  auto back = wire::decode_event(rec, atoms);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(back.value().selection.empty());
+  EXPECT_TRUE(back.value().property.empty());
+}
+
+}  // namespace
+}  // namespace overhaul::x11
