@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_delta.dir/bench_ablation_delta.cpp.o"
+  "CMakeFiles/bench_ablation_delta.dir/bench_ablation_delta.cpp.o.d"
+  "bench_ablation_delta"
+  "bench_ablation_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

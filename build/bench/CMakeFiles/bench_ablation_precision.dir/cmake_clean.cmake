@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_precision.dir/bench_ablation_precision.cpp.o"
+  "CMakeFiles/bench_ablation_precision.dir/bench_ablation_precision.cpp.o.d"
+  "bench_ablation_precision"
+  "bench_ablation_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

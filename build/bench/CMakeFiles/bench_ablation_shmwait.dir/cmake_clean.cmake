@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shmwait.dir/bench_ablation_shmwait.cpp.o"
+  "CMakeFiles/bench_ablation_shmwait.dir/bench_ablation_shmwait.cpp.o.d"
+  "bench_ablation_shmwait"
+  "bench_ablation_shmwait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shmwait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_applicability.dir/bench_applicability.cpp.o"
+  "CMakeFiles/bench_applicability.dir/bench_applicability.cpp.o.d"
+  "bench_applicability"
+  "bench_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

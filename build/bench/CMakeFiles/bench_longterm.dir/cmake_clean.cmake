@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_longterm.dir/bench_longterm.cpp.o"
+  "CMakeFiles/bench_longterm.dir/bench_longterm.cpp.o.d"
+  "bench_longterm"
+  "bench_longterm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_longterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

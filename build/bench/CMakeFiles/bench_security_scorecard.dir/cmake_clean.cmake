@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_scorecard.dir/bench_security_scorecard.cpp.o"
+  "CMakeFiles/bench_security_scorecard.dir/bench_security_scorecard.cpp.o.d"
+  "bench_security_scorecard"
+  "bench_security_scorecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usability.dir/bench_usability.cpp.o"
+  "CMakeFiles/bench_usability.dir/bench_usability.cpp.o.d"
+  "bench_usability"
+  "bench_usability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

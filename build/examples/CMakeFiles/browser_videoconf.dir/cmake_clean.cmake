@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_videoconf.dir/browser_videoconf.cpp.o"
+  "CMakeFiles/browser_videoconf.dir/browser_videoconf.cpp.o.d"
+  "browser_videoconf"
+  "browser_videoconf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_videoconf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for browser_videoconf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for browser_videoconf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_pipeline.dir/cli_pipeline.cpp.o"
+  "CMakeFiles/cli_pipeline.dir/cli_pipeline.cpp.o.d"
+  "cli_pipeline"
+  "cli_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

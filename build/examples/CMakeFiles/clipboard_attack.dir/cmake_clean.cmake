@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clipboard_attack.dir/clipboard_attack.cpp.o"
+  "CMakeFiles/clipboard_attack.dir/clipboard_attack.cpp.o.d"
+  "clipboard_attack"
+  "clipboard_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clipboard_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

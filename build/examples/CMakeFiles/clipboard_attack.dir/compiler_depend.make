@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clipboard_attack.
+# This may be replaced when dependencies are built.

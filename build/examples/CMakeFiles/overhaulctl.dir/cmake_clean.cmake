@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhaulctl.dir/overhaulctl.cpp.o"
+  "CMakeFiles/overhaulctl.dir/overhaulctl.cpp.o.d"
+  "overhaulctl"
+  "overhaulctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhaulctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spyware_blocked.dir/spyware_blocked.cpp.o"
+  "CMakeFiles/spyware_blocked.dir/spyware_blocked.cpp.o.d"
+  "spyware_blocked"
+  "spyware_blocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spyware_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

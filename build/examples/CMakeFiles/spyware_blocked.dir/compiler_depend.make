@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spyware_blocked.
+# This may be replaced when dependencies are built.

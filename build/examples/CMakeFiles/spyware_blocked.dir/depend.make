@@ -1,0 +1,2 @@
+# Empty dependencies file for spyware_blocked.
+# This may be replaced when dependencies are built.

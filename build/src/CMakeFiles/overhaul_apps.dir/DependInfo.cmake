@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/browser.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/browser.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/browser.cpp.o.d"
+  "/root/repo/src/apps/catalog.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/catalog.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/catalog.cpp.o.d"
+  "/root/repo/src/apps/dbus.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/dbus.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/dbus.cpp.o.d"
+  "/root/repo/src/apps/launcher.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/launcher.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/launcher.cpp.o.d"
+  "/root/repo/src/apps/malware_corpus.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/malware_corpus.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/malware_corpus.cpp.o.d"
+  "/root/repo/src/apps/password_manager.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/password_manager.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/password_manager.cpp.o.d"
+  "/root/repo/src/apps/runtime.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/runtime.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/runtime.cpp.o.d"
+  "/root/repo/src/apps/screenshot.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/screenshot.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/screenshot.cpp.o.d"
+  "/root/repo/src/apps/session.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/session.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/session.cpp.o.d"
+  "/root/repo/src/apps/spyware.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/spyware.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/spyware.cpp.o.d"
+  "/root/repo/src/apps/terminal.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/terminal.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/terminal.cpp.o.d"
+  "/root/repo/src/apps/user_model.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/user_model.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/user_model.cpp.o.d"
+  "/root/repo/src/apps/video_conf.cpp" "src/CMakeFiles/overhaul_apps.dir/apps/video_conf.cpp.o" "gcc" "src/CMakeFiles/overhaul_apps.dir/apps/video_conf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_x11.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

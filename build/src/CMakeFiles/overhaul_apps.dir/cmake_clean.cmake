@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhaul_apps.dir/apps/browser.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/browser.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/catalog.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/catalog.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/dbus.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/dbus.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/launcher.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/launcher.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/malware_corpus.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/malware_corpus.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/password_manager.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/password_manager.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/runtime.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/runtime.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/screenshot.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/screenshot.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/session.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/session.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/spyware.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/spyware.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/terminal.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/terminal.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/user_model.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/user_model.cpp.o.d"
+  "CMakeFiles/overhaul_apps.dir/apps/video_conf.cpp.o"
+  "CMakeFiles/overhaul_apps.dir/apps/video_conf.cpp.o.d"
+  "liboverhaul_apps.a"
+  "liboverhaul_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhaul_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/overhaul_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/overhaul_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/config_file.cpp" "src/CMakeFiles/overhaul_core.dir/core/config_file.cpp.o" "gcc" "src/CMakeFiles/overhaul_core.dir/core/config_file.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/overhaul_core.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/overhaul_core.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/CMakeFiles/overhaul_core.dir/core/timeline.cpp.o" "gcc" "src/CMakeFiles/overhaul_core.dir/core/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_x11.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

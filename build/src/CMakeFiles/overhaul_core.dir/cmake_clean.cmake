@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhaul_core.dir/core/config.cpp.o"
+  "CMakeFiles/overhaul_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/overhaul_core.dir/core/config_file.cpp.o"
+  "CMakeFiles/overhaul_core.dir/core/config_file.cpp.o.d"
+  "CMakeFiles/overhaul_core.dir/core/system.cpp.o"
+  "CMakeFiles/overhaul_core.dir/core/system.cpp.o.d"
+  "CMakeFiles/overhaul_core.dir/core/timeline.cpp.o"
+  "CMakeFiles/overhaul_core.dir/core/timeline.cpp.o.d"
+  "liboverhaul_core.a"
+  "liboverhaul_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhaul_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

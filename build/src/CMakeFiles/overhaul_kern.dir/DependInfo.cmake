@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/devices.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/devices.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/devices.cpp.o.d"
+  "/root/repo/src/kern/ipc/fifo.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/fifo.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/fifo.cpp.o.d"
+  "/root/repo/src/kern/ipc/ipc_object.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/ipc_object.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/ipc_object.cpp.o.d"
+  "/root/repo/src/kern/ipc/msg_queue.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/msg_queue.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/msg_queue.cpp.o.d"
+  "/root/repo/src/kern/ipc/page_fault.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/page_fault.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/page_fault.cpp.o.d"
+  "/root/repo/src/kern/ipc/pipe.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/pipe.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/pipe.cpp.o.d"
+  "/root/repo/src/kern/ipc/shared_memory.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/shared_memory.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/shared_memory.cpp.o.d"
+  "/root/repo/src/kern/ipc/unix_socket.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/unix_socket.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ipc/unix_socket.cpp.o.d"
+  "/root/repo/src/kern/kernel.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/kernel.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/kernel.cpp.o.d"
+  "/root/repo/src/kern/netlink.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/netlink.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/netlink.cpp.o.d"
+  "/root/repo/src/kern/permission_monitor.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/permission_monitor.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/permission_monitor.cpp.o.d"
+  "/root/repo/src/kern/process_table.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/process_table.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/process_table.cpp.o.d"
+  "/root/repo/src/kern/procfs.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/procfs.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/procfs.cpp.o.d"
+  "/root/repo/src/kern/ptrace.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/ptrace.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/ptrace.cpp.o.d"
+  "/root/repo/src/kern/pty.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/pty.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/pty.cpp.o.d"
+  "/root/repo/src/kern/signals.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/signals.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/signals.cpp.o.d"
+  "/root/repo/src/kern/task.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/task.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/task.cpp.o.d"
+  "/root/repo/src/kern/udev.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/udev.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/udev.cpp.o.d"
+  "/root/repo/src/kern/vfs.cpp" "src/CMakeFiles/overhaul_kern.dir/kern/vfs.cpp.o" "gcc" "src/CMakeFiles/overhaul_kern.dir/kern/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

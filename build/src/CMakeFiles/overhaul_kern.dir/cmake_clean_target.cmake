@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboverhaul_kern.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/overhaul_sim.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/overhaul_sim.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/overhaul_sim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/overhaul_sim.dir/sim/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

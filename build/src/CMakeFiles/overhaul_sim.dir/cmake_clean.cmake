@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhaul_sim.dir/sim/clock.cpp.o"
+  "CMakeFiles/overhaul_sim.dir/sim/clock.cpp.o.d"
+  "CMakeFiles/overhaul_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/overhaul_sim.dir/sim/scheduler.cpp.o.d"
+  "liboverhaul_sim.a"
+  "liboverhaul_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhaul_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_chart.cpp" "src/CMakeFiles/overhaul_util.dir/util/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/overhaul_util.dir/util/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/audit_log.cpp" "src/CMakeFiles/overhaul_util.dir/util/audit_log.cpp.o" "gcc" "src/CMakeFiles/overhaul_util.dir/util/audit_log.cpp.o.d"
+  "/root/repo/src/util/audit_report.cpp" "src/CMakeFiles/overhaul_util.dir/util/audit_report.cpp.o" "gcc" "src/CMakeFiles/overhaul_util.dir/util/audit_report.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/overhaul_util.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/overhaul_util.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/overhaul_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/overhaul_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/overhaul_util.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/overhaul_util.dir/util/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhaul_util.dir/util/ascii_chart.cpp.o"
+  "CMakeFiles/overhaul_util.dir/util/ascii_chart.cpp.o.d"
+  "CMakeFiles/overhaul_util.dir/util/audit_log.cpp.o"
+  "CMakeFiles/overhaul_util.dir/util/audit_log.cpp.o.d"
+  "CMakeFiles/overhaul_util.dir/util/audit_report.cpp.o"
+  "CMakeFiles/overhaul_util.dir/util/audit_report.cpp.o.d"
+  "CMakeFiles/overhaul_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/overhaul_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/overhaul_util.dir/util/rng.cpp.o"
+  "CMakeFiles/overhaul_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/overhaul_util.dir/util/status.cpp.o"
+  "CMakeFiles/overhaul_util.dir/util/status.cpp.o.d"
+  "liboverhaul_util.a"
+  "liboverhaul_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhaul_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

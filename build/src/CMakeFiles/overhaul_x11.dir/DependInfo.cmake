@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x11/acg.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/acg.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/acg.cpp.o.d"
+  "/root/repo/src/x11/alert.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/alert.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/alert.cpp.o.d"
+  "/root/repo/src/x11/client.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/client.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/client.cpp.o.d"
+  "/root/repo/src/x11/input.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/input.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/input.cpp.o.d"
+  "/root/repo/src/x11/prompt.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/prompt.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/prompt.cpp.o.d"
+  "/root/repo/src/x11/screen.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/screen.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/screen.cpp.o.d"
+  "/root/repo/src/x11/selection.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/selection.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/selection.cpp.o.d"
+  "/root/repo/src/x11/server.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/server.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/server.cpp.o.d"
+  "/root/repo/src/x11/window.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/window.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/window.cpp.o.d"
+  "/root/repo/src/x11/wire.cpp" "src/CMakeFiles/overhaul_x11.dir/x11/wire.cpp.o" "gcc" "src/CMakeFiles/overhaul_x11.dir/x11/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

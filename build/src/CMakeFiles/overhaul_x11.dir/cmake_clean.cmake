@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhaul_x11.dir/x11/acg.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/acg.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/alert.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/alert.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/client.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/client.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/input.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/input.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/prompt.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/prompt.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/screen.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/screen.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/selection.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/selection.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/server.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/server.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/window.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/window.cpp.o.d"
+  "CMakeFiles/overhaul_x11.dir/x11/wire.cpp.o"
+  "CMakeFiles/overhaul_x11.dir/x11/wire.cpp.o.d"
+  "liboverhaul_x11.a"
+  "liboverhaul_x11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhaul_x11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/catalog_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/catalog_test.cpp.o.d"
+  "/root/repo/tests/integration/cli_pty_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/cli_pty_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/cli_pty_test.cpp.o.d"
+  "/root/repo/tests/integration/dbus_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/dbus_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/dbus_test.cpp.o.d"
+  "/root/repo/tests/integration/fault_injection_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/fig1_hardware_device_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig1_hardware_device_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig1_hardware_device_test.cpp.o.d"
+  "/root/repo/tests/integration/fig2_clipboard_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig2_clipboard_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig2_clipboard_test.cpp.o.d"
+  "/root/repo/tests/integration/fig3_launcher_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig3_launcher_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig3_launcher_test.cpp.o.d"
+  "/root/repo/tests/integration/fig4_browser_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig4_browser_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig4_browser_test.cpp.o.d"
+  "/root/repo/tests/integration/fig6_icccm_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig6_icccm_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig6_icccm_test.cpp.o.d"
+  "/root/repo/tests/integration/session_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/session_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/session_test.cpp.o.d"
+  "/root/repo/tests/integration/spyware_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/spyware_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/spyware_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_x11.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/catalog_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/catalog_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/cli_pty_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/cli_pty_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/dbus_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/dbus_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fault_injection_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig1_hardware_device_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fig1_hardware_device_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig2_clipboard_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fig2_clipboard_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig3_launcher_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fig3_launcher_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig4_browser_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fig4_browser_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fig6_icccm_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fig6_icccm_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/session_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/session_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/spyware_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/spyware_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

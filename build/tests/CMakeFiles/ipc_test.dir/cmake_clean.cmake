@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_test.dir/kern/ipc/ipc_object_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/kern/ipc/ipc_object_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/kern/ipc/msg_queue_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/kern/ipc/msg_queue_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/kern/ipc/pipe_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/kern/ipc/pipe_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/kern/ipc/shared_memory_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/kern/ipc/shared_memory_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/kern/ipc/unix_socket_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/kern/ipc/unix_socket_test.cpp.o.d"
+  "ipc_test"
+  "ipc_test.pdb"
+  "ipc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

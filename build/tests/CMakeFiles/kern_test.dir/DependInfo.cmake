@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kern/devices_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/devices_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/devices_test.cpp.o.d"
+  "/root/repo/tests/kern/kernel_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/kernel_test.cpp.o.d"
+  "/root/repo/tests/kern/netlink_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/netlink_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/netlink_test.cpp.o.d"
+  "/root/repo/tests/kern/permission_monitor_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/permission_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/permission_monitor_test.cpp.o.d"
+  "/root/repo/tests/kern/process_table_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/process_table_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/process_table_test.cpp.o.d"
+  "/root/repo/tests/kern/procfs_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/procfs_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/procfs_test.cpp.o.d"
+  "/root/repo/tests/kern/ptrace_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/ptrace_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/ptrace_test.cpp.o.d"
+  "/root/repo/tests/kern/pty_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/pty_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/pty_test.cpp.o.d"
+  "/root/repo/tests/kern/signals_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/signals_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/signals_test.cpp.o.d"
+  "/root/repo/tests/kern/vfs_test.cpp" "tests/CMakeFiles/kern_test.dir/kern/vfs_test.cpp.o" "gcc" "tests/CMakeFiles/kern_test.dir/kern/vfs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_x11.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

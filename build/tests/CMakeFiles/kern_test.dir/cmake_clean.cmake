@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_test.dir/kern/devices_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/devices_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/kernel_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/kernel_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/netlink_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/netlink_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/permission_monitor_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/permission_monitor_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/process_table_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/process_table_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/procfs_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/procfs_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/ptrace_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/ptrace_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/pty_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/pty_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/signals_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/signals_test.cpp.o.d"
+  "CMakeFiles/kern_test.dir/kern/vfs_test.cpp.o"
+  "CMakeFiles/kern_test.dir/kern/vfs_test.cpp.o.d"
+  "kern_test"
+  "kern_test.pdb"
+  "kern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/ascii_chart_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/ascii_chart_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/audit_log_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/audit_log_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/audit_report_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/audit_report_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/rng_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/status_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/status_test.cpp.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/x11/acg_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/acg_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/acg_test.cpp.o.d"
+  "/root/repo/tests/x11/alert_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/alert_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/alert_test.cpp.o.d"
+  "/root/repo/tests/x11/event_mask_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/event_mask_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/event_mask_test.cpp.o.d"
+  "/root/repo/tests/x11/grab_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/grab_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/grab_test.cpp.o.d"
+  "/root/repo/tests/x11/incr_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/incr_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/incr_test.cpp.o.d"
+  "/root/repo/tests/x11/input_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/input_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/input_test.cpp.o.d"
+  "/root/repo/tests/x11/prompt_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/prompt_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/prompt_test.cpp.o.d"
+  "/root/repo/tests/x11/screen_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/screen_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/screen_test.cpp.o.d"
+  "/root/repo/tests/x11/selection_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/selection_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/selection_test.cpp.o.d"
+  "/root/repo/tests/x11/window_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/window_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/window_test.cpp.o.d"
+  "/root/repo/tests/x11/wire_test.cpp" "tests/CMakeFiles/x11_test.dir/x11/wire_test.cpp.o" "gcc" "tests/CMakeFiles/x11_test.dir/x11/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/overhaul_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_x11.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/overhaul_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

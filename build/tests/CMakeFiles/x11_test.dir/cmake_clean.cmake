@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x11_test.dir/x11/acg_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/acg_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/alert_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/alert_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/event_mask_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/event_mask_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/grab_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/grab_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/incr_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/incr_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/input_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/input_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/prompt_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/prompt_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/screen_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/screen_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/selection_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/selection_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/window_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/window_test.cpp.o.d"
+  "CMakeFiles/x11_test.dir/x11/wire_test.cpp.o"
+  "CMakeFiles/x11_test.dir/x11/wire_test.cpp.o.d"
+  "x11_test"
+  "x11_test.pdb"
+  "x11_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x11_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
