@@ -109,7 +109,7 @@ double run_screen_capture(bool enabled) {
   return time_seconds([&] {
     for (int i = 0; i < kCaptures; ++i) {
       auto img = screen.get_image(app.client, x11::kRootWindow);
-      benchmarkish_sink += img.value().pixels[0];
+      benchmarkish_sink = benchmarkish_sink + img.value().pixels[0];
     }
   });
 }
@@ -147,7 +147,7 @@ std::pair<double, double> run_shared_memory_pair() {
             map.read_u64(*task, slot * 8) + static_cast<std::uint64_t>(i);
         map.write_u64(*task, slot * 8, cursor);
       }
-      benchmarkish_sink += cursor;
+      benchmarkish_sink = benchmarkish_sink + cursor;
     });
   };
   (void)chain(base_map);  // warm both code paths + the buffer

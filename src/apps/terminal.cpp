@@ -27,7 +27,7 @@ Result<std::unique_ptr<TerminalSession>> TerminalSession::launch(
   // inherited at fork so the pty propagation path is what matters in tests.
   // (A real shell would have been started long before the user typed.)
   if (auto* task = sys.kernel().processes().lookup_live(shell.value()))
-    task->interaction_ts = sim::Timestamp::never();
+    task->clear_interaction();
 
   return session;
 }

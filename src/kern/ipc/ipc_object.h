@@ -48,8 +48,19 @@ class IpcObject {
 
   [[nodiscard]] sim::Timestamp stamp() const noexcept { return stamp_; }
 
-  // Step 1 (re)initialisation: expired timestamp.
-  void reset_stamp() noexcept { stamp_ = sim::Timestamp::never(); }
+  // Step 1 (re)initialisation: expired timestamp and fresh statistics — a
+  // reset channel must not carry stale counters into benchmark baselines.
+  void reset_stamp() noexcept {
+    stamp_ = sim::Timestamp::never();
+    reset_counters();
+  }
+
+  // Zeroes the propagation statistics without touching the embedded
+  // timestamp (re-baselining counters mid-run must not expire the channel).
+  void reset_counters() noexcept {
+    send_stamps_ = 0;
+    recv_adoptions_ = 0;
+  }
 
   [[nodiscard]] std::uint64_t send_stamps() const noexcept {
     return send_stamps_;

@@ -60,6 +60,14 @@ struct TaskStruct {
     if (ts > interaction_ts) interaction_ts = ts;
   }
 
+  // Forget any recorded interaction (back to "never interacted"). Test and
+  // scenario harnesses use this to discard inherited records; alongside
+  // adopt_interaction and the fork-copy it is the only approved way to
+  // write interaction_ts (enforced by overhaul-lint rule R3).
+  void clear_interaction() noexcept {
+    interaction_ts = sim::Timestamp::never();
+  }
+
   // --- ACG comparison mode --------------------------------------------------
   // Per-operation grants from access-control-gadget clicks (the white-box
   // model of Roesner et al. [27], kept for head-to-head comparison). Copied

@@ -107,5 +107,33 @@ TEST(IpcObject, CountersTrackCalls) {
   EXPECT_EQ(obj.recv_adoptions(), 1u);
 }
 
+TEST(IpcObject, ResetStampAlsoClearsCounters) {
+  // A re-initialised channel (step 1) must not carry stale statistics into
+  // the next benchmark baseline.
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  TaskStruct t{.pid = 1};
+  t.interaction_ts = sim::Timestamp{100};
+  obj.stamp_on_send(t);
+  obj.propagate_on_recv(t);
+  obj.reset_stamp();
+  EXPECT_TRUE(obj.stamp().is_never());
+  EXPECT_EQ(obj.send_stamps(), 0u);
+  EXPECT_EQ(obj.recv_adoptions(), 0u);
+}
+
+TEST(IpcObject, ResetCountersKeepsStamp) {
+  // Counter re-baselining mid-run must not expire the channel's timestamp.
+  IpcPolicy policy{true};
+  IpcObject obj(policy);
+  TaskStruct t{.pid = 1};
+  t.interaction_ts = sim::Timestamp{100};
+  obj.stamp_on_send(t);
+  obj.reset_counters();
+  EXPECT_EQ(obj.stamp().ns, 100);
+  EXPECT_EQ(obj.send_stamps(), 0u);
+  EXPECT_EQ(obj.recv_adoptions(), 0u);
+}
+
 }  // namespace
 }  // namespace overhaul::kern

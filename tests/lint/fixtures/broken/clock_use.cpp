@@ -1,0 +1,12 @@
+// Fixture: wall-clock timing outside the virtual-clock module.
+#include <chrono>
+
+namespace fixture {
+
+double measure() {
+  const auto start = std::chrono::steady_clock::now();
+  (void)start;
+  return 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: ad-hoc write to the interaction timestamp.
+#include "fake.h"
+
+namespace fixture {
+
+void reset_shell(TaskStruct* task) {
+  if (task == nullptr) return;
+  task->interaction_ts = Timestamp::never();
+}
+
+bool fresher(const TaskStruct& t, Timestamp ts) {
+  return t.interaction_ts == ts;  // comparison, not a write: no finding
+}
+
+}  // namespace fixture

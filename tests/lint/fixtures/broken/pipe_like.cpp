@@ -1,0 +1,20 @@
+// Fixture: a Pipe-like IPC object whose write() dropped the P2 send hook.
+// The read side is correct, so exactly one R1 finding (the write) fires.
+// The mention of stamp_on_send(writer) in this comment must NOT count.
+#include "fake.h"
+
+namespace fixture {
+
+Result<std::size_t> Pipe::write(TaskStruct& writer, std::string_view data) {
+  if (readers_ == 0) return Status(Code::kBrokenChannel, "no readers");
+  buffer_.append("stamp_on_send(writer) as a string must not count");
+  return data.size();
+}
+
+Result<std::string> Pipe::read(TaskStruct& reader, std::size_t max_bytes) {
+  if (buffer_.empty()) return Status(Code::kWouldBlock, "empty");
+  propagate_on_recv(reader);
+  return take(max_bytes);
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: all timing flows through the virtual clock — zero findings.
+#include "fake.h"
+
+namespace fixture {
+
+Timestamp measure(const Clock& clock) { return clock.now(); }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: augmented open(2) with the permission-monitor lookup in place.
+#include "fake.h"
+
+namespace fixture {
+
+Result<int> Kernel::sys_open(Pid pid, const std::string& path,
+                             OpenFlags flags) {
+  TaskStruct* task = processes_.lookup_live(pid);
+  if (task == nullptr) return Status(Code::kNotFound, "no such process");
+  auto inode = vfs_.open(*task, path, flags);
+  if (!inode.is_ok()) return inode.status();
+  if (inode.value()->type == InodeType::kDevice) {
+    const Decision d = monitor_.check_now(pid, op_for_device(path), path);
+    if (d == Decision::kDeny)
+      return Status(Code::kOverhaulDenied, "no recent user interaction");
+  }
+  return task->install_fd(make_file(inode.value(), path));
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: the approved way to move the interaction timestamp.
+#include "fake.h"
+
+namespace fixture {
+
+void refresh_shell(TaskStruct* task, Timestamp ts) {
+  if (task == nullptr) return;
+  task->adopt_interaction(ts);
+}
+
+}  // namespace fixture

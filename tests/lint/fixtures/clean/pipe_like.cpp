@@ -1,0 +1,19 @@
+// Fixture: correct P2 interposition on both sides — zero findings.
+#include "fake.h"
+
+namespace fixture {
+
+Result<std::size_t> Pipe::write(TaskStruct& writer, std::string_view data) {
+  if (readers_ == 0) return Status(Code::kBrokenChannel, "no readers");
+  stamp_on_send(writer);
+  buffer_.append(data);
+  return data.size();
+}
+
+Result<std::string> Pipe::read(TaskStruct& reader, std::size_t max_bytes) {
+  if (buffer_.empty()) return Status(Code::kWouldBlock, "empty");
+  propagate_on_recv(reader);
+  return take(max_bytes);
+}
+
+}  // namespace fixture

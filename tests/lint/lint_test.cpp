@@ -1,0 +1,228 @@
+// Unit tests for overhaul-lint: tokenizer, function extraction, rules
+// parsing, and the four mediation invariants over deliberately broken
+// fixture sources (tests/lint/fixtures/).
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = overhaul::lint;
+
+namespace {
+
+std::string fixture_dir(const std::string& sub) {
+  return std::string(LINT_FIXTURES_DIR) + "/" + sub;
+}
+
+lint::RuleConfig fixture_rules() {
+  std::string error;
+  auto cfg = lint::load_rules_file(
+      std::string(LINT_FIXTURES_DIR) + "/fixtures.rules", &error);
+  EXPECT_TRUE(cfg.has_value()) << error;
+  return cfg.value_or(lint::RuleConfig{});
+}
+
+std::vector<std::string> call_names(const lint::FunctionInfo& fn) {
+  return fn.calls;
+}
+
+bool has_call(const lint::FunctionInfo& fn, const std::string& name) {
+  return std::find(fn.calls.begin(), fn.calls.end(), name) != fn.calls.end();
+}
+
+}  // namespace
+
+// --- tokenizer ---------------------------------------------------------------
+
+TEST(Tokenizer, SkipsCommentsStringsAndPreprocessor) {
+  const auto toks = lint::tokenize(
+      "#include <chrono>\n"
+      "// stamp_on_send in a comment\n"
+      "/* propagate_on_recv\n   in a block comment */\n"
+      "auto s = \"stamp_on_send(x)\";\n");
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kIdent) {
+      EXPECT_NE(t.text, "stamp_on_send");
+      EXPECT_NE(t.text, "propagate_on_recv");
+      EXPECT_NE(t.text, "chrono");
+      EXPECT_NE(t.text, "include");
+    }
+  }
+}
+
+TEST(Tokenizer, DistinguishesAssignmentFromComparison) {
+  const auto toks = lint::tokenize("a == b; c = d; e <= f; g += h;");
+  std::vector<std::string> puncts;
+  for (const auto& t : toks)
+    if (t.kind == lint::TokKind::kPunct) puncts.push_back(t.text);
+  EXPECT_EQ(puncts, (std::vector<std::string>{"==", ";", "=", ";", "<=", ";",
+                                              "+=", ";"}));
+}
+
+TEST(Tokenizer, TracksLineNumbers) {
+  const auto toks = lint::tokenize("one\ntwo\n\nthree");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+// --- function extraction -----------------------------------------------------
+
+TEST(ExtractFunctions, FindsQualifiedDefinitionAndCalls) {
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "Result<int> Pipe::write(Task& w, int n) {\n"
+      "  if (full()) return fail();\n"
+      "  stamp_on_send(w);\n"
+      "  return n;\n"
+      "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].qualified_name, "Pipe::write");
+  EXPECT_EQ(fns[0].name, "write");
+  EXPECT_EQ(fns[0].line, 1);
+  EXPECT_TRUE(has_call(fns[0], "stamp_on_send"));
+  EXPECT_TRUE(has_call(fns[0], "full"));
+  // Control keywords never count as calls.
+  for (const auto& c : call_names(fns[0])) EXPECT_NE(c, "if");
+}
+
+TEST(ExtractFunctions, DeclarationsDoNotCount) {
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "Status write(Task& w, std::string data);\n"
+      "Status read(Task& r);\n"));
+  EXPECT_TRUE(fns.empty());
+}
+
+TEST(ExtractFunctions, HandlesConstructorInitLists) {
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "Kernel::Kernel(Clock& c, Config cfg)\n"
+      "    : clock_(c), monitor_(p_, c, Audit{}), policy_{cfg.enabled} {\n"
+      "  monitor_.set_threshold(cfg.delta);\n"
+      "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].qualified_name, "Kernel::Kernel");
+  EXPECT_TRUE(has_call(fns[0], "set_threshold"));
+}
+
+TEST(ExtractFunctions, MemberCallsRecordUnqualifiedName) {
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "void f() { pipe_end->pipe()->write(x); server_.ask_monitor(c); }\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(has_call(fns[0], "write"));
+  EXPECT_TRUE(has_call(fns[0], "ask_monitor"));
+}
+
+// --- rules parsing -----------------------------------------------------------
+
+TEST(Rules, ParsesFullConfig) {
+  std::string error;
+  const auto cfg = lint::parse_rules(
+      "# comment\n"
+      "r1.file src/kern/ipc/\n"
+      "r1.send_fn write send\n"
+      "r2.point a.cpp:sys_open:check_now|check\n"
+      "r3.field interaction_ts\n"
+      "r4.banned chrono\n"
+      "r4.exempt src/sim/\n",
+      &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->r1_send_fns, (std::vector<std::string>{"write", "send"}));
+  ASSERT_EQ(cfg->r2_points.size(), 1u);
+  EXPECT_EQ(cfg->r2_points[0].function, "sys_open");
+  EXPECT_EQ(cfg->r2_points[0].calls,
+            (std::vector<std::string>{"check_now", "check"}));
+}
+
+TEST(Rules, UnknownKeyIsAnError) {
+  std::string error;
+  EXPECT_FALSE(lint::parse_rules("r9.bogus x\n", &error).has_value());
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+}
+
+TEST(Rules, MalformedMediationPointIsAnError) {
+  std::string error;
+  EXPECT_FALSE(lint::parse_rules("r2.point nocolons\n", &error).has_value());
+}
+
+TEST(Rules, PathMatching) {
+  EXPECT_TRUE(lint::path_matches("/repo/src/kern/ipc/pipe.cpp",
+                                 "src/kern/ipc/"));
+  EXPECT_TRUE(lint::path_matches("/repo/src/kern/pty.cpp", "src/kern/pty.cpp"));
+  EXPECT_TRUE(lint::path_matches("src/kern/pty.cpp", "src/kern/pty.cpp"));
+  EXPECT_FALSE(lint::path_matches("/repo/src/kern/pty.cpp", "kern/pty.h"));
+  EXPECT_FALSE(lint::path_matches("/repo/src/x11/screen.cpp", "src/kern/"));
+  // Suffixes must be '/'-anchored: other_pipe.cpp is not pipe.cpp.
+  EXPECT_FALSE(lint::path_matches("/repo/src/other_pipe.cpp", "pipe.cpp"));
+}
+
+// --- fixture sweeps ----------------------------------------------------------
+
+TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
+  const auto cfg = fixture_rules();
+  const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
+  ASSERT_EQ(findings.size(), 5u);
+
+  // Sorted by file: clock_use, device_open, interaction, pipe_like.
+  EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/clock_use.cpp"));
+  EXPECT_EQ(findings[0].rule, "R4");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_EQ(findings[1].rule, "R4");
+  EXPECT_EQ(findings[1].line, 7);
+
+  EXPECT_TRUE(lint::path_matches(findings[2].file, "broken/device_open.cpp"));
+  EXPECT_EQ(findings[2].rule, "R2");
+  EXPECT_EQ(findings[2].line, 6);
+  EXPECT_NE(findings[2].message.find("sys_open"), std::string::npos);
+
+  EXPECT_TRUE(lint::path_matches(findings[3].file, "broken/interaction.cpp"));
+  EXPECT_EQ(findings[3].rule, "R3");
+  EXPECT_EQ(findings[3].line, 8);
+
+  EXPECT_TRUE(lint::path_matches(findings[4].file, "broken/pipe_like.cpp"));
+  EXPECT_EQ(findings[4].rule, "R1");
+  EXPECT_EQ(findings[4].line, 8);
+  EXPECT_NE(findings[4].message.find("Pipe::write"), std::string::npos);
+}
+
+TEST(Fixtures, CleanTreePasses) {
+  const auto cfg = fixture_rules();
+  std::size_t scanned = 0;
+  const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
+  EXPECT_EQ(scanned, 4u);
+  EXPECT_TRUE(findings.empty())
+      << findings[0].file << ":" << findings[0].line << " "
+      << findings[0].message;
+}
+
+TEST(Fixtures, MissingMediationFileIsItselfAFinding) {
+  lint::RuleConfig cfg;
+  cfg.r2_points.push_back({"deleted_subsystem.cpp", "sys_open", {"check_now"}});
+  const auto findings = lint::run_lint({fixture_dir("clean")}, cfg);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R2");
+  EXPECT_NE(findings[0].message.find("not found"), std::string::npos);
+}
+
+TEST(Fixtures, ComparisonOfGuardedFieldIsNotAWrite) {
+  lint::RuleConfig cfg;
+  cfg.r3_fields = {"interaction_ts"};
+  const auto findings = lint::analyze_file(
+      "x.cpp", "bool f(T& t, Ts ts) { return t.interaction_ts == ts; }\n", cfg);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Fixtures, AllowlistSilencesAndExemptsWork) {
+  lint::RuleConfig cfg;
+  cfg.r4_banned = {"chrono"};
+  cfg.r4_exempt = {"sim/"};
+  EXPECT_TRUE(
+      lint::analyze_file("/r/src/sim/clock.cpp", "using std::chrono::x;\n", cfg)
+          .empty());
+  EXPECT_EQ(
+      lint::analyze_file("/r/src/kern/a.cpp", "using std::chrono::x;\n", cfg)
+          .size(),
+      1u);
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI-style driver: configure + build + mediation lint + sanitized tests in
+# one command.
+#
+#   tools/check.sh                 # ubsan-asan preset (the default gate)
+#   tools/check.sh asan            # any preset from CMakePresets.json
+#   tools/check.sh tsan
+#   JOBS=4 tools/check.sh          # override parallelism
+#
+# Exits nonzero on the first failing stage. clang-tidy runs only when the
+# binary is installed (the container image does not ship it).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-ubsan-asan}"
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="build-${PRESET}"
+[ "$PRESET" = "default" ] && BUILD_DIR="build"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "configure (preset: $PRESET)"
+cmake --preset "$PRESET"
+
+step "build"
+cmake --build --preset "$PRESET" -j "$JOBS"
+
+step "overhaul-lint (mediation-completeness invariants)"
+"./$BUILD_DIR/tools/lint/overhaul-lint" \
+  --root src --rules tools/lint/overhaul_lint.rules
+
+step "ctest (preset: $PRESET)"
+ctest --preset "$PRESET" -j "$JOBS"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy (src/ + tools/)"
+  # The preset build dirs carry compile_commands.json when the generator
+  # supports it; fall back to a plain include flag otherwise.
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    git ls-files 'src/*.cpp' 'tools/*.cpp' |
+      xargs clang-tidy -p "$BUILD_DIR" --quiet
+  else
+    git ls-files 'src/*.cpp' 'tools/*.cpp' |
+      xargs clang-tidy --quiet -- -std=c++20 -Isrc -Itools/lint
+  fi
+else
+  step "clang-tidy not installed — skipping (config: .clang-tidy)"
+fi
+
+step "all checks passed"

@@ -1,0 +1,672 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace overhaul::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators we must not split: `=` vs `==` decides whether
+// an `interaction_ts` token is a write (R3), and `::` glues qualified names.
+const char* kPunct3[] = {"<<=", ">>=", "->*", "..."};
+const char* kPunct2[] = {"::", "->", "==", "!=", "<=", ">=", "&&", "||",
+                         "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=",
+                         "|=", "^=", "++", "--"};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Preprocessor directive: skip the logical line (with continuations).
+    // Conditional-compilation tricks are out of scope for the lint.
+    if (c == '#') {
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal (minimal: R"delim( ... )delim").
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k)
+        if (src[k] == '\n') ++line;
+      out.push_back({TokKind::kString, "<raw-string>", line});
+      i = stop;
+      continue;
+    }
+    // String / char literal: contents are opaque.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        else if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.push_back({TokKind::kString, quote == '"' ? "<string>" : "<char>",
+                     start_line});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.push_back({TokKind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(src[j]) || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E'))))
+        ++j;
+      if (j < n && src[j] == '.') {  // floating point
+        ++j;
+        while (j < n && is_ident_char(src[j])) ++j;
+      }
+      out.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: maximal munch over the known multi-char set.
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (src.compare(i, 3, p) == 0) {
+        out.push_back({TokKind::kPunct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (src.compare(i, 2, p) == 0) {
+        out.push_back({TokKind::kPunct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// --- function extraction -----------------------------------------------------
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",        "catch",
+      "return", "sizeof", "throw",  "static_assert", "alignof",
+      "new",    "delete", "do",     "else",          "case",
+      "goto",   "decltype"};
+  return kw;
+}
+
+bool is_specifier(const std::string& t) {
+  return t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+         t == "mutable" || t == "constexpr";
+}
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+}  // namespace
+
+std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
+  std::vector<FunctionInfo> out;
+  const std::size_t n = toks.size();
+
+  // Skips past a balanced (...) run; `j` must point at the opener.
+  auto skip_parens = [&](std::size_t j) -> std::size_t {
+    int depth = 0;
+    for (; j < n; ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      else if (is_punct(toks[j], ")") && --depth == 0) return j + 1;
+    }
+    return j;
+  };
+  auto skip_braces = [&](std::size_t j) -> std::size_t {
+    int depth = 0;
+    for (; j < n; ++j) {
+      if (is_punct(toks[j], "{")) ++depth;
+      else if (is_punct(toks[j], "}") && --depth == 0) return j + 1;
+    }
+    return j;
+  };
+
+  // Parses a (possibly ::-qualified) identifier chain starting at `j`.
+  // Returns one-past-the-chain; fills name/qname/line.
+  auto parse_chain = [&](std::size_t j, std::string* qname, std::string* name,
+                         int* name_line) -> std::size_t {
+    qname->clear();
+    while (j < n) {
+      if (is_punct(toks[j], "~")) {  // destructor
+        *qname += "~";
+        ++j;
+        continue;
+      }
+      if (toks[j].kind != TokKind::kIdent) break;
+      *qname += toks[j].text;
+      *name = toks[j].text;
+      *name_line = toks[j].line;
+      ++j;
+      if (j + 1 < n && is_punct(toks[j], "::") &&
+          (toks[j + 1].kind == TokKind::kIdent || is_punct(toks[j + 1], "~"))) {
+        *qname += "::";
+        ++j;
+        continue;
+      }
+      break;
+    }
+    return j;
+  };
+
+  // Consumes a function body starting at its '{'; records calls.
+  auto parse_body = [&](std::size_t j, FunctionInfo* fn) -> std::size_t {
+    int depth = 0;
+    while (j < n) {
+      const Token& t = toks[j];
+      if (is_punct(t, "{")) {
+        ++depth;
+        ++j;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        --depth;
+        ++j;
+        if (depth == 0) return j;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent || is_punct(t, "~")) {
+        std::string qname, name;
+        int line = t.line;
+        const std::size_t after = parse_chain(j, &qname, &name, &line);
+        if (after > j) {
+          if (after < n && is_punct(toks[after], "(") &&
+              control_keywords().count(name) == 0) {
+            fn->calls.push_back(name);
+          }
+          j = after;
+          continue;
+        }
+      }
+      ++j;
+    }
+    return j;
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent && !is_punct(t, "~")) {
+      ++i;
+      continue;
+    }
+    if (t.text == "template") {  // skip the parameter list <...>
+      ++i;
+      if (i < n && is_punct(toks[i], "<")) {
+        int depth = 0;
+        for (; i < n; ++i) {
+          if (is_punct(toks[i], "<")) ++depth;
+          else if (is_punct(toks[i], ">") && --depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    std::string qname, name;
+    int name_line = t.line;
+    const std::size_t after = parse_chain(i, &qname, &name, &name_line);
+    if (after == i || after >= n || !is_punct(toks[after], "(") ||
+        control_keywords().count(name) != 0) {
+      i = std::max(after, i + 1);
+      continue;
+    }
+
+    // candidate definition header: NAME ( ... )
+    std::size_t j = skip_parens(after);
+    bool is_definition = false;
+    while (j < n && !is_definition) {
+      const Token& u = toks[j];
+      if (u.kind == TokKind::kIdent && is_specifier(u.text)) {
+        ++j;
+      } else if (is_punct(u, "->")) {  // trailing return type
+        ++j;
+        while (j < n && !is_punct(toks[j], "{") && !is_punct(toks[j], ";"))
+          ++j;
+      } else if (is_punct(u, ":")) {  // constructor member-init list
+        ++j;
+        int pd = 0;
+        while (j < n) {
+          const Token& v = toks[j];
+          if (is_punct(v, "(")) ++pd;
+          else if (is_punct(v, ")")) --pd;
+          else if (is_punct(v, "{")) {
+            if (pd > 0) {
+              j = skip_braces(j);
+              continue;
+            }
+            // Brace-init of a member (`a_{x}`) directly follows a name;
+            // the body brace follows ')' / '}' / the list itself.
+            if (j > 0 && (toks[j - 1].kind == TokKind::kIdent ||
+                          is_punct(toks[j - 1], ">"))) {
+              j = skip_braces(j);
+              continue;
+            }
+            break;  // function body
+          } else if (is_punct(v, ";")) {
+            break;  // malformed; bail out
+          }
+          ++j;
+        }
+      } else if (is_punct(u, "{")) {
+        is_definition = true;
+      } else {
+        break;  // declaration, call expression, `= default`, etc.
+      }
+    }
+
+    if (!is_definition) {
+      i = std::max(j, after + 1);
+      continue;
+    }
+
+    FunctionInfo fn;
+    fn.qualified_name = qname;
+    fn.name = name;
+    fn.line = name_line;
+    i = parse_body(j, &fn);
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+// --- rule configuration ------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::istringstream iss(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (iss >> tok) out.push_back(tok);
+  return out;
+}
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string normalize_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+}  // namespace
+
+bool path_matches(const std::string& raw_path, const std::string& raw_entry) {
+  const std::string path = normalize_path(raw_path);
+  const std::string entry = normalize_path(raw_entry);
+  if (entry.empty()) return false;
+  if (entry.back() == '/') {
+    // Directory prefix: must appear at the start or after a separator.
+    if (path.compare(0, entry.size(), entry) == 0) return true;
+    return path.find("/" + entry) != std::string::npos;
+  }
+  if (path == entry) return true;
+  const std::string anchored = "/" + entry;
+  return path.size() > anchored.size() &&
+         path.compare(path.size() - anchored.size(), anchored.size(),
+                      anchored) == 0;
+}
+
+namespace {
+
+bool matches_any(const std::string& path,
+                 const std::vector<std::string>& entries) {
+  return std::any_of(entries.begin(), entries.end(), [&](const auto& e) {
+    return path_matches(path, e);
+  });
+}
+
+}  // namespace
+
+std::optional<RuleConfig> parse_rules(const std::string& text,
+                                      std::string* error) {
+  RuleConfig cfg;
+  std::istringstream iss(text);
+  std::string raw;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr)
+      *error = "rules:" + std::to_string(lineno) + ": " + msg;
+    return std::nullopt;
+  };
+
+  while (std::getline(iss, raw)) {
+    ++lineno;
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw.erase(hash);
+    const auto words = split_ws(raw);
+    if (words.empty()) continue;
+    const std::string& key = words[0];
+    const std::vector<std::string> vals(words.begin() + 1, words.end());
+    if (vals.empty()) return fail("key '" + key + "' needs a value");
+
+    auto append = [&](std::vector<std::string>& dst) {
+      dst.insert(dst.end(), vals.begin(), vals.end());
+    };
+
+    if (key == "r1.file") append(cfg.r1_files);
+    else if (key == "r1.send_fn") append(cfg.r1_send_fns);
+    else if (key == "r1.recv_fn") append(cfg.r1_recv_fns);
+    else if (key == "r1.send_via") append(cfg.r1_send_via);
+    else if (key == "r1.recv_via") append(cfg.r1_recv_via);
+    else if (key == "r1.allow") append(cfg.r1_allow);
+    else if (key == "r2.point") {
+      for (const auto& v : vals) {
+        const auto parts = split_on(v, ':');
+        if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+            parts[2].empty())
+          return fail("r2.point wants file:function:call1|call2, got '" + v +
+                      "'");
+        MediationPoint p;
+        p.file = parts[0];
+        p.function = parts[1];
+        p.calls = split_on(parts[2], '|');
+        cfg.r2_points.push_back(std::move(p));
+      }
+    } else if (key == "r2.allow") append(cfg.r2_allow);
+    else if (key == "r3.field") append(cfg.r3_fields);
+    else if (key == "r3.allow") append(cfg.r3_allow);
+    else if (key == "r4.banned") append(cfg.r4_banned);
+    else if (key == "r4.exempt") append(cfg.r4_exempt);
+    else return fail("unknown key '" + key + "'");
+  }
+  return cfg;
+}
+
+std::optional<RuleConfig> load_rules_file(const std::string& path,
+                                          std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open rules file: " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_rules(buf.str(), error);
+}
+
+// --- analysis ----------------------------------------------------------------
+
+namespace {
+
+// Assignment operators: any of these directly after the guarded field means
+// the code writes it without going through the approved API.
+const std::set<std::string>& assign_ops() {
+  static const std::set<std::string> ops = {"=",  "+=", "-=",  "*=",  "/=",
+                                            "%=", "&=", "|=",  "^=",  "<<=",
+                                            ">>=", "++", "--"};
+  return ops;
+}
+
+bool calls_one_of(const FunctionInfo& fn,
+                  const std::vector<std::string>& wanted) {
+  return std::any_of(wanted.begin(), wanted.end(), [&](const auto& w) {
+    return std::find(fn.calls.begin(), fn.calls.end(), w) != fn.calls.end();
+  });
+}
+
+std::string join(const std::vector<std::string>& v, const char* sep) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += sep;
+    out += v[i];
+  }
+  return out;
+}
+
+bool in_list(const std::string& s, const std::vector<std::string>& v) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+// R2 function match: exact unqualified or qualified-suffix.
+bool function_matches(const FunctionInfo& fn, const std::string& want) {
+  if (fn.name == want || fn.qualified_name == want) return true;
+  const std::string suffix = "::" + want;
+  return fn.qualified_name.size() > suffix.size() &&
+         fn.qualified_name.compare(fn.qualified_name.size() - suffix.size(),
+                                   suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::vector<Finding> analyze_file(const std::string& path,
+                                  const std::string& source,
+                                  const RuleConfig& cfg) {
+  std::vector<Finding> findings;
+  const std::vector<Token> toks = tokenize(source);
+
+  const bool needs_functions =
+      (matches_any(path, cfg.r1_files) && !matches_any(path, cfg.r1_allow)) ||
+      std::any_of(cfg.r2_points.begin(), cfg.r2_points.end(),
+                  [&](const auto& p) { return path_matches(path, p.file); });
+  std::vector<FunctionInfo> fns;
+  if (needs_functions) fns = extract_functions(toks);
+
+  // R1: IPC interposition completeness.
+  if (matches_any(path, cfg.r1_files) && !matches_any(path, cfg.r1_allow)) {
+    for (const auto& fn : fns) {
+      if (in_list(fn.name, cfg.r1_send_fns) &&
+          !calls_one_of(fn, cfg.r1_send_via)) {
+        findings.push_back(
+            {path, fn.line, "R1",
+             "send interposition point '" + fn.qualified_name +
+                 "' never calls any of: " + join(cfg.r1_send_via, ", ")});
+      }
+      if (in_list(fn.name, cfg.r1_recv_fns) &&
+          !calls_one_of(fn, cfg.r1_recv_via)) {
+        findings.push_back(
+            {path, fn.line, "R1",
+             "receive interposition point '" + fn.qualified_name +
+                 "' never calls any of: " + join(cfg.r1_recv_via, ", ")});
+      }
+    }
+  }
+
+  // R2: named mediation points must reach the permission monitor.
+  if (!matches_any(path, cfg.r2_allow)) {
+    for (const auto& point : cfg.r2_points) {
+      if (!path_matches(path, point.file)) continue;
+      const auto it =
+          std::find_if(fns.begin(), fns.end(), [&](const FunctionInfo& fn) {
+            return function_matches(fn, point.function);
+          });
+      if (it == fns.end()) {
+        findings.push_back(
+            {path, 1, "R2",
+             "mediation point '" + point.function +
+                 "' not found (renamed away? update overhaul_lint.rules)"});
+      } else if (!calls_one_of(*it, point.calls)) {
+        findings.push_back(
+            {path, it->line, "R2",
+             "'" + it->qualified_name +
+                 "' serves a mediated resource but never calls any of: " +
+                 join(point.calls, ", ")});
+      }
+    }
+  }
+
+  // R3: guarded-field writes outside the approved API files.
+  if (!cfg.r3_fields.empty() && !matches_any(path, cfg.r3_allow)) {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          !in_list(toks[i].text, cfg.r3_fields))
+        continue;
+      const Token& next = toks[i + 1];
+      if (next.kind == TokKind::kPunct && assign_ops().count(next.text) > 0) {
+        findings.push_back(
+            {path, toks[i].line, "R3",
+             "raw write to '" + toks[i].text +
+                 "' — use adopt_interaction()/clear_interaction() or the "
+                 "fork-copy path"});
+      }
+    }
+  }
+
+  // R4: banned raw clock/time primitives.
+  if (!cfg.r4_banned.empty() && !matches_any(path, cfg.r4_exempt)) {
+    for (const auto& tok : toks) {
+      if (tok.kind == TokKind::kIdent && in_list(tok.text, cfg.r4_banned)) {
+        findings.push_back(
+            {path, tok.line, "R4",
+             "banned raw time primitive '" + tok.text +
+                 "' — all simulation time flows through sim::Clock"});
+      }
+    }
+  }
+
+  return findings;
+}
+
+std::vector<Finding> run_lint(const std::vector<std::string>& roots,
+                              const RuleConfig& cfg,
+                              std::size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(normalize_path(root));
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp")
+        files.push_back(normalize_path(it->path().string()));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files_scanned != nullptr) *files_scanned = files.size();
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      findings.push_back({file, 0, "io", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto fs_findings = analyze_file(file, buf.str(), cfg);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(fs_findings.begin()),
+                    std::make_move_iterator(fs_findings.end()));
+  }
+
+  // A mediation point whose file vanished from the scan set must not pass
+  // silently — deleting or renaming the file is exactly the regression R2
+  // exists to catch.
+  for (const auto& point : cfg.r2_points) {
+    const bool seen = std::any_of(files.begin(), files.end(), [&](const auto& f) {
+      return path_matches(f, point.file);
+    });
+    if (!seen) {
+      findings.push_back(
+          {point.file, 0, "R2",
+           "mediation file not found under scan roots (moved or deleted?)"});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace overhaul::lint

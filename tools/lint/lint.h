@@ -1,0 +1,127 @@
+// overhaul-lint: mediation-completeness static analyzer.
+//
+// Overhaul's security argument rests on *complete mediation*: every device
+// open, display-resource request, and IPC send/receive must pass through the
+// permission monitor or the P1/P2 timestamp-propagation protocol (paper
+// §III-B–D, §IV-B). A single missed interposition point silently breaks the
+// model, so the build enforces four reference-monitor invariants over the
+// repo's own sources:
+//
+//   R1  ipc-stamp         every send/receive interposition point in the IPC
+//                         subsystem calls IpcObject::stamp_on_send /
+//                         propagate_on_recv (or an approved equivalent such
+//                         as PageFaultEngine::on_access).
+//   R2  mediated-access   named resource-acquisition functions (augmented
+//                         open(2), clipboard, screen capture) reach
+//                         PermissionMonitor::check/check_now before serving.
+//   R3  ts-write          TaskStruct::interaction_ts is only written through
+//                         the approved APIs (adopt_interaction,
+//                         clear_interaction, fork-copy) — never ad hoc.
+//   R4  raw-clock         no banned wall-clock/time primitives outside the
+//                         virtual-clock module (src/sim/).
+//
+// The analyzer is deliberately lightweight: a C++ tokenizer, a heuristic
+// function extractor (definition name + the set of calls in its body), and a
+// rule engine configured by a checked-in allowlist file
+// (tools/lint/overhaul_lint.rules). It is not a compiler; it is a tripwire
+// tuned to this codebase's idiom, registered as a tier-1 ctest check so a
+// refactor cannot drop a mediation call without the build going red.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace overhaul::lint {
+
+// --- tokenizer ---------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+// Comments, preprocessor directives, and literal *contents* never produce
+// identifier tokens, so a commented-out mediation call cannot satisfy a rule.
+std::vector<Token> tokenize(const std::string& source);
+
+// --- function extraction -----------------------------------------------------
+
+struct FunctionInfo {
+  std::string qualified_name;  // e.g. "Pipe::write"
+  std::string name;            // unqualified: "write"
+  int line = 0;                // line of the definition's name token
+  std::vector<std::string> calls;  // unqualified callee names in the body
+};
+
+std::vector<FunctionInfo> extract_functions(const std::vector<Token>& tokens);
+
+// --- rule configuration ------------------------------------------------------
+
+// R2 entry: `function` in `file` must call one of `calls`.
+struct MediationPoint {
+  std::string file;
+  std::string function;
+  std::vector<std::string> calls;
+};
+
+struct RuleConfig {
+  // R1
+  std::vector<std::string> r1_files;     // path entries (dir/ or file)
+  std::vector<std::string> r1_send_fns;  // function names that must stamp
+  std::vector<std::string> r1_recv_fns;  // function names that must adopt
+  std::vector<std::string> r1_send_via;  // calls accepted as send interposition
+  std::vector<std::string> r1_recv_via;  // calls accepted as recv interposition
+  std::vector<std::string> r1_allow;     // exempt paths
+
+  // R2
+  std::vector<MediationPoint> r2_points;
+  std::vector<std::string> r2_allow;
+
+  // R3
+  std::vector<std::string> r3_fields;  // guarded field names
+  std::vector<std::string> r3_allow;   // paths holding the approved APIs
+
+  // R4
+  std::vector<std::string> r4_banned;  // banned identifiers
+  std::vector<std::string> r4_exempt;  // paths allowed to use them
+};
+
+// Parses the rules file. Returns std::nullopt and sets `error` on malformed
+// input (unknown keys are errors so a typo cannot silently disable a rule).
+std::optional<RuleConfig> parse_rules(const std::string& text,
+                                      std::string* error);
+std::optional<RuleConfig> load_rules_file(const std::string& path,
+                                          std::string* error);
+
+// --- analysis ----------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;  // "R1".."R4"
+  std::string message;
+};
+
+// True when `path` matches a config path entry. Entries ending in '/' are
+// directory prefixes; others match the full path or a '/'-anchored suffix, so
+// rules written as repo-relative paths work for absolute invocations too.
+bool path_matches(const std::string& path, const std::string& entry);
+
+// Runs all rules over one in-memory file.
+std::vector<Finding> analyze_file(const std::string& path,
+                                  const std::string& source,
+                                  const RuleConfig& config);
+
+// Scans `roots` recursively for C++ sources (.cpp/.cc/.h/.hpp), analyzes each,
+// and appends an R2 finding for any mediation point whose file was never seen
+// (a renamed/deleted anchor must not pass silently). `files_scanned`, when
+// non-null, receives the number of files analyzed.
+std::vector<Finding> run_lint(const std::vector<std::string>& roots,
+                              const RuleConfig& config,
+                              std::size_t* files_scanned = nullptr);
+
+}  // namespace overhaul::lint

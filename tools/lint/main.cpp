@@ -1,0 +1,61 @@
+// overhaul-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/config error.
+//
+//   overhaul-lint --root src [--root more/src] --rules tools/lint/overhaul_lint.rules
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --root <dir|file> [--root ...] --rules <file> "
+               "[--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string rules_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      roots.emplace_back(argv[++i]);
+    } else if (arg == "--rules" && i + 1 < argc) {
+      rules_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (roots.empty() || rules_path.empty()) return usage(argv[0]);
+
+  std::string error;
+  const auto config = overhaul::lint::load_rules_file(rules_path, &error);
+  if (!config.has_value()) {
+    std::fprintf(stderr, "overhaul-lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::size_t files_scanned = 0;
+  const auto findings =
+      overhaul::lint::run_lint(roots, *config, &files_scanned);
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "overhaul-lint: %zu finding(s) in %zu file(s) scanned\n",
+                 findings.size(), files_scanned);
+  }
+  return findings.empty() ? 0 : 1;
+}
