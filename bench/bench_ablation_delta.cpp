@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/user_model.h"
+#include "bench_report.h"
 #include "core/system.h"
 #include "util/ascii_chart.h"
 #include "util/histogram.h"
@@ -62,6 +63,7 @@ int main() {
     core::OverhaulConfig cfg;
     cfg.delta = sim::Duration::seconds_f(delta_s);
     cfg.audit = false;
+    cfg.trace = false;
     core::OverhaulSystem sys(cfg);
     auto app = sys.launch_gui_app("/usr/bin/app", "app").value();
     const auto& r = sys.xserver().window(app.window)->rect();
@@ -92,8 +94,20 @@ int main() {
   util::AsciiChart chart(56, 12);
   chart.set_title("\nfalse-deny rate vs δ (knee at the paper's 2 s):");
   chart.set_y_label("false-deny %, x: δ seconds");
+  std::string rows;
+  for (std::size_t i = 0; i < curve.x.size(); ++i) {
+    if (!rows.empty()) rows += ",";
+    rows += "{\"delta_s\":" + bench::JsonReport::number(curve.x[i]) +
+            ",\"false_deny_pct\":" + bench::JsonReport::number(curve.y[i]) +
+            "}";
+  }
   chart.add_series(std::move(curve));
   std::printf("%s", chart.render().c_str());
+
+  bench::JsonReport report("ablation_delta");
+  report.add("trials_per_delta", kTrialsPerDelta);
+  report.add_raw("rows", "[" + rows + "]");
+  (void)report.write("BENCH_ablation_delta.json");
 
   std::printf("\nPaper's observation: δ < 1 s falsely revokes; δ = 2 s is "
               "sufficient. Expected shape: rate ≈ 0 at 2 s.\n");

@@ -17,6 +17,7 @@
 // shipping the transparent model on legacy systems.
 #include <cstdio>
 
+#include "bench_report.h"
 #include "core/system.h"
 #include "util/rng.h"
 
@@ -38,6 +39,7 @@ PolicyResult run(kern::GrantPolicy policy, std::uint64_t seed) {
   core::OverhaulConfig cfg;
   cfg.grant_policy = policy;
   cfg.audit = false;
+  cfg.trace = false;
   core::OverhaulSystem sys(cfg);
   util::Rng rng(seed);
   PolicyResult result;
@@ -115,6 +117,19 @@ int main() {
               "ACG-aware apps: user-driven mic use works",
               overhaul.modern_working, kModernApps, acg.modern_working,
               kModernApps);
+
+  const auto policy_json = [](const PolicyResult& r) {
+    return "{\"over_grants\":" + std::to_string(r.over_grants) +
+           ",\"legacy_working\":" + std::to_string(r.legacy_working) +
+           ",\"modern_working\":" + std::to_string(r.modern_working) + "}";
+  };
+  bench::JsonReport report("ablation_precision");
+  report.add("unrelated_clicks", kUnrelatedClicks);
+  report.add("legacy_apps", kLegacyApps);
+  report.add("modern_apps", kModernApps);
+  report.add_raw("input_driven", policy_json(overhaul));
+  report.add_raw("acg", policy_json(acg));
+  (void)report.write("BENCH_ablation_precision.json");
 
   std::printf("\nExpected shape (paper §III-E, §VI): ACG wins on precision "
               "(zero over-grant), the\ninput-driven model wins on "

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/system.h"
 #include "util/ascii_chart.h"
 #include "util/rng.h"
@@ -32,6 +33,7 @@ Row run(double wait_ms) {
   core::OverhaulConfig cfg;
   cfg.shm_rearm_wait = sim::Duration::seconds_f(wait_ms / 1000.0);
   cfg.audit = false;
+  cfg.trace = false;
   core::OverhaulSystem sys(cfg);
   sys.kernel().page_faults().set_config(kern::PageFaultConfig{
       cfg.shm_rearm_wait, true, /*track_misses=*/true});
@@ -130,6 +132,21 @@ int main() {
   chart.add_series(std::move(fault_curve));
   chart.add_series(std::move(grant_curve));
   std::printf("%s", chart.render().c_str());
+
+  std::string row_array;
+  for (const Row& row : rows) {
+    if (!row_array.empty()) row_array += ",";
+    row_array += "{\"wait_ms\":" + bench::JsonReport::number(row.wait_ms) +
+                 ",\"faults\":" + std::to_string(row.faults) +
+                 ",\"fast_accesses\":" + std::to_string(row.fast) +
+                 ",\"missed_propagations\":" + std::to_string(row.missed) +
+                 ",\"grant_rate\":" + bench::JsonReport::number(row.grant_rate) +
+                 "}";
+  }
+  bench::JsonReport report("ablation_shmwait");
+  report.add("ops", kOps);
+  report.add_raw("rows", "[" + row_array + "]");
+  (void)report.write("BENCH_ablation_shmwait.json");
 
   std::printf("\nExpected shape: faults fall sharply with longer waits; "
               "missed propagations grow; the command grant rate stays high "

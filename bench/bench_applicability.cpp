@@ -10,12 +10,14 @@
 #include <map>
 
 #include "apps/catalog.h"
+#include "bench_report.h"
 #include "core/system.h"
 
 using namespace overhaul;
 
 int main() {
   std::printf("Applicability & false-positive assessment (§V-C)\n\n");
+  bench::JsonReport report("applicability");
 
   // --- device/screen pool -----------------------------------------------------
   {
@@ -51,6 +53,13 @@ int main() {
                 "delayed screenshots denied", delayed);
     std::printf("  %-42s %6d / %d\n", "user-driven ops granted/denied",
                 grants, denials);
+    report.add("device_pool_apps", apps::device_catalog().size());
+    report.add("device_pool_broken", broken);
+    report.add("device_pool_spurious_alerts", spurious);
+    report.add("device_pool_delayed_denied", delayed);
+    report.add("device_pool_grants", grants);
+    report.add("device_pool_denials", denials);
+    report.add_raw("device_pool_metrics", sys.obs().metrics.to_json());
   }
 
   // --- clipboard pool -------------------------------------------------------------
@@ -76,9 +85,17 @@ int main() {
                 grants, denials);
     std::printf("  %-42s %6zu / %zu\n", "audited copy/paste grants",
                 copy_grants, paste_grants);
+    report.add("clipboard_pool_apps", apps::clipboard_catalog().size());
+    report.add("clipboard_pool_broken", broken);
+    report.add("clipboard_pool_grants", grants);
+    report.add("clipboard_pool_denials", denials);
+    report.add("audited_copy_grants", copy_grants);
+    report.add("audited_paste_grants", paste_grants);
+    report.add_raw("clipboard_pool_metrics", sys.obs().metrics.to_json());
   }
 
   std::printf("\nShape check vs paper: 58 + 50 apps, zero broken, one "
               "spurious alert, delayed shots unsupported.\n");
+  (void)report.write("BENCH_applicability.json");
   return 0;
 }

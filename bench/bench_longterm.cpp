@@ -18,6 +18,7 @@
 #include "apps/spyware.h"
 #include "apps/user_model.h"
 #include "apps/video_conf.h"
+#include "bench_report.h"
 #include "core/system.h"
 #include "util/audit_report.h"
 #include "util/rng.h"
@@ -35,7 +36,10 @@ struct MachineResult {
   int legit_denied = 0;  // false positives
   std::size_t blocked_logged = 0;
   std::size_t alerts = 0;
+  std::uint64_t audit_appended = 0;
+  std::uint64_t audit_dropped = 0;  // ring evictions; 0 = 21 days fit the cap
   util::AuditReport report;
+  std::string metrics_json;
 };
 
 MachineResult run_machine(bool protected_machine, std::uint64_t seed) {
@@ -115,7 +119,10 @@ MachineResult run_machine(bool protected_machine, std::uint64_t seed) {
   result.loot = spy->loot();
   result.alerts = sys.xserver().alerts().shown_count();
   result.blocked_logged = sys.audit().count(util::Decision::kDeny);
+  result.audit_appended = sys.audit().total_appended();
+  result.audit_dropped = sys.audit().dropped();
   result.report = util::build_report(sys.audit());
+  result.metrics_json = sys.obs().metrics.to_json();
   return result;
 }
 
@@ -151,6 +158,24 @@ int main() {
   // protected resources on the Overhaul machine.
   std::printf("\nOVERHAUL machine, audit-log report (who used what):\n%s",
               prot.report.to_string().c_str());
+
+  const auto machine_json = [](const MachineResult& m) {
+    return "{\"spyware_attempts\":" + std::to_string(m.attempts.total()) +
+           ",\"clipboard_harvested\":" + std::to_string(m.loot.clipboard.size()) +
+           ",\"screenshots_harvested\":" + std::to_string(m.loot.screenshots) +
+           ",\"mic_samples_harvested\":" + std::to_string(m.loot.mic_samples) +
+           ",\"legit_ops\":" + std::to_string(m.legit_ops) +
+           ",\"legit_denied\":" + std::to_string(m.legit_denied) +
+           ",\"blocked_logged\":" + std::to_string(m.blocked_logged) +
+           ",\"audit_appended\":" + std::to_string(m.audit_appended) +
+           ",\"audit_ring_dropped\":" + std::to_string(m.audit_dropped) +
+           ",\"metrics\":" + m.metrics_json + "}";
+  };
+  bench::JsonReport json("longterm");
+  json.add("days", kDays);
+  json.add_raw("overhaul", machine_json(prot));
+  json.add_raw("baseline", machine_json(base));
+  (void)json.write("BENCH_longterm.json");
 
   // Every screenshot/mic attempt lands in the audit log as a denial; the
   // clipboard attempts that found no selection owner fail earlier in the

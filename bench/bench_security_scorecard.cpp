@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apps/password_manager.h"
+#include "bench_report.h"
 #include "apps/runtime.h"
 #include "apps/spyware.h"
 #include "core/system.h"
@@ -141,6 +142,7 @@ int main() {
   std::printf("%-38s %12s %12s\n", "attack", "OVERHAUL", "baseline");
 
   int blocked = 0, total = 0;
+  std::string rows;
   for (const Attack& attack : attack_battery()) {
     core::OverhaulSystem protected_sys;
     core::OverhaulSystem baseline_sys(core::OverhaulConfig::baseline());
@@ -151,9 +153,18 @@ int main() {
                 on_baseline ? "succeeded" : "blocked");
     ++total;
     blocked += !on_overhaul;
+    if (!rows.empty()) rows += ",";
+    rows += "{\"attack\":" + obs::json::quote(attack.name) +
+            ",\"overhaul_blocked\":" + (on_overhaul ? "false" : "true") +
+            ",\"baseline_blocked\":" + (on_baseline ? "false" : "true") + "}";
   }
 
   std::printf("\n%d/%d attacks blocked under OVERHAUL.\n", blocked, total);
+  bench::JsonReport report("security_scorecard");
+  report.add("blocked", blocked);
+  report.add("total", total);
+  report.add_raw("rows", "[" + rows + "]");
+  (void)report.write("BENCH_security_scorecard.json");
   std::printf("(Netlink impersonation shows 'blocked' on both columns: the "
               "introspection-based\npeer authentication is part of the "
               "channel itself, not of the enforcement mode.)\n");

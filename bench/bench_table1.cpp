@@ -16,10 +16,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/system.h"
 #include "util/rng.h"
 
@@ -27,12 +29,17 @@ using namespace overhaul;
 
 namespace {
 
-constexpr int kDeviceOpens = 100'000;
-constexpr int kPastes = 20'000;
-constexpr int kCaptures = 500;
-constexpr int kShmWrites = 10'000'000;
+// --quick divides the iteration counts and runs a single repetition: the
+// numbers are meaningless as measurements but exercise the full pipeline
+// (including the JSON report), which is what the check.sh smoke step needs.
+int g_scale = 1;
+
+int kDeviceOpens = 100'000;
+int kPastes = 20'000;
+int kCaptures = 500;
+int kShmWrites = 10'000'000;
 constexpr int kShmPages = 10'000;
-constexpr int kBonnieFiles = 102'400;
+int kBonnieFiles = 102'400;
 // Real clipboard payloads are kilobytes (rich text, images); the transfer
 // cost is what the permission query is amortized against.
 constexpr std::size_t kClipboardPayload = 256 * 1024;
@@ -43,6 +50,7 @@ core::OverhaulConfig bench_config(bool enabled) {
   core::OverhaulConfig cfg = enabled ? core::OverhaulConfig::grant_always()
                                      : core::OverhaulConfig::baseline();
   cfg.audit = false;  // tight loops; the log would dominate memory
+  cfg.trace = false;  // spans allocate; counters alone stay on
   return cfg;
 }
 
@@ -231,9 +239,34 @@ void print_row(const char* name, const Agg& agg, double ops) {
               agg.base, agg.over, agg.overhead_pct(), agg.base / ops * 1e9);
 }
 
+// One Table-I row as a JSON object for the BENCH_table1.json trajectory.
+std::string row_json(const char* name, const Agg& agg, double ops) {
+  using bench::JsonReport;
+  std::string j = "{\"name\":" + obs::json::quote(name);
+  j += ",\"baseline_s\":" + JsonReport::number(agg.base);
+  j += ",\"overhaul_s\":" + JsonReport::number(agg.over);
+  j += ",\"baseline_ns_per_op\":" + JsonReport::number(agg.base / ops * 1e9);
+  j += ",\"overhaul_ns_per_op\":" + JsonReport::number(agg.over / ops * 1e9);
+  j += ",\"overhead_pct\":" + JsonReport::number(agg.overhead_pct());
+  j += "}";
+  return j;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  if (quick) {
+    g_scale = 200;
+    kDeviceOpens /= g_scale;
+    kPastes /= g_scale;
+    kCaptures /= 10;  // already small
+    kShmWrites /= g_scale;
+    kBonnieFiles /= g_scale;
+    std::printf("(--quick: iteration counts divided by %d, 1 repetition — "
+                "pipeline smoke, not a measurement)\n",
+                g_scale);
+  }
   std::printf("Table I: performance overhead of OVERHAUL\n");
   std::printf("(monitor in grant-always mode, exercising the full decision "
               "path; counts scaled from the paper)\n\n");
@@ -243,15 +276,17 @@ int main() {
   // Per-repetition ratios; each repetition alternates which side goes
   // first, and the row reports the median ratio (robust to load spikes on
   // shared machines) plus each side's best time.
-  constexpr int kReps = 7;
+  const int kReps = quick ? 1 : 7;
   Agg dev, clip, scr, shm, fs_create, fs_stat, fs_delete;
 
   // Discarded warmup pass: grows the heap and ramps the CPU so the first
   // timed repetition is not systematically slower than later ones.
-  (void)run_device_access(false);
-  (void)run_clipboard(false);
-  (void)run_screen_capture(false);
-  (void)run_bonnie(false);
+  if (!quick) {
+    (void)run_device_access(false);
+    (void)run_clipboard(false);
+    (void)run_screen_capture(false);
+    (void)run_bonnie(false);
+  }
 
   for (int rep = 0; rep < kReps; ++rep) {
     const bool base_first = rep % 2 == 0;
@@ -296,6 +331,20 @@ int main() {
               fs_stat.base, fs_stat.over, "~0");
   std::printf("%-16s %12.3f s %12.3f s %9s\n", "  (delete)",
               fs_delete.base, fs_delete.over, "~0");
+
+  bench::JsonReport report("table1");
+  report.add_raw("quick", quick ? "true" : "false");
+  report.add("reps", kReps);
+  report.add_raw("rows",
+                 "[" + row_json("Device Access", dev, kDeviceOpens) + "," +
+                     row_json("Clipboard", clip, kPastes) + "," +
+                     row_json("Screen Capture", scr, kCaptures) + "," +
+                     row_json("Shared Memory", shm, kShmWrites) + "," +
+                     row_json("Bonnie++ create", fs_create, kBonnieFiles) +
+                     "," + row_json("Bonnie++ stat", fs_stat, kBonnieFiles) +
+                     "," + row_json("Bonnie++ delete", fs_delete, kBonnieFiles) +
+                     "]");
+  (void)report.write("BENCH_table1.json");
 
   std::printf("\nPaper's measured column for comparison: 2.17%% / 2.96%% / "
               "2.34%% / 0.63%% / 0.11%%\n");

@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "apps/spyware.h"
+#include "bench_report.h"
 #include "apps/user_model.h"
 #include "apps/video_conf.h"
 #include "core/system.h"
@@ -98,6 +99,16 @@ int main() {
   std::printf("  %-44s %5d %9d\n", "noticed, reported when prompted", 16,
               prompted);
   std::printf("  %-44s %5d %9d\n", "noticed nothing", 6, missed);
+
+  bench::JsonReport report("usability");
+  report.add("participants", kParticipants);
+  report.add("identical_ratings", identical_ratings);
+  report.add("task1_failures", task1_failures);
+  report.add("alerts_raised", alerts_raised);
+  report.add("interrupted_immediately", immediate);
+  report.add("reported_when_prompted", prompted);
+  report.add("noticed_nothing", missed);
+  (void)report.write("BENCH_usability.json");
 
   const bool ok = task1_failures == 0 && identical_ratings == kParticipants &&
                   alerts_raised == kParticipants &&

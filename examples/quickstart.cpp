@@ -10,6 +10,7 @@
 #include "apps/video_conf.h"
 #include "core/system.h"
 #include "core/timeline.h"
+#include "obs/trace_export.h"
 
 using namespace overhaul;
 
@@ -61,5 +62,21 @@ int main() {
   std::printf("\n%s", x11::AlertOverlay::render_banner(
                           sys.xserver().alerts().history().back())
                           .c_str());
+
+  // 6. Observability: the same session as counters (what any process can
+  // read from /proc/overhaul/metrics) and as a Chrome trace of virtual-time
+  // spans (chrome://tracing / https://ui.perfetto.dev).
+  auto metrics =
+      sys.kernel().procfs().read(skype->pid(), "/proc/overhaul/metrics");
+  std::printf("\n/proc/overhaul/metrics:\n%s",
+              metrics.is_ok() ? metrics.value().c_str() : "unreadable\n");
+  const std::string trace_path = "quickstart_trace.json";
+  if (std::FILE* f = std::fopen(trace_path.c_str(), "w"); f != nullptr) {
+    const std::string trace = obs::to_chrome_json(sys.obs().tracer);
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu spans; open in chrome://tracing)\n",
+                trace_path.c_str(), sys.obs().tracer.events().size());
+  }
   return 0;
 }

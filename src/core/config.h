@@ -25,6 +25,11 @@ struct OverhaulConfig {
   sim::Duration visibility_threshold = sim::Duration::millis(500);
   bool ptrace_protect = true;
   bool audit = true;
+
+  // Span/instant tracing (src/obs/). Metrics counters are always on — they
+  // are single relaxed atomic adds — but span construction allocates strings,
+  // so benchmarks turn tracing off the same way they turn the audit log off.
+  bool trace = true;
   kern::MonitorMode monitor_mode = kern::MonitorMode::kEnforce;
 
   // Optional explicit-prompt mode (§IV-A): would-be denials raise an

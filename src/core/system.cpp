@@ -10,6 +10,10 @@ using util::Status;
 OverhaulSystem::OverhaulSystem(OverhaulConfig config)
     : config_(std::move(config)), scheduler_(clock_) {
   kernel_ = std::make_unique<kern::Kernel>(clock_, config_.kernel_config());
+  kernel_->obs().tracer.set_enabled(config_.trace);
+  scheduler_.set_depth_observer(
+      [gauge = kernel_->obs().metrics.gauge("sim.scheduler.depth")](
+          std::size_t depth) { gauge->record(depth); });
 
   // Boot order mirrors a real machine: devices appear, udev maps them, then
   // the display server starts and connects its netlink channel.

@@ -14,6 +14,7 @@
 
 #include "core/config.h"
 #include "kern/kernel.h"
+#include "obs/obs.h"
 #include "sim/clock.h"
 #include "sim/scheduler.h"
 #include "x11/input.h"
@@ -35,6 +36,7 @@ class OverhaulSystem {
   [[nodiscard]] x11::XServer& xserver() noexcept { return *xserver_; }
   [[nodiscard]] x11::HardwareInputDriver& input() noexcept { return *input_; }
   [[nodiscard]] util::AuditLog& audit() noexcept { return kernel_->audit(); }
+  [[nodiscard]] obs::Observability& obs() noexcept { return kernel_->obs(); }
 
   // --- standard devices ------------------------------------------------------
   [[nodiscard]] kern::DeviceId microphone() const noexcept { return mic_; }

@@ -20,7 +20,8 @@ class FifoNamespace {
   // Allocate a key + backing pipe for a new fifo inode.
   std::uint32_t create() {
     const std::uint32_t key = next_key_++;
-    fifos_.emplace(key, std::make_shared<Pipe>(policy_));
+    fifos_.emplace(key, std::make_shared<Pipe>(policy_, Pipe::kDefaultCapacity,
+                                               IpcFamily::kFifo));
     return key;
   }
 

@@ -18,25 +18,75 @@
 #include <cstdint>
 
 #include "kern/task.h"
+#include "obs/metrics.h"
 #include "sim/clock.h"
 
 namespace overhaul::kern {
 
+// The concrete IPC facility behind an IpcObject — the paper's §IV-B
+// supported list. Used to attribute P2 stamp/adoption counts per family in
+// the obs metrics (`ipc.<family>.send_stamps` / `ipc.<family>.recv_adoptions`).
+enum class IpcFamily : std::uint8_t {
+  kPipe,
+  kFifo,
+  kMsgQueue,
+  kSocket,
+  kShm,
+  kPty,
+  kOther,  // bare IpcObject (tests); never wired to counters
+};
+
+inline constexpr std::size_t kIpcFamilyCount = 7;
+
+[[nodiscard]] constexpr const char* ipc_family_name(IpcFamily f) noexcept {
+  switch (f) {
+    case IpcFamily::kPipe: return "pipe";
+    case IpcFamily::kFifo: return "fifo";
+    case IpcFamily::kMsgQueue: return "msgq";
+    case IpcFamily::kSocket: return "socket";
+    case IpcFamily::kShm: return "shm";
+    case IpcFamily::kPty: return "pty";
+    case IpcFamily::kOther: return "other";
+  }
+  return "other";
+}
+
+// Pre-resolved metric handles for one IPC family. Null pointers mean
+// observability is not attached (standalone tests, bare namespaces) and the
+// stamp paths skip recording entirely.
+struct IpcFamilyCounters {
+  obs::Counter* send_stamps = nullptr;
+  obs::Counter* recv_adoptions = nullptr;
+};
+
 // Global propagation switch: cleared in baseline ("unmodified kernel") mode
-// so benchmark baselines run the untouched code path.
+// so benchmark baselines run the untouched code path. Shared by const
+// reference with every IPC object, which is also what lets the kernel hand
+// one set of per-family counter handles to all of them at attach time.
 struct IpcPolicy {
   bool propagate = true;
+  IpcFamilyCounters counters[kIpcFamilyCount] = {};
+
+  [[nodiscard]] const IpcFamilyCounters& family_counters(
+      IpcFamily f) const noexcept {
+    return counters[static_cast<std::size_t>(f)];
+  }
 };
 
 class IpcObject {
  public:
-  explicit IpcObject(const IpcPolicy& policy) : policy_(policy) {}
+  explicit IpcObject(const IpcPolicy& policy,
+                     IpcFamily family = IpcFamily::kOther)
+      : policy_(policy), family_(family) {}
 
   // Step 2: called at every send interposition point.
   void stamp_on_send(const TaskStruct& sender) noexcept {
     if (!policy_.propagate) return;
     if (sender.interaction_ts > stamp_) stamp_ = sender.interaction_ts;
     ++send_stamps_;
+    if (obs::Counter* c = policy_.family_counters(family_).send_stamps;
+        c != nullptr)
+      c->add();
   }
 
   // Step 3: called at every receive interposition point.
@@ -44,7 +94,12 @@ class IpcObject {
     if (!policy_.propagate) return;
     receiver.adopt_interaction(stamp_);
     ++recv_adoptions_;
+    if (obs::Counter* c = policy_.family_counters(family_).recv_adoptions;
+        c != nullptr)
+      c->add();
   }
+
+  [[nodiscard]] IpcFamily family() const noexcept { return family_; }
 
   [[nodiscard]] sim::Timestamp stamp() const noexcept { return stamp_; }
 
@@ -71,6 +126,7 @@ class IpcObject {
 
  private:
   const IpcPolicy& policy_;
+  IpcFamily family_;
   sim::Timestamp stamp_ = sim::Timestamp::never();
   std::uint64_t send_stamps_ = 0;
   std::uint64_t recv_adoptions_ = 0;

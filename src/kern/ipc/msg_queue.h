@@ -23,7 +23,7 @@ namespace overhaul::kern {
 class PosixMq : public IpcObject {
  public:
   PosixMq(const IpcPolicy& policy, std::size_t max_messages)
-      : IpcObject(policy), max_messages_(max_messages) {}
+      : IpcObject(policy, IpcFamily::kMsgQueue), max_messages_(max_messages) {}
 
   util::Status send(TaskStruct& sender, std::string payload,
                     std::uint32_t priority);
@@ -68,7 +68,7 @@ class PosixMqNamespace {
 class SysvMq : public IpcObject {
  public:
   SysvMq(const IpcPolicy& policy, std::size_t max_bytes)
-      : IpcObject(policy), max_bytes_(max_bytes) {}
+      : IpcObject(policy, IpcFamily::kMsgQueue), max_bytes_(max_bytes) {}
 
   util::Status send(TaskStruct& sender, long type, std::string payload);
   util::Result<std::pair<long, std::string>> receive(TaskStruct& receiver,

@@ -1,14 +1,26 @@
 #include "kern/ipc/page_fault.h"
 
 #include "kern/ipc/shared_memory.h"
+#include "obs/obs.h"
 
 namespace overhaul::kern {
+
+void PageFaultEngine::attach_obs(obs::Observability* obs) {
+  if (obs == nullptr) {
+    c_faults_ = nullptr;
+    c_rearms_ = nullptr;
+    return;
+  }
+  c_faults_ = obs->metrics.counter("ipc.shm.page_faults");
+  c_rearms_ = obs->metrics.counter("ipc.shm.rearms");
+}
 
 void PageFaultEngine::handle_fault(ShmMapping& mapping, TaskStruct& task,
                                    bool is_write) {
   // Access violation: run the propagation protocol in the fault handler,
   // then restore permissions and start the wait window (§IV-B).
   ++stats_.faults;
+  if (c_faults_ != nullptr) c_faults_->add();
   if (is_write) {
     mapping.segment_->stamp_on_send(task);
   } else {

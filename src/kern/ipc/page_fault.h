@@ -24,7 +24,12 @@
 #include <cstdint>
 
 #include "kern/task.h"
+#include "obs/metrics.h"
 #include "sim/clock.h"
+
+namespace overhaul::obs {
+struct Observability;
+}
 
 namespace overhaul::kern {
 
@@ -67,6 +72,11 @@ class PageFaultEngine {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  // Pre-resolves the fault/re-arm counters (`ipc.shm.page_faults`,
+  // `ipc.shm.rearms`). Null detaches. Only the fault path and the re-arm
+  // transition record; the disarmed fast path stays two compares.
+  void attach_obs(obs::Observability* obs);
+
  private:
   // The access-violation path: propagation protocol + wait-list entry.
   void handle_fault(ShmMapping& mapping, TaskStruct& task, bool is_write);
@@ -76,6 +86,8 @@ class PageFaultEngine {
   sim::Clock& clock_;
   PageFaultConfig config_;
   Stats stats_;
+  obs::Counter* c_faults_ = nullptr;
+  obs::Counter* c_rearms_ = nullptr;
 };
 
 }  // namespace overhaul::kern

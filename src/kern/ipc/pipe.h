@@ -20,8 +20,11 @@ class Pipe : public IpcObject {
  public:
   static constexpr std::size_t kDefaultCapacity = 65536;  // Linux default
 
-  explicit Pipe(const IpcPolicy& policy, std::size_t capacity = kDefaultCapacity)
-      : IpcObject(policy), capacity_(capacity) {}
+  // FIFOs reuse Pipe with their own family tag so per-family metrics stay
+  // distinguishable even though the mechanics are identical.
+  explicit Pipe(const IpcPolicy& policy, std::size_t capacity = kDefaultCapacity,
+                IpcFamily family = IpcFamily::kPipe)
+      : IpcObject(policy, family), capacity_(capacity) {}
 
   // Write up to data.size() bytes; partial writes occur when near capacity.
   // kWouldBlock when full; kBrokenChannel when no reader remains (SIGPIPE

@@ -26,7 +26,7 @@ inline constexpr std::size_t kPageSize = 4096;
 class ShmSegment : public IpcObject {
  public:
   ShmSegment(const IpcPolicy& policy, std::size_t bytes)
-      : IpcObject(policy), data_(bytes, std::uint8_t{0}) {}
+      : IpcObject(policy, IpcFamily::kShm), data_(bytes, std::uint8_t{0}) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] std::uint8_t* data() noexcept { return data_.data(); }
@@ -99,7 +99,10 @@ inline void PageFaultEngine::on_access(ShmMapping& mapping, TaskStruct& task,
       if (config_.track_misses) note_fast_access(mapping, task, is_write);
       return;
     }
+    // Wait elapsed: permissions are revoked again (the paper's wait-list
+    // timer firing). Counted as a re-arm; the fault below is counted there.
     mapping.armed_ = true;
+    if (c_rearms_ != nullptr) c_rearms_->add();
   }
   handle_fault(mapping, task, is_write);
 }

@@ -44,7 +44,8 @@ class UnixSocketEndpoint {
 class UnixSocketPair : public std::enable_shared_from_this<UnixSocketPair> {
  public:
   explicit UnixSocketPair(const IpcPolicy& policy)
-      : dir_{IpcObject{policy}, IpcObject{policy}} {}
+      : dir_{IpcObject{policy, IpcFamily::kSocket},
+             IpcObject{policy, IpcFamily::kSocket}} {}
 
   // The two connected endpoints.
   static std::pair<UnixSocketEndpoint, UnixSocketEndpoint> make(

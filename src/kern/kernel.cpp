@@ -51,6 +51,30 @@ Kernel::Kernel(sim::Clock& clock, KernelConfig config)
 
   wire_netlink_handlers();
   wire_alert_forwarding();
+  wire_observability();
+}
+
+void Kernel::wire_observability() {
+  monitor_.attach_obs(&obs_);
+  netlink_.attach_obs(&obs_);
+  page_faults_.attach_obs(&obs_);
+  procfs_.attach_obs(&obs_);
+
+  c_device_opens_ = obs_.metrics.counter("vfs.device.opens");
+  c_device_denials_ = obs_.metrics.counter("vfs.device.denials");
+
+  // Per-family P2 stamp counters. The policy struct is shared by const
+  // reference with every IPC object, so filling it here hands pre-resolved
+  // handles to all current and future channels at once.
+  constexpr IpcFamily kFamilies[] = {IpcFamily::kPipe,     IpcFamily::kFifo,
+                                     IpcFamily::kMsgQueue, IpcFamily::kSocket,
+                                     IpcFamily::kShm,      IpcFamily::kPty};
+  for (const IpcFamily family : kFamilies) {
+    const std::string prefix = std::string("ipc.") + ipc_family_name(family);
+    auto& slot = ipc_policy_.counters[static_cast<std::size_t>(family)];
+    slot.send_stamps = obs_.metrics.counter(prefix + ".send_stamps");
+    slot.recv_adoptions = obs_.metrics.counter(prefix + ".recv_adoptions");
+  }
 }
 
 void Kernel::wire_netlink_handlers() {
@@ -148,9 +172,11 @@ Result<int> Kernel::sys_open(Pid pid, const std::string& path,
       const Device* dev = devices_.find(*dev_id);
       if (dev != nullptr && dev->sensitive()) {
         const Decision d = monitor_.check_now(pid, op_for_device(dev->cls), path);
-        if (d == Decision::kDeny)
+        if (d == Decision::kDeny) {
+          c_device_denials_->add();
           return Status(Code::kOverhaulDenied,
                         "no recent user interaction for " + path);
+        }
       }
     }
   }
@@ -160,6 +186,7 @@ Result<int> Kernel::sys_open(Pid pid, const std::string& path,
   // paper's Device Access benchmark measures against).
   if (inode.value()->type == InodeType::kDevice &&
       inode.value()->device != kNoDevice) {
+    c_device_opens_->add();
     devices_.simulate_open_work(inode.value()->device);
   }
 

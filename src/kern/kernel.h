@@ -30,6 +30,7 @@
 #include "kern/ptrace.h"
 #include "kern/pty.h"
 #include "kern/vfs.h"
+#include "obs/obs.h"
 #include "sim/clock.h"
 #include "util/audit_log.h"
 #include "util/status.h"
@@ -75,6 +76,10 @@ class Kernel {
   [[nodiscard]] PageFaultEngine& page_faults() noexcept { return page_faults_; }
   [[nodiscard]] util::AuditLog& audit() noexcept { return audit_; }
   [[nodiscard]] IpcPolicy& ipc_policy() noexcept { return ipc_policy_; }
+  // The kernel-wide observability bundle: every subsystem above records into
+  // it, /proc/overhaul/metrics renders it, benches export it as JSON.
+  [[nodiscard]] obs::Observability& obs() noexcept { return obs_; }
+  [[nodiscard]] const obs::Observability& obs() const noexcept { return obs_; }
 
   [[nodiscard]] FifoNamespace& fifos() noexcept { return fifos_; }
   [[nodiscard]] PosixMqNamespace& posix_mqs() noexcept { return posix_mqs_; }
@@ -172,9 +177,14 @@ class Kernel {
  private:
   void wire_netlink_handlers();
   void wire_alert_forwarding();
+  void wire_observability();
 
   sim::Clock& clock_;
   KernelConfig config_;
+
+  // Declared before the mediating subsystems: they pre-resolve handles into
+  // it during construction/attachment.
+  obs::Observability obs_{clock_};
 
   util::AuditLog audit_;
   ProcessTable processes_;
@@ -197,6 +207,10 @@ class Kernel {
 
   std::unique_ptr<UdevHelper> udev_helper_;
   Pid udev_helper_pid_ = kNoPid;
+
+  // Pre-resolved device-mediation counters (sys_open hot path).
+  obs::Counter* c_device_opens_ = nullptr;
+  obs::Counter* c_device_denials_ = nullptr;
 };
 
 }  // namespace overhaul::kern

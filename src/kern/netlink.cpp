@@ -10,6 +10,23 @@ using util::Code;
 using util::Result;
 using util::Status;
 
+void NetlinkHub::attach_obs(obs::Observability* obs) {
+  if (obs == nullptr) {
+    c_connects_ = c_auth_failures_ = c_broken_rejects_ = c_interactions_ =
+        c_acg_grants_ = c_queries_ = c_device_updates_ = c_alerts_ = nullptr;
+    return;
+  }
+  auto& m = obs->metrics;
+  c_connects_ = m.counter("netlink.channel.connects");
+  c_auth_failures_ = m.counter("netlink.channel.auth_failures");
+  c_broken_rejects_ = m.counter("netlink.channel.broken_rejects");
+  c_interactions_ = m.counter("netlink.msg.interactions");
+  c_acg_grants_ = m.counter("netlink.msg.acg_grants");
+  c_queries_ = m.counter("netlink.msg.queries");
+  c_device_updates_ = m.counter("netlink.msg.device_updates");
+  c_alerts_ = m.counter("netlink.msg.alerts");
+}
+
 Status NetlinkChannel::send_interaction(const InteractionNotification& note) {
   if (auto s = check_peer_alive(); !s.is_ok()) return s;
   if (role_ != NetlinkRole::kDisplayManager)
@@ -17,6 +34,7 @@ Status NetlinkChannel::send_interaction(const InteractionNotification& note) {
                   "interaction notifications accepted from the display "
                   "manager only");
   ++stats_.interactions_sent;
+  if (hub_.c_interactions_ != nullptr) hub_.c_interactions_->add();
   if (!hub_.on_interaction_)
     return Status(Code::kNotSupported, "no kernel handler installed");
   return hub_.on_interaction_(note);
@@ -28,6 +46,7 @@ Status NetlinkChannel::send_acg_grant(const AcgGrantNotification& note) {
     return Status(Code::kPermissionDenied,
                   "ACG grants accepted from the display manager only");
   ++stats_.interactions_sent;
+  if (hub_.c_acg_grants_ != nullptr) hub_.c_acg_grants_->add();
   if (!hub_.on_acg_grant_)
     return Status(Code::kNotSupported, "no kernel handler installed");
   return hub_.on_acg_grant_(note);
@@ -40,14 +59,17 @@ Result<PermissionReply> NetlinkChannel::query_permission(
     return Status(Code::kPermissionDenied,
                   "permission queries accepted from the display manager only");
   ++stats_.queries_sent;
+  if (hub_.c_queries_ != nullptr) hub_.c_queries_->add();
   if (!hub_.on_query_)
     return Status(Code::kNotSupported, "no kernel handler installed");
   return hub_.on_query_(query);
 }
 
 Status NetlinkChannel::check_peer_alive() const {
-  if (hub_.processes_.lookup_live(peer_) == nullptr)
+  if (hub_.processes_.lookup_live(peer_) == nullptr) {
+    if (hub_.c_broken_rejects_ != nullptr) hub_.c_broken_rejects_->add();
     return Status(Code::kBrokenChannel, "netlink: peer process is dead");
+  }
   return Status::ok();
 }
 
@@ -57,6 +79,7 @@ Status NetlinkChannel::send_device_update(const DeviceMapUpdate& update) {
     return Status(Code::kPermissionDenied,
                   "device-map updates accepted from the trusted helper only");
   ++stats_.device_updates_sent;
+  if (hub_.c_device_updates_ != nullptr) hub_.c_device_updates_->add();
   if (!hub_.on_device_update_)
     return Status(Code::kNotSupported, "no kernel handler installed");
   return hub_.on_device_update_(update);
@@ -70,21 +93,26 @@ Result<std::shared_ptr<NetlinkChannel>> NetlinkHub::connect(Pid pid) {
   // Introspection step 1: the peer's executable path must be one of the
   // well-known authorized binaries.
   const auto it = authorized_.find(task->exe_path);
-  if (it == authorized_.end())
+  if (it == authorized_.end()) {
+    if (c_auth_failures_ != nullptr) c_auth_failures_->add();
     return Status(Code::kNotAuthenticated,
                   "executable not authorized: " + task->exe_path);
+  }
 
   // Introspection step 2: the binary on disk must be superuser-owned, so a
   // user cannot place a look-alike binary at a writable path. (The paper's
   // check: "loaded from the well-known, and superuser-owned, filesystem
   // path".)
   auto st = vfs_.stat(task->exe_path);
-  if (!st.is_ok() || st.value().uid != kRootUid)
+  if (!st.is_ok() || st.value().uid != kRootUid) {
+    if (c_auth_failures_ != nullptr) c_auth_failures_->add();
     return Status(Code::kNotAuthenticated,
                   "executable not root-owned: " + task->exe_path);
+  }
 
   auto channel = std::make_shared<NetlinkChannel>(*this, pid, it->second);
   channels_.push_back(channel);
+  if (c_connects_ != nullptr) c_connects_->add();
   return channel;
 }
 
@@ -93,6 +121,7 @@ void NetlinkHub::request_alert(const AlertRequest& alert) {
     if (auto ch = weak.lock();
         ch && ch->role() == NetlinkRole::kDisplayManager) {
       ++ch->stats_.alerts_received;
+      if (c_alerts_ != nullptr) c_alerts_->add();
       ch->deliver_alert(alert);
     }
   }

@@ -25,6 +25,7 @@
 #include "kern/devices.h"
 #include "kern/task.h"
 #include "kern/vfs.h"
+#include "obs/obs.h"
 #include "sim/clock.h"
 #include "util/audit_log.h"
 #include "util/status.h"
@@ -163,6 +164,11 @@ class NetlinkHub {
   // Channel ownership bookkeeping: a channel whose peer died is dropped.
   void drop_dead_channels();
 
+  // Pre-resolves the hub's metric handles (`netlink.channel.*` for the
+  // authentication/liveness outcomes, `netlink.msg.*` per message family).
+  // Channels record through the hub, so attaching once covers all of them.
+  void attach_obs(obs::Observability* obs);
+
  private:
   friend class NetlinkChannel;
 
@@ -170,6 +176,15 @@ class NetlinkHub {
   Vfs& vfs_;
   std::map<std::string, NetlinkRole> authorized_;
   std::vector<std::weak_ptr<NetlinkChannel>> channels_;
+
+  obs::Counter* c_connects_ = nullptr;
+  obs::Counter* c_auth_failures_ = nullptr;
+  obs::Counter* c_broken_rejects_ = nullptr;
+  obs::Counter* c_interactions_ = nullptr;
+  obs::Counter* c_acg_grants_ = nullptr;
+  obs::Counter* c_queries_ = nullptr;
+  obs::Counter* c_device_updates_ = nullptr;
+  obs::Counter* c_alerts_ = nullptr;
 
   InteractionHandler on_interaction_;
   AcgGrantHandler on_acg_grant_;

@@ -5,10 +5,48 @@ namespace overhaul::kern {
 using util::Decision;
 using util::Op;
 
+void PermissionMonitor::attach_obs(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    c_granted_ = c_denied_ = c_ptrace_denied_ = c_prompted_ =
+        c_notifications_ = c_queries_ = nullptr;
+    h_grant_age_ms_ = nullptr;
+    return;
+  }
+  auto& m = obs->metrics;
+  c_granted_ = m.counter("monitor.decisions.granted");
+  c_denied_ = m.counter("monitor.decisions.denied");
+  c_ptrace_denied_ = m.counter("monitor.decisions.ptrace_denied");
+  c_prompted_ = m.counter("monitor.decisions.prompted");
+  c_notifications_ = m.counter("monitor.notifications");
+  c_queries_ = m.counter("monitor.queries");
+  // Interaction age at grant time in milliseconds: the δ window is 2000 ms,
+  // so the distribution shows how close to expiry real grants run.
+  h_grant_age_ms_ = m.histogram("monitor.grant.age_ms", 0.0, 2'000.0, 40);
+}
+
+void PermissionMonitor::note_decision(Decision decision, bool ptrace_denied,
+                                      bool prompted) {
+  if (obs_ == nullptr) return;
+  if (decision == Decision::kGrant) {
+    c_granted_->add();
+  } else {
+    c_denied_->add();
+  }
+  if (ptrace_denied) c_ptrace_denied_->add();
+  if (prompted) c_prompted_->add();
+}
+
+void PermissionMonitor::note_notification() {
+  if (obs_ == nullptr) return;
+  c_notifications_->add();
+}
+
 bool PermissionMonitor::record_interaction(Pid pid, sim::Timestamp ts) {
   TaskStruct* task = processes_.lookup_live(pid);
   if (task == nullptr) return false;
   ++stats_.notifications;
+  note_notification();
   task->adopt_interaction(ts);
   return true;
 }
@@ -17,6 +55,7 @@ bool PermissionMonitor::record_acg_grant(Pid pid, Op op, sim::Timestamp ts) {
   TaskStruct* task = processes_.lookup_live(pid);
   if (task == nullptr) return false;
   ++stats_.notifications;
+  note_notification();
   task->adopt_acg_grant(op, ts);
   return true;
 }
@@ -24,6 +63,12 @@ bool PermissionMonitor::record_acg_grant(Pid pid, Op op, sim::Timestamp ts) {
 Decision PermissionMonitor::check(Pid pid, Op op, sim::Timestamp op_time,
                                   const std::string& detail) {
   ++stats_.queries;
+  if (c_queries_ != nullptr) c_queries_->add();
+  // Decision span: one "X" event covering the whole check, tagged with the
+  // verdict below. Inert unless a tracer is attached and enabled.
+  obs::Tracer::Span span;
+  if (obs_ != nullptr && obs_->tracer.enabled())
+    span = obs_->tracer.span("PermissionMonitor::check", "monitor", pid);
 
   TaskStruct* task = processes_.lookup_live(pid);
   const sim::Timestamp interaction =
@@ -86,6 +131,13 @@ Decision PermissionMonitor::check(Pid pid, Op op, sim::Timestamp op_time,
     ++stats_.denials;
     if (ptrace_denied) ++stats_.ptrace_denials;
   }
+  note_decision(decision, ptrace_denied, prompted);
+  if (decision == Decision::kGrant && h_grant_age_ms_ != nullptr &&
+      !interaction.is_never())
+    h_grant_age_ms_->add((op_time - interaction).to_seconds() * 1e3);
+  span.arg("op", std::string(util::op_name(op)));
+  span.arg("decision", decision == Decision::kGrant ? "grant" : "deny");
+  if (!detail.empty()) span.arg("detail", detail);
 
   if (audit_enabled_) {
     util::AuditRecord rec;

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "kern/process_table.h"
+#include "obs/obs.h"
 #include "sim/clock.h"
 #include "util/audit_log.h"
 
@@ -58,6 +59,11 @@ class PermissionMonitor {
 
   // Audit can be silenced for tight benchmark loops.
   void set_audit_enabled(bool on) noexcept { audit_enabled_ = on; }
+
+  // Pre-resolves the monitor's metric handles (`monitor.decisions.*`,
+  // `monitor.notifications`, `monitor.queries`) and enables decision spans
+  // in the tracer. Null detaches; every hot-path hook then short-circuits.
+  void attach_obs(obs::Observability* obs);
 
   // --- interaction notifications (N_{A,t}) ---------------------------------
   // Record that process `pid` received an authentic hardware input at `ts`.
@@ -115,6 +121,12 @@ class PermissionMonitor {
            op == util::Op::kScreenCapture || op == util::Op::kDeviceOther;
   }
 
+  // obs hooks (out of line so the mediation analyzer can anchor on them —
+  // tools/lint/overhaul_lint.rules treats a missing call as a finding).
+  void note_decision(util::Decision decision, bool ptrace_denied,
+                     bool prompted);
+  void note_notification();
+
   ProcessTable& processes_;
   sim::Clock& clock_;
   util::AuditLog& audit_;
@@ -128,6 +140,15 @@ class PermissionMonitor {
   AlertRequestFn alert_fn_;
   PromptFn prompt_fn_;
   Stats stats_;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* c_granted_ = nullptr;
+  obs::Counter* c_denied_ = nullptr;
+  obs::Counter* c_ptrace_denied_ = nullptr;
+  obs::Counter* c_prompted_ = nullptr;
+  obs::Counter* c_notifications_ = nullptr;
+  obs::Counter* c_queries_ = nullptr;
+  util::Histogram* h_grant_age_ms_ = nullptr;
 };
 
 }  // namespace overhaul::kern

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "obs/trace_export.h"
+
 namespace overhaul::kern {
 
 using util::Code;
@@ -14,6 +16,8 @@ namespace {
 constexpr const char* kPtraceNode = "/proc/sys/overhaul/ptrace_protect";
 constexpr const char* kThresholdNode = "/proc/sys/overhaul/threshold_ms";
 constexpr const char* kEnabledNode = "/proc/sys/overhaul/enabled";
+constexpr const char* kMetricsNode = "/proc/overhaul/metrics";
+constexpr const char* kTraceNode = "/proc/overhaul/trace";
 
 // Parse "/proc/<pid>/<leaf>"; returns false if `path` is not of that shape.
 bool parse_pid_node(const std::string& path, Pid& pid, std::string& leaf) {
@@ -42,6 +46,18 @@ Result<std::string> ProcFs::read(Pid reader, const std::string& path) {
     return std::to_string(monitor_.threshold().ns / 1'000'000);
   if (path == kEnabledNode)
     return std::string(overhaul_enabled_ ? "1" : "0");
+  // Observability snapshots are world-readable (like the real /proc): they
+  // expose aggregate counts, not per-process secrets.
+  if (path == kMetricsNode) {
+    if (obs_ == nullptr)
+      return Status(Code::kNotFound, "observability not attached");
+    return obs_->metrics.to_text();
+  }
+  if (path == kTraceNode) {
+    if (obs_ == nullptr)
+      return Status(Code::kNotFound, "observability not attached");
+    return obs::to_text_summary(obs_->tracer);
+  }
 
   Pid target = kNoPid;
   std::string leaf;

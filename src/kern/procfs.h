@@ -7,6 +7,8 @@
 //   /proc/sys/overhaul/ptrace_protect   rw (root)   "0" | "1"
 //   /proc/sys/overhaul/threshold_ms     rw (root)   δ in milliseconds
 //   /proc/sys/overhaul/enabled          r           "0" | "1"
+//   /proc/overhaul/metrics              r           obs counters snapshot
+//   /proc/overhaul/trace                r           obs tracer text summary
 //   /proc/<pid>/status                  r           name/state/interaction age
 //   /proc/<pid>/mem                     —           routed through ptrace
 // Reads and writes go through the calling task so DAC applies: only root
@@ -18,6 +20,7 @@
 #include "kern/permission_monitor.h"
 #include "kern/process_table.h"
 #include "kern/ptrace.h"
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace overhaul::kern {
@@ -39,6 +42,10 @@ class ProcFs {
   util::Status write(Pid writer, const std::string& path,
                      const std::string& value);
 
+  // Exposes the observability bundle read-only at /proc/overhaul/metrics and
+  // /proc/overhaul/trace. Null (the default) makes both nodes absent.
+  void attach_obs(const obs::Observability* obs) noexcept { obs_ = obs; }
+
  private:
   util::Result<std::string> read_pid_node(Pid reader, Pid target,
                                           const std::string& leaf);
@@ -48,6 +55,7 @@ class ProcFs {
   PtraceManager& ptrace_;
   sim::Clock& clock_;
   bool overhaul_enabled_;
+  const obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace overhaul::kern

@@ -32,7 +32,7 @@ class PtyPair : public IpcObject {
   enum class End : std::uint8_t { kMaster, kSlave };
 
   explicit PtyPair(const IpcPolicy& policy, int index)
-      : IpcObject(policy), index_(index) {}
+      : IpcObject(policy, IpcFamily::kPty), index_(index) {}
 
   [[nodiscard]] int index() const noexcept { return index_; }
   [[nodiscard]] std::string slave_path() const {

@@ -1,0 +1,28 @@
+// Minimal JSON utilities for the observability subsystem.
+//
+// Exporters in this repo emit JSON by construction (no external library is
+// available in the build image), so correctness is enforced from the other
+// side: a small strict validator that tests and tools (tools/obs/json_check,
+// the check.sh --metrics smoke step) run over every emitted document. The
+// escape helper is shared by all emitters so a stray quote in a device path
+// or process name cannot corrupt a document.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace overhaul::obs::json {
+
+// Escapes `raw` for inclusion inside a JSON string literal (without the
+// surrounding quotes): quote, backslash, and control characters.
+std::string escape(std::string_view raw);
+
+// `escape` plus the surrounding quotes — the common case for emitters.
+std::string quote(std::string_view raw);
+
+// Strict RFC-8259-shaped validator: one complete value, then end of input.
+// Returns false and sets `error` (when non-null) to a short
+// offset-annotated message on the first violation.
+bool validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace overhaul::obs::json

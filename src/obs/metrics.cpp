@@ -1,0 +1,118 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace overhaul::obs {
+
+namespace {
+
+// Fixed-precision double rendering that is always valid JSON. An empty
+// histogram reports min/max as ±infinity; JSON has no such literal, so
+// non-finite values render as 0.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+util::Histogram* MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<util::Histogram>(lo, hi, bins);
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const util::Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::string MetricsRegistry::to_text() const {
+  // std::map iteration is already name-sorted; the three sections are
+  // emitted in a fixed order so the snapshot is byte-stable for tests.
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " " + std::to_string(g->value()) + " max=" +
+           std::to_string(g->max_seen()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " count=" + std::to_string(h->count()) +
+           " mean=" + num(h->mean()) + " p99=" + num(h->percentile(99)) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quote(name) + ":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quote(name) + ":{\"value\":" + std::to_string(g->value()) +
+           ",\"max\":" + std::to_string(g->max_seen()) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += json::quote(name) + ":{\"count\":" + std::to_string(h->count()) +
+           ",\"mean\":" + num(h->mean()) + ",\"min\":" + num(h->min()) +
+           ",\"max\":" + num(h->max()) + ",\"p50\":" + num(h->percentile(50)) +
+           ",\"p99\":" + num(h->percentile(99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace overhaul::obs

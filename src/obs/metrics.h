@@ -1,0 +1,118 @@
+// MetricsRegistry: named counters, gauges, and histograms for the whole
+// mediation stack.
+//
+// The paper's evaluation is entirely measured behaviour — Table I overheads,
+// the §V-C/§V-D log investigations — and Roesner et al.'s ACG work [27]
+// argues a permission system needs auditable decision telemetry to evaluate
+// its precision. This registry is the repo's first-class answer: every
+// subsystem (permission monitor, netlink hub, IPC families, page-fault
+// engine, X server, scheduler) registers named instruments once at boot and
+// then updates them through pre-resolved handles, so a hot path pays one
+// relaxed atomic add — never a map lookup.
+//
+// Naming scheme (DESIGN.md §9): `<subsystem>.<object>.<event>`, lowercase,
+// dot-separated — e.g. `monitor.decisions.granted`, `ipc.pipe.send_stamps`,
+// `netlink.channel.broken_rejects`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace overhaul::obs {
+
+// Monotonic event count. The simulation is single-threaded by design, but
+// relaxed atomics make the handle safe to share and cost the same as a plain
+// increment on every target we build for.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time level (queue depth, live channels). Signed: levels can dip
+// below a baseline during draining.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max_seen() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  // set() + high-water tracking in one call (used for queue depths).
+  void record(std::int64_t v) noexcept {
+    set(v);
+    if (v > max_.load(std::memory_order_relaxed))
+      max_.store(v, std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+// Get-or-create registry. Handles returned are stable for the registry's
+// lifetime (instruments are heap-allocated and never erased), which is what
+// makes pre-resolving them at attach time sound.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  // Histograms reuse util::Histogram (uniform bins over [lo, hi)). Repeated
+  // registration under one name returns the existing instance.
+  util::Histogram* histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+
+  // Read-only lookups (nullptr when absent) — for tests and exporters.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const util::Histogram* find_histogram(
+      const std::string& name) const;
+
+  // Convenience for assertions and /proc rendering: 0 when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  // One `name value` line per instrument, sorted by name — the
+  // /proc/overhaul/metrics snapshot format.
+  [[nodiscard]] std::string to_text() const;
+  // Machine-readable snapshot: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{count,mean,min,max,p50,p99}}}.
+  [[nodiscard]] std::string to_json() const;
+
+  // Zeroes every instrument without invalidating handles.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<util::Histogram>> histograms_;
+};
+
+}  // namespace overhaul::obs

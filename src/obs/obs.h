@@ -1,0 +1,22 @@
+// Observability bundle: one metrics registry + one tracer per simulation.
+//
+// The kernel, X server, and scheduler all record into the same bundle so a
+// single /proc/overhaul/metrics read (or trace export) covers the whole
+// mediation stack. Owned by kern::Kernel (constructed next to the clock) and
+// handed down by pointer; subsystems treat a null pointer as "observability
+// off" and skip recording entirely.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace overhaul::obs {
+
+struct Observability {
+  explicit Observability(sim::Clock& clock) : tracer(clock) {}
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace overhaul::obs

@@ -1,0 +1,64 @@
+#include "obs/trace.h"
+
+namespace overhaul::obs {
+
+void Tracer::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Tracer::instant(std::string name, std::string cat, int pid,
+                     std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.cat = std::move(cat);
+  event.phase = TracePhase::kInstant;
+  event.ts = clock_.now();
+  event.pid = pid;
+  event.args = std::move(args);
+  push(std::move(event));
+}
+
+Tracer::Span Tracer::span(std::string name, std::string cat, int pid) {
+  if (!enabled_) return Span{};
+  TraceEvent event;
+  event.name = std::move(name);
+  event.cat = std::move(cat);
+  event.phase = TracePhase::kComplete;
+  event.ts = clock_.now();
+  event.pid = pid;
+  return Span{this, std::move(event)};
+}
+
+void Tracer::Span::finish() {
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  if (tracer == nullptr) return;
+  event_.dur = tracer->clock_.now() - event_.ts;
+  tracer->push(std::move(event_));
+}
+
+void Tracer::clear() {
+  events_.clear();
+  emitted_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::push(TraceEvent event) {
+  if (capacity_ == 0) {
+    ++emitted_;
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+  ++emitted_;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+}  // namespace overhaul::obs

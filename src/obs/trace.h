@@ -1,0 +1,126 @@
+// Tracer: virtual-time spans and instant events in a bounded ring buffer.
+//
+// The §V-C/§V-D evaluations are log investigations — "we checked OVERHAUL's
+// logs and verified that attempts ... were detected and blocked". The audit
+// log answers *what was decided*; the tracer answers *what happened around
+// the decision*: which netlink message arrived, which X request dispatched,
+// which page fault fired, all stamped with sim::Clock virtual time so a run
+// is replayable tick for tick. Events export as Chrome `trace_event` JSON
+// (chrome://tracing / Perfetto) or as a text summary (obs/trace_export.h).
+//
+// The buffer is a fixed-capacity ring: the newest events win, the oldest are
+// dropped, and the emitted/dropped totals are preserved so a reader always
+// knows how much history the window lost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace overhaul::obs {
+
+// Mirrors the Chrome trace_event phases this repo emits: complete spans
+// ("X", with a duration) and instant events ("i").
+enum class TracePhase : char { kComplete = 'X', kInstant = 'i' };
+
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+struct TraceEvent {
+  std::string name;            // e.g. "PermissionMonitor::check"
+  std::string cat;             // subsystem: "monitor", "netlink", "x11", ...
+  TracePhase phase = TracePhase::kInstant;
+  sim::Timestamp ts;           // virtual time at begin/instant
+  sim::Duration dur{0};        // virtual duration (complete spans)
+  int pid = 0;                 // acting process, 0 = kernel/none
+  std::vector<TraceArg> args;  // small key/value context
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16'384;
+
+  explicit Tracer(sim::Clock& clock, std::size_t capacity = kDefaultCapacity)
+      : clock_(clock), capacity_(capacity) {}
+
+  // Tracing is on by default; benchmark configs switch it off so the
+  // Overhaul column of Table I never pays event-recording costs the
+  // baseline column does not.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // Shrinking the capacity drops the oldest events immediately.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void instant(std::string name, std::string cat, int pid,
+               std::vector<TraceArg> args = {});
+
+  // RAII span: records the begin timestamp at creation and emits one
+  // complete ("X") event at finish()/destruction. Inert when the tracer is
+  // disabled — a span on a hot path then costs two pointer writes.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept
+        : tracer_(std::exchange(other.tracer_, nullptr)),
+          event_(std::move(other.event_)) {}
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        finish();
+        tracer_ = std::exchange(other.tracer_, nullptr);
+        event_ = std::move(other.event_);
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    void arg(std::string key, std::string value) {
+      if (tracer_ != nullptr)
+        event_.args.push_back({std::move(key), std::move(value)});
+    }
+
+    // Emits the event (idempotent). Duration = virtual time since creation.
+    void finish();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, TraceEvent event)
+        : tracer_(tracer), event_(std::move(event)) {}
+
+    Tracer* tracer_ = nullptr;
+    TraceEvent event_;
+  };
+
+  [[nodiscard]] Span span(std::string name, std::string cat, int pid);
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  // Totals survive ring wraparound: emitted() counts every event ever
+  // recorded, dropped() how many the ring has evicted.
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear();
+
+ private:
+  void push(TraceEvent event);
+
+  sim::Clock& clock_;
+  std::size_t capacity_;
+  bool enabled_ = true;
+  std::deque<TraceEvent> events_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace overhaul::obs

@@ -1,0 +1,100 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace overhaul::obs {
+
+namespace {
+
+// Nanoseconds → microseconds with up to three fractional digits (the
+// trace_event `ts` unit). Rendered from integer parts so the output never
+// depends on floating-point formatting.
+std::string micros(std::int64_t ns) {
+  std::string out;
+  if (ns < 0) {
+    out += '-';
+    ns = -ns;
+  }
+  out += std::to_string(ns / 1'000);
+  const std::int64_t frac = ns % 1'000;
+  if (frac != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), ".%03lld",
+                  static_cast<long long>(frac));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : tracer.events()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json::quote(e.name) +
+           ",\"cat\":" + json::quote(e.cat) + ",\"ph\":\"" +
+           static_cast<char>(e.phase) + "\",\"ts\":" + micros(e.ts.ns);
+    if (e.phase == TracePhase::kComplete)
+      out += ",\"dur\":" + micros(e.dur.ns);
+    out += ",\"pid\":" + std::to_string(e.pid) + ",\"tid\":" +
+           std::to_string(e.pid);
+    if (e.phase == TracePhase::kInstant) out += ",\"s\":\"g\"";
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const TraceArg& a : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += json::quote(a.key) + ":" + json::quote(a.value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_text_summary(const Tracer& tracer) {
+  struct Roll {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+  };
+  std::map<std::string, Roll> rolls;
+  for (const TraceEvent& e : tracer.events()) {
+    Roll& r = rolls[e.cat + "/" + e.name];
+    ++r.count;
+    r.total_ns += e.dur.ns;
+  }
+  std::string out = "trace summary: " + std::to_string(tracer.emitted()) +
+                    " events emitted, " + std::to_string(tracer.dropped()) +
+                    " dropped, " + std::to_string(tracer.events().size()) +
+                    " buffered\n";
+  for (const auto& [name, r] : rolls) {
+    out += "  " + name + " count=" + std::to_string(r.count);
+    if (r.total_ns > 0) {
+      out += " total=" + micros(r.total_ns) + "us";
+      out += " mean=" + micros(r.total_ns / static_cast<std::int64_t>(r.count)) +
+             "us";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string format_virtual_time(sim::Timestamp ts) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "+%lld.%09llds",
+                static_cast<long long>(ts.ns / 1'000'000'000),
+                static_cast<long long>(ts.ns % 1'000'000'000));
+  return buf;
+}
+
+}  // namespace overhaul::obs

@@ -1,0 +1,32 @@
+// Exporters for the obs::Tracer ring buffer.
+//
+// Two formats: Chrome `trace_event` JSON (load in chrome://tracing or
+// Perfetto) and a plain-text per-name summary for terminal inspection.
+// Virtual timestamps are exported as-is — microseconds since the simulation
+// epoch in the JSON `ts` field — so two runs of the same scenario produce
+// byte-identical traces.
+#pragma once
+
+#include <string>
+
+#include "sim/clock.h"
+
+namespace overhaul::obs {
+
+class Tracer;
+
+// Full Chrome trace_event document:
+//   {"displayTimeUnit":"ms","traceEvents":[{"name",...,"ph":"X","ts",...}]}
+// `ts`/`dur` are microseconds (trace_event convention); sub-microsecond
+// remainders are kept as fractional values so short spans stay visible.
+[[nodiscard]] std::string to_chrome_json(const Tracer& tracer);
+
+// Per-name roll-up: event count, total/mean virtual duration, plus the
+// ring-buffer emitted/dropped totals so truncation is visible.
+[[nodiscard]] std::string to_text_summary(const Tracer& tracer);
+
+// Renders a virtual timestamp as "+12.345678s" relative to the simulation
+// epoch. Virtual time has no calendar; it never maps to wall-clock dates.
+[[nodiscard]] std::string format_virtual_time(sim::Timestamp ts);
+
+}  // namespace overhaul::obs

@@ -10,6 +10,7 @@ Scheduler::EventId Scheduler::at(Timestamp when, Callback fn) {
   const EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
   ++live_count_;
+  note_depth();
   return id;
 }
 
@@ -22,6 +23,7 @@ bool Scheduler::cancel(EventId id) {
   // cancel ids they know are pending, and double-cancel returns false above.
   cancelled_.push_back(id);
   if (live_count_ > 0) --live_count_;
+  note_depth();
   return true;
 }
 
@@ -48,6 +50,7 @@ void Scheduler::run() {
   Event ev;
   while (pop_next(ev)) {
     --live_count_;
+    note_depth();
     clock_.advance_to(ev.when);
     ev.fn();
   }
@@ -61,6 +64,7 @@ void Scheduler::run_until(Timestamp until) {
     if (queue_.top().when > until) break;
     if (!pop_next(ev)) break;
     --live_count_;
+    note_depth();
     clock_.advance_to(ev.when);
     ev.fn();
   }

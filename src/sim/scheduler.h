@@ -46,6 +46,14 @@ class Scheduler {
   [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
   [[nodiscard]] Clock& clock() noexcept { return clock_; }
 
+  // Observer called with the live event count whenever it changes. The sim
+  // layer sits below obs in the library stack, so depth telemetry is exposed
+  // as a callback; core wires it to the `sim.scheduler.depth` gauge.
+  void set_depth_observer(std::function<void(std::size_t)> fn) {
+    depth_observer_ = std::move(fn);
+    if (depth_observer_) depth_observer_(live_count_);
+  }
+
  private:
   struct Event {
     Timestamp when;
@@ -61,8 +69,12 @@ class Scheduler {
   };
 
   bool pop_next(Event& out);
+  void note_depth() const {
+    if (depth_observer_) depth_observer_(live_count_);
+  }
 
   Clock& clock_;
+  std::function<void(std::size_t)> depth_observer_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<EventId> cancelled_;
   std::uint64_t next_seq_ = 0;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -40,17 +41,49 @@ struct AuditRecord {
   std::string detail;                    // device path, selection atom, ...
 };
 
-// Append-only decision log with simple query helpers. Not thread-safe; the
-// simulation is single-threaded by design (determinism).
+// Decision log with simple query helpers, bounded as a ring: once capacity
+// is reached the oldest record is dropped per append, like a rotated syslog.
+// The default capacity comfortably holds the §V-D 21-day deployment's record
+// stream; long-running harnesses that want stricter memory bounds can lower
+// it. Not thread-safe; the simulation is single-threaded by design
+// (determinism).
 class AuditLog {
  public:
-  void append(AuditRecord record) { records_.push_back(std::move(record)); }
-  void clear() { records_.clear(); }
+  static constexpr std::size_t kDefaultCapacity = 1'000'000;
 
-  [[nodiscard]] const std::vector<AuditRecord>& records() const noexcept {
+  void append(AuditRecord record) {
+    records_.push_back(std::move(record));
+    ++total_appended_;
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+  }
+  void clear() {
+    records_.clear();
+    total_appended_ = 0;
+    dropped_ = 0;
+  }
+
+  // Shrinking below the current size evicts oldest records immediately.
+  void set_capacity(std::size_t cap) {
+    capacity_ = cap;
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] const std::deque<AuditRecord>& records() const noexcept {
     return records_;
   }
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  // Lifetime totals, unaffected by ring eviction.
+  [[nodiscard]] std::uint64_t total_appended() const noexcept {
+    return total_appended_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   [[nodiscard]] std::size_t count(Decision decision) const noexcept;
   [[nodiscard]] std::size_t count(Op op, Decision decision) const noexcept;
@@ -61,7 +94,10 @@ class AuditLog {
   static std::string format(const AuditRecord& record);
 
  private:
-  std::vector<AuditRecord> records_;
+  std::deque<AuditRecord> records_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t total_appended_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace overhaul::util

@@ -75,4 +75,14 @@ std::string Histogram::to_string(int bar_width) const {
   return out;
 }
 
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  count_ = 0;
+  underflow_ = 0;
+  overflow_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
 }  // namespace overhaul::util

@@ -37,6 +37,10 @@ class Histogram {
   // Compact text rendering: one line per non-empty bin with a bar.
   [[nodiscard]] std::string to_string(int bar_width = 40) const;
 
+  // Zeroes all bins and statistics, keeping the [lo, hi) layout. Lets the
+  // obs MetricsRegistry re-baseline without invalidating handles.
+  void reset();
+
  private:
   double lo_;
   double hi_;

@@ -66,6 +66,13 @@ Image ScreenResources::composite_screen() const {
 }
 
 Result<Image> ScreenResources::get_image(ClientId client, WindowId window_id) {
+  obs::Tracer::Span span;
+  if (auto& tracer = server_.obs().tracer; tracer.enabled()) {
+    XClient* c = server_.client(client);
+    span = tracer.span("Screen::get_image", "x11",
+                       c != nullptr ? c->pid() : 0);
+    span.arg("window", std::to_string(window_id));
+  }
   if (auto s = authorize_capture(client, window_id); !s.is_ok()) return s;
 
   if (window_id == kRootWindow) return composite_screen();
@@ -81,6 +88,13 @@ Result<Image> ScreenResources::get_image(ClientId client, WindowId window_id) {
 Result<std::size_t> ScreenResources::xshm_get_image(ClientId client,
                                                     WindowId window_id,
                                                     kern::ShmMapping& dst) {
+  obs::Tracer::Span span;
+  if (auto& tracer = server_.obs().tracer; tracer.enabled()) {
+    XClient* c = server_.client(client);
+    span = tracer.span("Screen::xshm_get_image", "x11",
+                       c != nullptr ? c->pid() : 0);
+    span.arg("window", std::to_string(window_id));
+  }
   if (auto s = authorize_capture(client, window_id); !s.is_ok()) return s;
 
   std::vector<std::uint32_t> composed;

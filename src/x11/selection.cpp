@@ -17,11 +17,17 @@ using util::Status;
 Status SelectionManager::set_selection_owner(ClientId client,
                                              const std::string& selection,
                                              WindowId owner_window) {
-  if (server_.client(client) == nullptr)
-    return Status(Code::kNotFound, "no such client");
+  XClient* c = server_.client(client);
+  if (c == nullptr) return Status(Code::kNotFound, "no such client");
   Window* win = server_.window(owner_window);
   if (win == nullptr || win->owner() != client)
     return Status(Code::kBadWindow, "selection owner window invalid");
+
+  obs::Tracer::Span span;
+  if (auto& tracer = server_.obs().tracer; tracer.enabled()) {
+    span = tracer.span("Selection::set_owner", "x11", c->pid());
+    span.arg("selection", selection);
+  }
 
   // Overhaul modification: the copy must be correlated with user input
   // before ownership is granted; otherwise the client gets BadAccess.
@@ -57,6 +63,13 @@ Status SelectionManager::convert_selection(ClientId requestor,
   Window* win = server_.window(requestor_window);
   if (win == nullptr || win->owner() != requestor)
     return Status(Code::kBadWindow, "requestor window invalid");
+
+  obs::Tracer::Span span;
+  if (auto& tracer = server_.obs().tracer; tracer.enabled()) {
+    span = tracer.span("Selection::convert", "x11", req->pid());
+    span.arg("selection", selection);
+    span.arg("target", target);
+  }
 
   const auto owner_it = owners_.find(selection);
   if (owner_it == owners_.end())

@@ -37,6 +37,13 @@ XServer::XServer(kern::Kernel& kernel, XServerConfig config)
       });
     }
   }
+
+  auto& metrics = kernel_.obs().metrics;
+  c_hw_events_ = metrics.counter("x11.input.hardware_events");
+  c_synthetic_events_ = metrics.counter("x11.input.synthetic_events");
+  c_notifications_ = metrics.counter("x11.input.notifications");
+  c_clickjack_ = metrics.counter("x11.input.clickjack_suppressed");
+  c_send_event_drops_ = metrics.counter("x11.send_event.drops");
 }
 
 // --- client connections -------------------------------------------------------
@@ -236,6 +243,7 @@ void XServer::deliver_input(XEvent event, Window& win) {
 
   if (event.provenance == Provenance::kHardware) {
     ++stats_.hardware_events;
+    c_hw_events_->add();
     if (config_.overhaul_enabled && channel_ != nullptr) {
       if (passes_visibility_check(win)) {
         kern::InteractionNotification note;
@@ -243,6 +251,7 @@ void XServer::deliver_input(XEvent event, Window& win) {
         note.ts = kernel_.clock().now();
         if (channel_->send_interaction(note).is_ok()) {
           ++stats_.interaction_notifications;
+          c_notifications_->add();
           trace.produced_notification = true;
         }
         // ACG comparison mode: a click inside a registered gadget also
@@ -259,11 +268,13 @@ void XServer::deliver_input(XEvent event, Window& win) {
         }
       } else {
         ++stats_.clickjack_suppressed;
+        c_clickjack_->add();
         trace.clickjack_suppressed = true;
       }
     }
   } else {
     ++stats_.synthetic_events;
+    c_synthetic_events_->add();
   }
 
   input_trace_.push_back(trace);
@@ -369,6 +380,13 @@ Status XServer::send_event(ClientId sender, WindowId target, XEvent event) {
   if (config_.overhaul_enabled) {
     if (!selections_.send_event_allowed(sender, event)) {
       ++stats_.blocked_send_events;
+      c_send_event_drops_->add();
+      if (kernel_.obs().tracer.enabled()) {
+        XClient* s = client(sender);
+        kernel_.obs().tracer.instant(
+            "SendEvent::blocked", "x11", s != nullptr ? s->pid() : 0,
+            {{"type_code", std::to_string(static_cast<int>(event.type))}});
+      }
       return Status(Code::kBadAccess, "send_event: out-of-protocol event");
     }
     if (event.type == EventType::kSelectionNotify)

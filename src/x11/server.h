@@ -65,6 +65,9 @@ class XServer {
   }
   [[nodiscard]] kern::Pid pid() const noexcept { return pid_; }
   [[nodiscard]] sim::Clock& clock() noexcept { return kernel_.clock(); }
+  // The kernel-wide observability bundle; the server and its sub-managers
+  // (selections, screen) record request spans and drop counters into it.
+  [[nodiscard]] obs::Observability& obs() noexcept { return kernel_.obs(); }
 
   // --- client connections -----------------------------------------------------
   // The pid is the kernel-verified socket peer; clients cannot forge it.
@@ -215,6 +218,13 @@ class XServer {
   AtomRegistry atoms_;
   Stats stats_;
   std::deque<InputTraceEntry> input_trace_;
+
+  // Pre-resolved obs handles (trusted-input path + SendEvent policing).
+  obs::Counter* c_hw_events_ = nullptr;
+  obs::Counter* c_synthetic_events_ = nullptr;
+  obs::Counter* c_notifications_ = nullptr;
+  obs::Counter* c_clickjack_ = nullptr;
+  obs::Counter* c_send_event_drops_ = nullptr;
 };
 
 }  // namespace overhaul::x11

@@ -1,0 +1,59 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace overhaul::obs::json {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb"), "a\\nb");
+  EXPECT_EQ(quote("x"), "\"x\"");
+}
+
+TEST(JsonValidate, AcceptsWellFormedDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "{\"a\":1,\"b\":[true,false,null]}",
+           "{\"nested\":{\"x\":-1.5e3}}",
+           "\"just a string\"",
+           "  {\"ws\":0}  \n",
+           "{\"num\":1e+06}",
+       }) {
+    std::string error;
+    EXPECT_TRUE(validate(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           "{\"a\":1,}",
+           "{\"a\" 1}",
+           "[1,2",
+           "{\"a\":01}",
+           "{\"a\":NaN}",
+           "{\"a\":Infinity}",
+           "{\"bad\":\"\x01\"}",
+           "{\"a\":1} trailing",
+           "{\"a\":\"\\q\"}",
+       }) {
+    std::string error;
+    EXPECT_FALSE(validate(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonValidate, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(validate(deep));
+}
+
+}  // namespace
+}  // namespace overhaul::obs::json

@@ -1,0 +1,88 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace overhaul::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterGetOrCreateReturnsStableHandle) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("monitor.decisions.granted");
+  Counter* b = reg.counter("monitor.decisions.granted");
+  EXPECT_EQ(a, b);
+  a->add();
+  a->add(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_EQ(reg.counter_value("monitor.decisions.granted"), 5u);
+}
+
+TEST(MetricsRegistry, CounterValueIsZeroForUnknownName) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("no.such.counter"), 0u);
+  EXPECT_EQ(reg.find_counter("no.such.counter"), nullptr);
+}
+
+TEST(MetricsRegistry, GaugeRecordTracksHighWater) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("sim.scheduler.depth");
+  g->record(3);
+  g->record(7);
+  g->record(2);
+  EXPECT_EQ(g->value(), 2);
+  EXPECT_EQ(g->max_seen(), 7);
+}
+
+TEST(MetricsRegistry, HistogramReusedAcrossRegistrations) {
+  MetricsRegistry reg;
+  util::Histogram* h = reg.histogram("monitor.grant.age_ms", 0, 2000, 40);
+  h->add(10.0);
+  util::Histogram* again = reg.histogram("monitor.grant.age_ms", 0, 100, 5);
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(again->count(), 1u);
+}
+
+TEST(MetricsRegistry, ToTextListsInstrumentsSorted) {
+  MetricsRegistry reg;
+  reg.counter("b.two")->add(2);
+  reg.counter("a.one")->add(1);
+  reg.gauge("c.depth")->record(5);
+  const std::string text = reg.to_text();
+  const auto a = text.find("a.one 1");
+  const auto b = text.find("b.two 2");
+  const auto c = text.find("c.depth 5 max=5");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+}
+
+TEST(MetricsRegistry, ToJsonIsStrictlyValid) {
+  MetricsRegistry reg;
+  reg.counter("vfs.device.opens")->add(3);
+  reg.gauge("sim.scheduler.depth")->record(-2);
+  reg.histogram("monitor.grant.age_ms", 0, 2000, 40)->add(125.0);
+  // An empty histogram has min=+inf/max=-inf internally; the exporter must
+  // still emit valid JSON (no bare Infinity).
+  reg.histogram("empty.histogram", 0, 1, 2);
+  std::string error;
+  EXPECT_TRUE(json::validate(reg.to_json(), &error)) << error;
+  EXPECT_NE(reg.to_json().find("\"vfs.device.opens\":3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesWithoutInvalidatingHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("x.y.z");
+  Gauge* g = reg.gauge("q.depth");
+  c->add(9);
+  g->record(9);
+  reg.reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->max_seen(), 0);
+  c->add();
+  EXPECT_EQ(reg.counter_value("x.y.z"), 1u);
+}
+
+}  // namespace
+}  // namespace overhaul::obs

@@ -1,0 +1,65 @@
+// /proc/overhaul/metrics and /proc/overhaul/trace: the read-only window any
+// process gets onto the observability bundle.
+#include <gtest/gtest.h>
+
+#include "kern/kernel.h"
+#include "sim/clock.h"
+
+namespace overhaul::kern {
+namespace {
+
+class ProcfsMetricsTest : public ::testing::Test {
+ protected:
+  sim::Clock clock_;
+  Kernel kernel_{clock_, KernelConfig{}};
+};
+
+TEST_F(ProcfsMetricsTest, MetricsNodeIsWorldReadable) {
+  // An unprivileged process — metrics are aggregate counts, not secrets.
+  auto pid = kernel_.sys_spawn(1, "/usr/bin/top", "top").value();
+  if (auto* task = kernel_.processes().lookup(pid); task != nullptr)
+    task->uid = 1000;
+
+  auto text = kernel_.procfs().read(pid, "/proc/overhaul/metrics");
+  ASSERT_TRUE(text.is_ok()) << text.status().to_string();
+  EXPECT_NE(text.value().find("monitor.decisions.granted"),
+            std::string::npos);
+  EXPECT_NE(text.value().find("vfs.device.opens"), std::string::npos);
+}
+
+TEST_F(ProcfsMetricsTest, MetricsSnapshotTracksDecisions) {
+  auto pid = kernel_.sys_spawn(1, "/usr/bin/rec", "rec").value();
+  if (auto* task = kernel_.processes().lookup(pid); task != nullptr)
+    task->uid = 1000;
+  (void)kernel_.install_device(DeviceClass::kMicrophone, "mic", "/dev/mic0");
+  (void)kernel_.start_udev_helper();
+
+  // No interaction → denied; the denial must show up in the snapshot.
+  (void)kernel_.sys_open(pid, "/dev/mic0", OpenFlags::kRead);
+  auto text = kernel_.procfs().read(pid, "/proc/overhaul/metrics");
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_NE(text.value().find("monitor.decisions.denied 1"),
+            std::string::npos)
+      << text.value();
+  EXPECT_EQ(kernel_.obs().metrics.counter_value("monitor.decisions.denied"),
+            1u);
+}
+
+TEST_F(ProcfsMetricsTest, TraceNodeServesTextSummary) {
+  auto pid = kernel_.sys_spawn(1, "/usr/bin/top", "top").value();
+  auto text = kernel_.procfs().read(pid, "/proc/overhaul/trace");
+  ASSERT_TRUE(text.is_ok()) << text.status().to_string();
+  EXPECT_NE(text.value().find("emitted"), std::string::npos);
+}
+
+TEST(ProcfsDetachedTest, NodesAbsentWithoutObservability) {
+  sim::Clock clock;
+  Kernel kernel(clock, KernelConfig{});
+  kernel.procfs().attach_obs(nullptr);
+  auto pid = kernel.sys_spawn(1, "/usr/bin/top", "top").value();
+  EXPECT_FALSE(kernel.procfs().read(pid, "/proc/overhaul/metrics").is_ok());
+  EXPECT_FALSE(kernel.procfs().read(pid, "/proc/overhaul/trace").is_ok());
+}
+
+}  // namespace
+}  // namespace overhaul::kern

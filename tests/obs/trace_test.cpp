@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/trace_export.h"
+#include "sim/clock.h"
+
+namespace overhaul::obs {
+namespace {
+
+TEST(Tracer, SpanRecordsVirtualDuration) {
+  sim::Clock clock;
+  Tracer tracer(clock);
+  {
+    auto span = tracer.span("PermissionMonitor::check", "monitor", 42);
+    span.arg("op", "mic");
+    clock.advance(sim::Duration::millis(3));
+  }
+  ASSERT_EQ(tracer.events().size(), 1u);
+  const TraceEvent& ev = tracer.events().front();
+  EXPECT_EQ(ev.name, "PermissionMonitor::check");
+  EXPECT_EQ(ev.phase, TracePhase::kComplete);
+  EXPECT_EQ(ev.pid, 42);
+  EXPECT_EQ(ev.dur.ns, sim::Duration::millis(3).ns);
+  ASSERT_EQ(ev.args.size(), 1u);
+  EXPECT_EQ(ev.args[0].key, "op");
+}
+
+TEST(Tracer, DisabledTracerEmitsNothingAndSpansAreInert) {
+  sim::Clock clock;
+  Tracer tracer(clock);
+  tracer.set_enabled(false);
+  {
+    auto span = tracer.span("x", "y", 1);
+    span.arg("k", "v");
+    tracer.instant("i", "y", 1);
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.emitted(), 0u);
+}
+
+TEST(Tracer, FinishIsIdempotent) {
+  sim::Clock clock;
+  Tracer tracer(clock);
+  auto span = tracer.span("once", "t", 1);
+  span.finish();
+  span.finish();
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(Tracer, RingOverflowDropsOldestAndPreservesCounts) {
+  sim::Clock clock;
+  Tracer tracer(clock, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant("ev" + std::to_string(i), "t", i);
+    clock.advance(sim::Duration::millis(1));
+  }
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.emitted(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // The newest four survive, oldest first.
+  EXPECT_EQ(tracer.events().front().name, "ev6");
+  EXPECT_EQ(tracer.events().back().name, "ev9");
+}
+
+TEST(Tracer, ShrinkingCapacityEvictsOldestImmediately) {
+  sim::Clock clock;
+  Tracer tracer(clock, 8);
+  for (int i = 0; i < 6; ++i) tracer.instant("ev" + std::to_string(i), "t", 0);
+  tracer.set_capacity(2);
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events().front().name, "ev4");
+  EXPECT_EQ(tracer.dropped(), 4u);
+  EXPECT_EQ(tracer.emitted(), 6u);
+}
+
+TEST(Tracer, ZeroCapacityCountsButStoresNothing) {
+  sim::Clock clock;
+  Tracer tracer(clock, 0);
+  tracer.instant("gone", "t", 0);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.emitted(), 1u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+}
+
+TEST(TraceExport, ChromeJsonIsValidAndCarriesArgs) {
+  sim::Clock clock;
+  Tracer tracer(clock);
+  clock.advance(sim::Duration::millis(2));
+  {
+    auto span = tracer.span("Selection::convert", "x11", 7);
+    span.arg("selection", "CLIPBOARD");
+    clock.advance(sim::Duration::micros(1500));
+  }
+  tracer.instant("SendEvent::blocked", "x11", 8, {{"type_code", "12"}});
+  const std::string doc = to_chrome_json(tracer);
+  std::string error;
+  EXPECT_TRUE(json::validate(doc, &error)) << error << "\n" << doc;
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"selection\":\"CLIPBOARD\""), std::string::npos);
+  // Timestamps are microseconds: the span began at 2 ms = 2000 µs.
+  EXPECT_NE(doc.find("\"ts\":2000"), std::string::npos);
+}
+
+TEST(TraceExport, TextSummaryAggregatesByCategory) {
+  sim::Clock clock;
+  Tracer tracer(clock);
+  for (int i = 0; i < 3; ++i) {
+    auto span = tracer.span("PermissionMonitor::check", "monitor", 1);
+    clock.advance(sim::Duration::millis(1));
+  }
+  const std::string summary = to_text_summary(tracer);
+  EXPECT_NE(summary.find("PermissionMonitor::check"), std::string::npos);
+  EXPECT_NE(summary.find("monitor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace overhaul::obs

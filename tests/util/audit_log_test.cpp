@@ -61,6 +61,44 @@ TEST(AuditLog, ClearEmpties) {
   EXPECT_EQ(log.size(), 0u);
 }
 
+TEST(AuditLog, RingEvictsOldestPastCapacity) {
+  AuditLog log;
+  EXPECT_EQ(log.capacity(), AuditLog::kDefaultCapacity);
+  log.set_capacity(3);
+  for (int pid = 1; pid <= 5; ++pid)
+    log.append(make(Op::kMicrophone, Decision::kGrant, pid));
+  // Size is bounded; the three newest records survive, oldest first.
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records().front().pid, 3);
+  EXPECT_EQ(log.records().back().pid, 5);
+  // Lifetime totals keep counting across eviction.
+  EXPECT_EQ(log.total_appended(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+}
+
+TEST(AuditLog, ShrinkingCapacityEvictsImmediately) {
+  AuditLog log;
+  for (int pid = 1; pid <= 4; ++pid)
+    log.append(make(Op::kCamera, Decision::kDeny, pid));
+  log.set_capacity(2);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records().front().pid, 3);
+  EXPECT_EQ(log.dropped(), 2u);
+  // count() queries operate on the retained window only.
+  EXPECT_EQ(log.count(Decision::kDeny), 2u);
+}
+
+TEST(AuditLog, ClearResetsLifetimeTotals) {
+  AuditLog log;
+  log.set_capacity(1);
+  log.append(make(Op::kCopy, Decision::kGrant));
+  log.append(make(Op::kCopy, Decision::kGrant));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_appended(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
 TEST(AuditLog, FormatContainsKeyFields) {
   const std::string line = AuditLog::format(make(Op::kMicrophone, Decision::kDeny));
   EXPECT_NE(line.find("pid=100"), std::string::npos);

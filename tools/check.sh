@@ -5,6 +5,7 @@
 #   tools/check.sh                 # ubsan-asan preset (the default gate)
 #   tools/check.sh asan            # any preset from CMakePresets.json
 #   tools/check.sh tsan
+#   tools/check.sh --metrics       # additionally smoke the BENCH_*.json path
 #   JOBS=4 tools/check.sh          # override parallelism
 #
 # Exits nonzero on the first failing stage. clang-tidy runs only when the
@@ -12,6 +13,12 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+METRICS=0
+if [ "${1:-}" = "--metrics" ]; then
+  METRICS=1
+  shift
+fi
 
 PRESET="${1:-ubsan-asan}"
 JOBS="${JOBS:-$(nproc)}"
@@ -32,6 +39,12 @@ step "overhaul-lint (mediation-completeness invariants)"
 
 step "ctest (preset: $PRESET)"
 ctest --preset "$PRESET" -j "$JOBS"
+
+if [ "$METRICS" = 1 ]; then
+  step "metrics smoke (bench_table1 --quick + strict JSON validation)"
+  (cd "$BUILD_DIR" && ./bench/bench_table1 --quick >/dev/null &&
+    ./tools/obs/json_check BENCH_table1.json)
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (src/ + tools/)"

@@ -1,0 +1,40 @@
+// json_check: strict validation of the JSON this repo emits by construction
+// (BENCH_*.json reports, /proc/overhaul metrics snapshots, Chrome trace
+// exports). The emitters have no JSON library to lean on, so CI closes the
+// loop from the consumer side: every emitted document must survive the
+// validator in src/obs/json.h. Exit 0 iff every file parses.
+//
+// Usage: json_check FILE...
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_check FILE...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::string error;
+    if (!overhaul::obs::json::validate(text, &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      rc = 1;
+    } else {
+      std::printf("%s: valid JSON (%zu bytes)\n", argv[i], text.size());
+    }
+  }
+  return rc;
+}
