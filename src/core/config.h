@@ -32,6 +32,14 @@ struct OverhaulConfig {
   bool trace = true;
   kern::MonitorMode monitor_mode = kern::MonitorMode::kEnforce;
 
+  // Netlink interaction coalescing (DESIGN.md §10): collapse same-pid
+  // notification bursts into one kernel crossing, flushed on pid change,
+  // permission query, or after coalesce_skew of virtual time. Decision
+  // streams are identical either way (property-tested), so this is purely a
+  // throughput knob.
+  bool netlink_coalesce = true;
+  sim::Duration coalesce_skew = sim::Duration::millis(10);
+
   // Optional explicit-prompt mode (§IV-A): would-be denials raise an
   // unforgeable prompt instead of being silently blocked. Off by default —
   // the paper ships the capability but argues the transparent model is the
@@ -74,6 +82,8 @@ struct OverhaulConfig {
     kc.ptrace_protect = ptrace_protect;
     kc.audit = audit;
     kc.monitor_mode = monitor_mode;
+    kc.netlink_coalesce = netlink_coalesce;
+    kc.netlink_coalesce_skew = coalesce_skew;
     return kc;
   }
 

@@ -33,6 +33,8 @@ Kernel::Kernel(sim::Clock& clock, KernelConfig config)
   monitor_.set_ptrace_protect(config.ptrace_protect);
   monitor_.set_audit_enabled(config.audit);
   monitor_.set_mode(config.monitor_mode);
+  netlink_.set_coalescing(
+      {config.netlink_coalesce, config.netlink_coalesce_skew});
 
   // Well-known authorized netlink peers: the display manager binary and the
   // trusted udev helper. Both must be root-owned on disk at connect time.
@@ -78,6 +80,11 @@ void Kernel::wire_observability() {
 }
 
 void Kernel::wire_netlink_handlers() {
+  // Coalescing barrier: every permission check — including sys_open device
+  // mediation, which never touches a netlink channel — first drains buffered
+  // interaction notifications, making coalescing decision-equivalent.
+  monitor_.set_pre_check_flush([this] { netlink_.flush_coalesced(); });
+
   netlink_.set_interaction_handler(
       [this](const InteractionNotification& note) -> Status {
         if (!monitor_.record_interaction(note.pid, note.ts))

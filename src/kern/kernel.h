@@ -45,6 +45,10 @@ struct KernelConfig {
   bool ptrace_protect = true;
   bool audit = true;
   MonitorMode monitor_mode = MonitorMode::kEnforce;
+  // Netlink interaction coalescing (DESIGN.md §10): burst notifications for
+  // the same pid collapse into one kernel crossing, bounded by max_skew.
+  bool netlink_coalesce = true;
+  sim::Duration netlink_coalesce_skew = sim::Duration::millis(10);
 };
 
 class UdevHelper;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "kern/process_table.h"
-
 namespace overhaul::kern {
 
 using util::Code;
@@ -13,7 +11,8 @@ using util::Status;
 void NetlinkHub::attach_obs(obs::Observability* obs) {
   if (obs == nullptr) {
     c_connects_ = c_auth_failures_ = c_broken_rejects_ = c_interactions_ =
-        c_acg_grants_ = c_queries_ = c_device_updates_ = c_alerts_ = nullptr;
+        c_acg_grants_ = c_queries_ = c_device_updates_ = c_alerts_ =
+            c_coalesce_merged_ = c_coalesce_flushed_ = nullptr;
     return;
   }
   auto& m = obs->metrics;
@@ -25,19 +24,104 @@ void NetlinkHub::attach_obs(obs::Observability* obs) {
   c_queries_ = m.counter("netlink.msg.queries");
   c_device_updates_ = m.counter("netlink.msg.device_updates");
   c_alerts_ = m.counter("netlink.msg.alerts");
+  c_coalesce_merged_ = m.counter("netlink.coalesce.merged");
+  c_coalesce_flushed_ = m.counter("netlink.coalesce.flushed");
 }
 
-Status NetlinkChannel::send_interaction(const InteractionNotification& note) {
-  if (auto s = check_peer_alive(); !s.is_ok()) return s;
+NetlinkChannel::~NetlinkChannel() {
+  discard_pending();
+  hub_.unregister(this);
+}
+
+Status NetlinkChannel::send_interaction_slow(
+    const InteractionNotification& note) {
   if (role_ != NetlinkRole::kDisplayManager)
     return Status(Code::kPermissionDenied,
                   "interaction notifications accepted from the display "
                   "manager only");
-  ++stats_.interactions_sent;
+  Status s = coalesce_.enabled ? coalesce_interaction(note)
+                               : deliver_interaction(note);
+  // A rejected crossing (dead peer) is not an accepted send; anything else —
+  // including a buffered notification — is.
+  if (s.code() != Code::kBrokenChannel) ++stats_.interactions_sent;
+  return s;
+}
+
+Status NetlinkChannel::coalesce_interaction(
+    const InteractionNotification& note) {
+  if (has_pending_) {
+    if (pending_.pid != note.pid) {
+      // Flush rule 1 — pid change: deliveries must stay ordered across
+      // subjects, so the buffered notification crosses before the new one
+      // is considered.
+      (void)flush_interactions();
+      return coalesce_interaction(note);
+    }
+    // Merge: the monitor only reads the freshest N_{A,t}, so folding the
+    // timestamp forward is lossless for decisions. (The sub-skew merge is
+    // normally taken by send_interaction's inline fast path; this branch
+    // catches the skew-expired merge, which flushes immediately.)
+    if (note.ts > pending_.ts) pending_.ts = note.ts;
+    ++stats_.interactions_merged;
+    ++unpublished_merges_;
+    // Flush rule 3 — bounded staleness: never sit on a buffer longer than
+    // max_skew past the last crossing.
+    if (note.ts - last_delivery_ >= coalesce_.max_skew)
+      return flush_interactions();
+    return Status::ok();
+  }
+  // Idle channel: the first notification after a quiet period crosses
+  // immediately (leading edge), keeping isolated clicks synchronous; inside
+  // the skew window of a recent crossing, buffering starts instead. The
+  // buffering branch is a userspace-side library operation in the display
+  // manager — no kernel crossing, hence no peer-liveness check here.
+  if (last_delivery_.is_never() ||
+      note.ts - last_delivery_ >= coalesce_.max_skew)
+    return deliver_interaction(note);
+  pending_ = note;
+  has_pending_ = true;
+  ++hub_.pending_coalesced_;
+  return Status::ok();
+}
+
+Status NetlinkChannel::flush_interactions() {
+  if (!has_pending_) return Status::ok();
+  const InteractionNotification note = pending_;
+  discard_pending();
+  if (hub_.c_coalesce_flushed_ != nullptr) hub_.c_coalesce_flushed_->add();
+  return deliver_interaction(note);
+}
+
+Status NetlinkChannel::deliver_interaction(
+    const InteractionNotification& note) {
+  if (auto s = check_peer_alive(); !s.is_ok()) return s;
+  ++stats_.interactions_delivered;
+  last_delivery_ = note.ts;
   if (hub_.c_interactions_ != nullptr) hub_.c_interactions_->add();
   if (!hub_.on_interaction_)
     return Status(Code::kNotSupported, "no kernel handler installed");
   return hub_.on_interaction_(note);
+}
+
+void NetlinkChannel::discard_pending() noexcept {
+  // Batched publication of the merges absorbed since the last crossing (the
+  // inline fast path does no atomics); mid-window metric reads can lag by at
+  // most one skew window's worth of merges.
+  if (unpublished_merges_ != 0) {
+    if (hub_.c_coalesce_merged_ != nullptr)
+      hub_.c_coalesce_merged_->add(unpublished_merges_);
+    unpublished_merges_ = 0;
+  }
+  if (!has_pending_) return;
+  has_pending_ = false;
+  --hub_.pending_coalesced_;
+}
+
+void NetlinkChannel::set_coalescing(CoalesceConfig config) {
+  // Disabling (or shrinking the window) must not strand a buffered
+  // notification.
+  if (!config.enabled) (void)flush_interactions();
+  coalesce_ = config;
 }
 
 Status NetlinkChannel::send_acg_grant(const AcgGrantNotification& note) {
@@ -45,6 +129,9 @@ Status NetlinkChannel::send_acg_grant(const AcgGrantNotification& note) {
   if (role_ != NetlinkRole::kDisplayManager)
     return Status(Code::kPermissionDenied,
                   "ACG grants accepted from the display manager only");
+  // Flush rule 2a — a grant notification is ordered after any interactions
+  // buffered before it.
+  (void)flush_interactions();
   ++stats_.interactions_sent;
   if (hub_.c_acg_grants_ != nullptr) hub_.c_acg_grants_->add();
   if (!hub_.on_acg_grant_)
@@ -58,6 +145,10 @@ Result<PermissionReply> NetlinkChannel::query_permission(
   if (role_ != NetlinkRole::kDisplayManager)
     return Status(Code::kPermissionDenied,
                   "permission queries accepted from the display manager only");
+  // Flush rule 2 — queries act as barriers: buffered notifications must be
+  // visible to the monitor before it decides. (The monitor's own pre-check
+  // hook flushes every channel; this covers hubs used without that wiring.)
+  (void)flush_interactions();
   ++stats_.queries_sent;
   if (hub_.c_queries_ != nullptr) hub_.c_queries_->add();
   if (!hub_.on_query_)
@@ -66,7 +157,7 @@ Result<PermissionReply> NetlinkChannel::query_permission(
 }
 
 Status NetlinkChannel::check_peer_alive() const {
-  if (hub_.processes_.lookup_live(peer_) == nullptr) {
+  if (hub_.processes_.get_live(peer_handle_) == nullptr) {
     if (hub_.c_broken_rejects_ != nullptr) hub_.c_broken_rejects_->add();
     return Status(Code::kBrokenChannel, "netlink: peer process is dead");
   }
@@ -110,16 +201,19 @@ Result<std::shared_ptr<NetlinkChannel>> NetlinkHub::connect(Pid pid) {
                   "executable not root-owned: " + task->exe_path);
   }
 
-  auto channel = std::make_shared<NetlinkChannel>(*this, pid, it->second);
-  channels_.push_back(channel);
+  // The slab handle resolved here makes every later liveness check one
+  // generation-checked load — no pid translation per message.
+  auto channel = std::make_shared<NetlinkChannel>(
+      *this, pid, processes_.handle_of(pid), it->second);
+  channel->coalesce_ = coalesce_;
+  channels_.push_back(channel.get());
   if (c_connects_ != nullptr) c_connects_->add();
   return channel;
 }
 
 void NetlinkHub::request_alert(const AlertRequest& alert) {
-  for (auto& weak : channels_) {
-    if (auto ch = weak.lock();
-        ch && ch->role() == NetlinkRole::kDisplayManager) {
+  for (NetlinkChannel* ch : channels_) {
+    if (ch->role() == NetlinkRole::kDisplayManager) {
       ++ch->stats_.alerts_received;
       if (c_alerts_ != nullptr) c_alerts_->add();
       ch->deliver_alert(alert);
@@ -127,11 +221,24 @@ void NetlinkHub::request_alert(const AlertRequest& alert) {
   }
 }
 
+void NetlinkHub::flush_coalesced() {
+  if (pending_coalesced_ == 0) return;
+  for (NetlinkChannel* ch : channels_) {
+    if (ch->has_pending_) (void)ch->flush_interactions();
+  }
+}
+
 void NetlinkHub::drop_dead_channels() {
-  std::erase_if(channels_, [&](const std::weak_ptr<NetlinkChannel>& weak) {
-    auto ch = weak.lock();
-    return !ch || processes_.lookup_live(ch->peer()) == nullptr;
+  std::erase_if(channels_, [&](NetlinkChannel* ch) {
+    if (processes_.get_live(ch->peer_handle_) != nullptr) return false;
+    // The peer is gone: whatever it had buffered is moot.
+    ch->discard_pending();
+    return true;
   });
+}
+
+void NetlinkHub::unregister(NetlinkChannel* channel) {
+  std::erase(channels_, channel);
 }
 
 }  // namespace overhaul::kern

@@ -14,6 +14,17 @@
 //   userspace → kernel : permission queries Q_{A,t} (synchronous reply R)
 //   userspace → kernel : device-map updates (trusted udev helper only)
 //   kernel → userspace : visual alert requests V_{A,op}
+//
+// Interaction notifications are *coalesced* (DESIGN.md §10): the permission
+// monitor only ever reads the freshest N_{A,t} per pid, so a burst of
+// mouse-motion/keystroke notifications inside a small skew window collapses
+// into one kernel crossing. The first notification after an idle period
+// crosses immediately (leading edge — single clicks stay synchronous);
+// followers for the same pid merge into a per-channel pending buffer that
+// flushes on pid change, on any permission query or ACG grant, or once the
+// configured max-skew has elapsed. Decision equivalence with coalescing off
+// is guaranteed by the flush-before-decide barrier
+// (PermissionMonitor::set_pre_check_flush → NetlinkHub::flush_coalesced).
 #pragma once
 
 #include <cstdint>
@@ -21,8 +32,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "kern/devices.h"
+#include "kern/process_table.h"
 #include "kern/task.h"
 #include "kern/vfs.h"
 #include "obs/obs.h"
@@ -31,8 +44,6 @@
 #include "util/status.h"
 
 namespace overhaul::kern {
-
-class ProcessTable;
 
 // Channel roles determine which message families a peer may send.
 enum class NetlinkRole : std::uint8_t { kDisplayManager, kDeviceHelper };
@@ -73,21 +84,65 @@ struct AlertRequest {
   util::Decision decision = util::Decision::kDeny;
 };
 
+// Per-channel coalescing knobs; channels copy the hub defaults at connect
+// time and benches/tests may override per channel.
+struct CoalesceConfig {
+  bool enabled = true;
+  sim::Duration max_skew = sim::Duration::millis(10);
+};
+
 class NetlinkHub;
 
-// One authenticated endpoint held by a userspace process.
+// One authenticated endpoint held by a userspace process. Must not outlive
+// the hub that minted it (the destructor unregisters from the hub).
 class NetlinkChannel {
  public:
-  NetlinkChannel(NetlinkHub& hub, Pid peer, NetlinkRole role)
-      : hub_(hub), peer_(peer), role_(role) {}
+  NetlinkChannel(NetlinkHub& hub, Pid peer, TaskHandle peer_handle,
+                 NetlinkRole role)
+      : hub_(hub), peer_(peer), peer_handle_(peer_handle), role_(role) {}
+  ~NetlinkChannel();
+
+  NetlinkChannel(const NetlinkChannel&) = delete;
+  NetlinkChannel& operator=(const NetlinkChannel&) = delete;
 
   [[nodiscard]] Pid peer() const noexcept { return peer_; }
   [[nodiscard]] NetlinkRole role() const noexcept { return role_; }
 
   // Display-manager messages.
-  util::Status send_interaction(const InteractionNotification& note);
+  //
+  // send_interaction's merge case is the hottest operation on the channel
+  // (input-device cadence), so it stays fully inline: three compares and
+  // three increments, no kernel crossing, no atomics — the hub's merge
+  // counter is published in a batch at the next crossing (discard_pending).
+  // Only display-manager channels can ever have a pending buffer, so the
+  // role check is subsumed by `has_pending_`.
+  util::Status send_interaction(const InteractionNotification& note) {
+    if (has_pending_ && pending_.pid == note.pid &&
+        note.ts - last_delivery_ < coalesce_.max_skew) {
+      if (note.ts > pending_.ts) pending_.ts = note.ts;
+      ++stats_.interactions_merged;
+      ++unpublished_merges_;
+      ++stats_.interactions_sent;
+      return util::Status::ok();
+    }
+    return send_interaction_slow(note);
+  }
   util::Status send_acg_grant(const AcgGrantNotification& note);
   util::Result<PermissionReply> query_permission(const PermissionQuery& query);
+
+  // Deliver the pending coalesced notification (if any) to the kernel now.
+  // Called by the hub on the monitor's pre-check barrier, and internally on
+  // every flush trigger.
+  util::Status flush_interactions();
+  [[nodiscard]] bool has_pending_interaction() const noexcept {
+    return has_pending_;
+  }
+
+  // Coalescing overrides (defaults are copied from the hub at connect()).
+  void set_coalescing(CoalesceConfig config);
+  [[nodiscard]] const CoalesceConfig& coalescing() const noexcept {
+    return coalesce_;
+  }
 
   // Device-helper messages.
   util::Status send_device_update(const DeviceMapUpdate& update);
@@ -101,7 +156,9 @@ class NetlinkChannel {
   }
 
   struct Stats {
-    std::uint64_t interactions_sent = 0;
+    std::uint64_t interactions_sent = 0;    // accepted by the channel
+    std::uint64_t interactions_merged = 0;  // absorbed into the pending slot
+    std::uint64_t interactions_delivered = 0;  // actual kernel crossings
     std::uint64_t queries_sent = 0;
     std::uint64_t device_updates_sent = 0;
     std::uint64_t alerts_received = 0;
@@ -111,14 +168,36 @@ class NetlinkChannel {
  private:
   friend class NetlinkHub;
 
-  // The kernel-side endpoint of a dead process is closed: every message
-  // path re-checks peer liveness.
+  // The kernel-side endpoint of a dead process is closed: every kernel
+  // crossing re-checks peer liveness — one generation-checked slab load via
+  // the handle cached at connect time, no pid translation.
   util::Status check_peer_alive() const;
+
+  // Everything send_interaction's inline merge case does not cover: role
+  // enforcement, leading-edge delivery, buffer start, flush triggers.
+  util::Status send_interaction_slow(const InteractionNotification& note);
+
+  // The actual kernel crossing for one interaction notification.
+  util::Status deliver_interaction(const InteractionNotification& note);
+  // Buffer-or-cross according to the coalescing rules in the header comment.
+  util::Status coalesce_interaction(const InteractionNotification& note);
+  // Forget the pending notification without delivering (dead peer teardown).
+  void discard_pending() noexcept;
+
   NetlinkHub& hub_;
   Pid peer_;
+  TaskHandle peer_handle_;
   NetlinkRole role_;
   std::function<void(const AlertRequest&)> alert_fn_;
   Stats stats_;
+
+  CoalesceConfig coalesce_;
+  bool has_pending_ = false;
+  InteractionNotification pending_;
+  sim::Timestamp last_delivery_ = sim::Timestamp::never();
+  // Merges not yet added to the hub's netlink.coalesce.merged counter;
+  // published (one batched add) whenever the pending buffer resolves.
+  std::uint64_t unpublished_merges_ = 0;
 };
 
 // Kernel-side multiplexer. The Kernel facade installs the message handlers;
@@ -138,8 +217,23 @@ class NetlinkHub {
   // when the peer's executable is not an authorized, root-owned binary.
   util::Result<std::shared_ptr<NetlinkChannel>> connect(Pid pid);
 
-  // Kernel → display manager(s): request a visual alert.
+  // Kernel → display manager(s): request a visual alert. Walks the live
+  // channel registry directly — no weak_ptr locking; dead-peer channels are
+  // pruned eagerly by drop_dead_channels() on process exit.
   void request_alert(const AlertRequest& alert);
+
+  // Default coalescing configuration handed to newly connected channels.
+  void set_coalescing(CoalesceConfig config) noexcept { coalesce_ = config; }
+  [[nodiscard]] const CoalesceConfig& coalescing() const noexcept {
+    return coalesce_;
+  }
+
+  // Deliver every channel's pending coalesced notification. O(1) when
+  // nothing is pending anywhere — this runs on every permission check.
+  void flush_coalesced();
+  [[nodiscard]] std::size_t pending_coalesced() const noexcept {
+    return pending_coalesced_;
+  }
 
   // Handler installation (Kernel facade).
   using InteractionHandler =
@@ -161,21 +255,31 @@ class NetlinkHub {
     on_device_update_ = std::move(fn);
   }
 
-  // Channel ownership bookkeeping: a channel whose peer died is dropped.
+  // Channel registry bookkeeping: a channel whose peer died is removed from
+  // the registry (its pending coalesced notification is discarded — the
+  // subject no longer exists). The channel object itself stays with its
+  // owner; every send on it keeps failing the liveness check.
   void drop_dead_channels();
 
   // Pre-resolves the hub's metric handles (`netlink.channel.*` for the
-  // authentication/liveness outcomes, `netlink.msg.*` per message family).
-  // Channels record through the hub, so attaching once covers all of them.
+  // authentication/liveness outcomes, `netlink.msg.*` per message family,
+  // `netlink.coalesce.*` for the coalescing stage). Channels record through
+  // the hub, so attaching once covers all of them.
   void attach_obs(obs::Observability* obs);
 
  private:
   friend class NetlinkChannel;
 
+  void unregister(NetlinkChannel* channel);
+
   ProcessTable& processes_;
   Vfs& vfs_;
   std::map<std::string, NetlinkRole> authorized_;
-  std::vector<std::weak_ptr<NetlinkChannel>> channels_;
+  // Raw pointers: registration in connect(), removal in ~NetlinkChannel or
+  // drop_dead_channels(), whichever comes first.
+  std::vector<NetlinkChannel*> channels_;
+  CoalesceConfig coalesce_;
+  std::size_t pending_coalesced_ = 0;
 
   obs::Counter* c_connects_ = nullptr;
   obs::Counter* c_auth_failures_ = nullptr;
@@ -185,6 +289,8 @@ class NetlinkHub {
   obs::Counter* c_queries_ = nullptr;
   obs::Counter* c_device_updates_ = nullptr;
   obs::Counter* c_alerts_ = nullptr;
+  obs::Counter* c_coalesce_merged_ = nullptr;
+  obs::Counter* c_coalesce_flushed_ = nullptr;
 
   InteractionHandler on_interaction_;
   AcgGrantHandler on_acg_grant_;

@@ -42,6 +42,10 @@ void PermissionMonitor::note_notification() {
   c_notifications_->add();
 }
 
+void PermissionMonitor::flush_coalesced_inputs() {
+  if (flush_fn_) flush_fn_();
+}
+
 bool PermissionMonitor::record_interaction(Pid pid, sim::Timestamp ts) {
   TaskStruct* task = processes_.lookup_live(pid);
   if (task == nullptr) return false;
@@ -61,13 +65,20 @@ bool PermissionMonitor::record_acg_grant(Pid pid, Op op, sim::Timestamp ts) {
 }
 
 Decision PermissionMonitor::check(Pid pid, Op op, sim::Timestamp op_time,
-                                  const std::string& detail) {
+                                  std::string_view detail) {
+  // Coalescing barrier: deliver any buffered interaction notifications
+  // before reading the task's timestamp, so the decision matches the
+  // uncoalesced stream exactly.
+  flush_coalesced_inputs();
   ++stats_.queries;
   if (c_queries_ != nullptr) c_queries_->add();
   // Decision span: one "X" event covering the whole check, tagged with the
-  // verdict below. Inert unless a tracer is attached and enabled.
+  // verdict below. Inert unless a tracer is attached and enabled; the
+  // `tracing` flag also guards the arg() calls below so the fast path never
+  // materializes std::strings.
+  const bool tracing = obs_ != nullptr && obs_->tracer.enabled();
   obs::Tracer::Span span;
-  if (obs_ != nullptr && obs_->tracer.enabled())
+  if (tracing)
     span = obs_->tracer.span("PermissionMonitor::check", "monitor", pid);
 
   TaskStruct* task = processes_.lookup_live(pid);
@@ -95,11 +106,12 @@ Decision PermissionMonitor::check(Pid pid, Op op, sim::Timestamp op_time,
     ptrace_denied = true;
   } else if (policy_ == GrantPolicy::kAcg) {
     // Comparison model: only an op-specific gadget click within δ grants.
-    const auto it = task->acg_grants.find(op);
-    if (it == task->acg_grants.end() || it->second.is_never()) {
+    // One indexed load from the dense per-Op array.
+    const sim::Timestamp grant = task->acg_grant(op);
+    if (grant.is_never()) {
       decision = Decision::kDeny;
     } else {
-      const sim::Duration age = op_time - it->second;
+      const sim::Duration age = op_time - grant;
       decision =
           (age.ns >= 0 && age < delta_) ? Decision::kGrant : Decision::kDeny;
     }
@@ -135,9 +147,11 @@ Decision PermissionMonitor::check(Pid pid, Op op, sim::Timestamp op_time,
   if (decision == Decision::kGrant && h_grant_age_ms_ != nullptr &&
       !interaction.is_never())
     h_grant_age_ms_->add((op_time - interaction).to_seconds() * 1e3);
-  span.arg("op", std::string(util::op_name(op)));
-  span.arg("decision", decision == Decision::kGrant ? "grant" : "deny");
-  if (!detail.empty()) span.arg("detail", detail);
+  if (tracing) {
+    span.arg("op", std::string(util::op_name(op)));
+    span.arg("decision", decision == Decision::kGrant ? "grant" : "deny");
+    if (!detail.empty()) span.arg("detail", std::string(detail));
+  }
 
   if (audit_enabled_) {
     util::AuditRecord rec;
@@ -148,7 +162,7 @@ Decision PermissionMonitor::check(Pid pid, Op op, sim::Timestamp op_time,
     rec.decision = decision;
     rec.interaction_age_ns =
         interaction.is_never() ? -1 : (op_time - interaction).ns;
-    rec.detail = detail;
+    rec.detail.assign(detail.data(), detail.size());
     audit_.append(std::move(rec));
   }
 

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "kern/process_table.h"
 #include "obs/obs.h"
@@ -76,14 +77,25 @@ class PermissionMonitor {
 
   // --- permission queries (Q_{A,t} → R_{A,t}) -------------------------------
   // Decide whether `pid` may perform `op` at `op_time`. `detail` is free-form
-  // context for the audit log (device path, selection atom...).
+  // context for the audit log (device path, selection atom...). Borrowed as a
+  // string_view: with audit and tracing off the check path never copies it —
+  // part of the zero-allocation fast-path contract (DESIGN.md §10).
   util::Decision check(Pid pid, util::Op op, sim::Timestamp op_time,
-                       const std::string& detail);
+                       std::string_view detail);
 
   // Convenience: check at the current virtual time.
-  util::Decision check_now(Pid pid, util::Op op, const std::string& detail) {
+  util::Decision check_now(Pid pid, util::Op op, std::string_view detail) {
     return check(pid, op, clock_.now(), detail);
   }
+
+  // --- coalescing barrier ----------------------------------------------------
+  // Before deciding, the monitor must see every interaction notification the
+  // display manager has produced so far; the kernel wires this hook to
+  // NetlinkHub::flush_coalesced() so buffered notifications are delivered
+  // first. This is what makes coalescing decision-equivalent even for checks
+  // that do not arrive over netlink (sys_open device mediation).
+  using FlushFn = std::function<void()>;
+  void set_pre_check_flush(FlushFn fn) { flush_fn_ = std::move(fn); }
 
   // --- trusted output hook (V_{A,op}) ---------------------------------------
   // The kernel requests visual alerts through this callback; the Overhaul
@@ -126,6 +138,9 @@ class PermissionMonitor {
   void note_decision(util::Decision decision, bool ptrace_denied,
                      bool prompted);
   void note_notification();
+  // Coalescing barrier, likewise anchored by the analyzer: check() must
+  // drain pending interaction notifications before deciding.
+  void flush_coalesced_inputs();
 
   ProcessTable& processes_;
   sim::Clock& clock_;
@@ -139,6 +154,7 @@ class PermissionMonitor {
 
   AlertRequestFn alert_fn_;
   PromptFn prompt_fn_;
+  FlushFn flush_fn_;
   Stats stats_;
 
   obs::Observability* obs_ = nullptr;

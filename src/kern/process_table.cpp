@@ -1,5 +1,6 @@
 #include "kern/process_table.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace overhaul::kern {
@@ -8,16 +9,52 @@ using util::Code;
 using util::Result;
 using util::Status;
 
-ProcessTable::ProcessTable() {
-  auto init = std::make_unique<TaskStruct>();
-  init->pid = allocate_pid();
-  init->ppid = 0;
-  init->tgid = init->pid;
-  init->uid = kRootUid;
-  init->comm = "init";
-  init->exe_path = "/sbin/init";
-  tasks_.emplace(init->pid, std::move(init));
+ProcessTable::ProcessTable(Pid pid_max) : pid_max_(pid_max) {
+  TaskStruct& init = allocate_task(1);
+  next_pid_ = 2;
+  last_pid_ = 1;
+  init.ppid = 0;
+  init.tgid = init.pid;
+  init.uid = kRootUid;
+  init.comm = "init";
+  init.exe_path = "/sbin/init";
+}
+
+Result<Pid> ProcessTable::allocate_pid() {
+  // Sequential allocation with wraparound at pid_max (like the kernel's
+  // pid bitmap): a pid stays retired while its tombstone exists; reap()
+  // returns it to circulation.
+  for (Pid scanned = 0; scanned < pid_max_; ++scanned) {
+    const Pid candidate = next_pid_;
+    next_pid_ = candidate >= pid_max_ ? 1 : candidate + 1;
+    if (slot_index(candidate) < 0) {
+      last_pid_ = candidate;
+      return candidate;
+    }
+  }
+  return Status(Code::kResourceExhausted, "fork: pid space exhausted");
+}
+
+TaskStruct& ProcessTable::allocate_task(Pid pid) {
+  std::int32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slot_count_ == chunks_.size() * kChunkSize)
+      chunks_.push_back(std::make_unique<Chunk>());
+    index = static_cast<std::int32_t>(slot_count_++);
+  }
+  Slot& slot = slot_at(index);
+  slot.in_use = true;
+
+  if (static_cast<std::size_t>(pid) >= pid_to_slot_.size())
+    pid_to_slot_.resize(static_cast<std::size_t>(pid) + 1, -1);
+  pid_to_slot_[static_cast<std::size_t>(pid)] = index;
+
+  slot.task.pid = pid;
   ++live_count_;
+  return slot.task;
 }
 
 Result<Pid> ProcessTable::fork(Pid parent_pid) {
@@ -25,25 +62,26 @@ Result<Pid> ProcessTable::fork(Pid parent_pid) {
   if (parent == nullptr)
     return Status(Code::kNotFound, "fork: no such process");
 
-  auto child = std::make_unique<TaskStruct>();
-  const Pid pid = allocate_pid();
-  child->pid = pid;
-  child->ppid = parent_pid;
-  child->tgid = pid;  // new thread group
-  child->uid = parent->uid;
-  child->comm = parent->comm;
-  child->exe_path = parent->exe_path;
+  auto pid_or = allocate_pid();
+  if (!pid_or.is_ok()) return pid_or.status();
+  const Pid pid = pid_or.value();
+
+  // Slab chunks never move, so `parent` stays valid across the allocation.
+  TaskStruct& child = allocate_task(pid);
+  child.ppid = parent_pid;
+  child.tgid = pid;  // new thread group
+  child.uid = parent->uid;
+  child.comm = parent->comm;
+  child.exe_path = parent->exe_path;
   // P1: the child inherits the parent's interaction timestamp by virtue of
   // the task_struct copy — no extra Overhaul code needed (paper §IV-B).
-  child->interaction_ts = parent->interaction_ts;
-  child->acg_grants = parent->acg_grants;
+  child.interaction_ts = parent->interaction_ts;
+  child.acg_grants = parent->acg_grants;
   // fd table copied; descriptions shared (refcount), like real fork.
-  child->fds = parent->fds;
-  child->next_fd = parent->next_fd;
+  child.fds = parent->fds;
+  child.next_fd = parent->next_fd;
 
   parent->children.push_back(pid);
-  tasks_.emplace(pid, std::move(child));
-  ++live_count_;
   return pid;
 }
 
@@ -52,24 +90,24 @@ Result<Pid> ProcessTable::spawn_thread(Pid leader_pid) {
   if (leader == nullptr)
     return Status(Code::kNotFound, "clone: no such process");
 
-  auto thread = std::make_unique<TaskStruct>();
-  const Pid pid = allocate_pid();
-  thread->pid = pid;
-  thread->ppid = leader->ppid;
-  thread->tgid = leader->tgid;  // same thread group
-  thread->uid = leader->uid;
-  thread->comm = leader->comm;
-  thread->exe_path = leader->exe_path;
+  auto pid_or = allocate_pid();
+  if (!pid_or.is_ok()) return pid_or.status();
+  const Pid pid = pid_or.value();
+
+  TaskStruct& thread = allocate_task(pid);
+  thread.ppid = leader->ppid;
+  thread.tgid = leader->tgid;  // same thread group
+  thread.uid = leader->uid;
+  thread.comm = leader->comm;
+  thread.exe_path = leader->exe_path;
   // Threads get their own task_struct on Linux, so the same P1 copy applies
   // (paper: "This property also extends to the threads of a process").
-  thread->interaction_ts = leader->interaction_ts;
-  thread->acg_grants = leader->acg_grants;
-  thread->fds = leader->fds;
-  thread->next_fd = leader->next_fd;
+  thread.interaction_ts = leader->interaction_ts;
+  thread.acg_grants = leader->acg_grants;
+  thread.fds = leader->fds;
+  thread.next_fd = leader->next_fd;
 
   leader->children.push_back(pid);
-  tasks_.emplace(pid, std::move(thread));
-  ++live_count_;
   return pid;
 }
 
@@ -88,29 +126,96 @@ Status ProcessTable::exit(Pid pid) {
   if (task == nullptr) return Status(Code::kNotFound, "exit: no such process");
   task->alive = false;
   task->fds.clear();
-  task->traced_by = kNoPid;
-  // Detach anything this task was tracing.
-  for (auto& [other_pid, other] : tasks_) {
-    (void)other_pid;
-    if (other->traced_by == pid) other->traced_by = kNoPid;
+  // Detach from our tracer's reverse index, then detach anything this task
+  // was tracing — O(|tracees|) via the reverse index, not a table scan.
+  if (task->traced_by != kNoPid) {
+    if (TaskStruct* tracer = lookup(task->traced_by); tracer != nullptr)
+      std::erase(tracer->tracees, pid);
+    task->traced_by = kNoPid;
   }
+  for (const Pid tracee_pid : task->tracees) {
+    if (TaskStruct* tracee = lookup(tracee_pid);
+        tracee != nullptr && tracee->traced_by == pid)
+      tracee->traced_by = kNoPid;
+  }
+  task->tracees.clear();
   --live_count_;
   return Status::ok();
 }
 
+Status ProcessTable::reap(Pid pid) {
+  const std::int32_t index = slot_index(pid);
+  if (index < 0) return Status(Code::kNotFound, "reap: no such process");
+  Slot& slot = slot_at(index);
+  if (slot.task.alive)
+    return Status(Code::kBusy, "reap: process still running");
+  pid_to_slot_[static_cast<std::size_t>(pid)] = -1;
+  // Invalidate outstanding handles before the slot can be recycled.
+  ++slot.generation;
+  slot.in_use = false;
+  slot.task = TaskStruct{};  // release strings/fds held by the tombstone
+  free_slots_.push_back(index);
+  return Status::ok();
+}
+
 TaskStruct* ProcessTable::lookup(Pid pid) {
-  const auto it = tasks_.find(pid);
-  return it == tasks_.end() ? nullptr : it->second.get();
+  const std::int32_t index = slot_index(pid);
+  return index < 0 ? nullptr : &slot_at(index).task;
 }
 
 const TaskStruct* ProcessTable::lookup(Pid pid) const {
-  const auto it = tasks_.find(pid);
-  return it == tasks_.end() ? nullptr : it->second.get();
+  const std::int32_t index = slot_index(pid);
+  return index < 0 ? nullptr : &slot_at(index).task;
 }
 
 TaskStruct* ProcessTable::lookup_live(Pid pid) {
   TaskStruct* t = lookup(pid);
   return (t != nullptr && t->alive) ? t : nullptr;
+}
+
+TaskHandle ProcessTable::handle_of(Pid pid) const {
+  const std::int32_t index = slot_index(pid);
+  if (index < 0) return {};
+  return {index, slot_at(index).generation};
+}
+
+TaskStruct* ProcessTable::get(TaskHandle handle) {
+  if (handle.slot < 0 ||
+      static_cast<std::size_t>(handle.slot) >= slot_count_)
+    return nullptr;
+  Slot& slot = slot_at(handle.slot);
+  if (!slot.in_use || slot.generation != handle.generation) return nullptr;
+  return &slot.task;
+}
+
+const TaskStruct* ProcessTable::get(TaskHandle handle) const {
+  if (handle.slot < 0 ||
+      static_cast<std::size_t>(handle.slot) >= slot_count_)
+    return nullptr;
+  const Slot& slot = slot_at(handle.slot);
+  if (!slot.in_use || slot.generation != handle.generation) return nullptr;
+  return &slot.task;
+}
+
+TaskStruct* ProcessTable::get_live(TaskHandle handle) {
+  TaskStruct* t = get(handle);
+  return (t != nullptr && t->alive) ? t : nullptr;
+}
+
+void ProcessTable::attach_trace(Pid tracer_pid, Pid tracee_pid) {
+  TaskStruct* tracer = lookup_live(tracer_pid);
+  TaskStruct* tracee = lookup_live(tracee_pid);
+  if (tracer == nullptr || tracee == nullptr) return;
+  tracee->traced_by = tracer_pid;
+  tracer->tracees.push_back(tracee_pid);
+}
+
+void ProcessTable::detach_trace(Pid tracer_pid, Pid tracee_pid) {
+  if (TaskStruct* tracee = lookup(tracee_pid);
+      tracee != nullptr && tracee->traced_by == tracer_pid)
+    tracee->traced_by = kNoPid;
+  if (TaskStruct* tracer = lookup(tracer_pid); tracer != nullptr)
+    std::erase(tracer->tracees, tracee_pid);
 }
 
 bool ProcessTable::is_descendant(Pid ancestor, Pid descendant) const {
@@ -123,9 +228,9 @@ bool ProcessTable::is_descendant(Pid ancestor, Pid descendant) const {
 }
 
 void ProcessTable::for_each_live(const std::function<void(TaskStruct&)>& fn) {
-  for (auto& [pid, task] : tasks_) {
-    (void)pid;
-    if (task->alive) fn(*task);
+  for (std::size_t index = 0; index < slot_count_; ++index) {
+    Slot& slot = slot_at(static_cast<std::int32_t>(index));
+    if (slot.in_use && slot.task.alive) fn(slot.task);
   }
 }
 

@@ -6,10 +6,18 @@
 // out of `fork` copying the parent's task_struct (§IV-B); we reproduce
 // exactly that: the child starts as a field-for-field copy, including the
 // interaction timestamp.
+//
+// Storage is a generation-checked slab, not a map: TaskStructs live in
+// fixed-size chunks (stable addresses for the pointers the kernel, X server,
+// and IPC layers hold across calls), pid → slot translation is one indexed
+// load through a dense vector, and reaped slots go on a free-list for O(1)
+// reuse. Every mediation decision starts with a pid lookup, so this table is
+// the hottest data structure in the repo — see DESIGN.md §10.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,9 +27,25 @@
 
 namespace overhaul::kern {
 
+// A stable, generation-checked reference to a slab slot. Cheaper than a pid
+// lookup (no pid→slot translation) and safe across pid reuse: after the slot
+// is reaped and recycled, the stored generation no longer matches and the
+// handle resolves to nullptr. Value type; invalid by default.
+struct TaskHandle {
+  std::int32_t slot = -1;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return slot >= 0; }
+  constexpr bool operator==(const TaskHandle&) const = default;
+};
+
 class ProcessTable {
  public:
-  ProcessTable();
+  // Upper bound on pid values (like /proc/sys/kernel/pid_max): allocation
+  // wraps past it and scans for a free pid. Tests lower it to force reuse.
+  static constexpr Pid kDefaultPidMax = 4'194'304;
+
+  explicit ProcessTable(Pid pid_max = kDefaultPidMax);
 
   // pid 1, uid 0, exe /sbin/init. Created by the constructor.
   [[nodiscard]] TaskStruct& init_task() { return *lookup(1); }
@@ -43,11 +67,33 @@ class ProcessTable {
   // so late permission queries against the pid fail cleanly.
   util::Status exit(Pid pid);
 
+  // wait(2)-style reclamation: release a tombstone's slot back to the
+  // free-list and retire its pid. Bumps the slot generation, so any
+  // outstanding TaskHandle to the old task misses from then on. Fails with
+  // kBusy while the task is alive.
+  util::Status reap(Pid pid);
+
   [[nodiscard]] TaskStruct* lookup(Pid pid);
   [[nodiscard]] const TaskStruct* lookup(Pid pid) const;
 
   // Lookup that treats dead tasks as missing.
   [[nodiscard]] TaskStruct* lookup_live(Pid pid);
+
+  // --- stable handles -------------------------------------------------------
+  // Long-lived holders (netlink channels, caches) resolve the pid once and
+  // then dereference the handle: one bounds check + one generation compare,
+  // no pid translation. An invalid handle is returned for unknown pids.
+  [[nodiscard]] TaskHandle handle_of(Pid pid) const;
+  [[nodiscard]] TaskStruct* get(TaskHandle handle);
+  [[nodiscard]] const TaskStruct* get(TaskHandle handle) const;
+  [[nodiscard]] TaskStruct* get_live(TaskHandle handle);
+
+  // --- ptrace linkage -------------------------------------------------------
+  // The only approved writers of TaskStruct::traced_by/tracees: keep the
+  // forward pointer and the per-tracer reverse index consistent so exit()
+  // detaches in O(|tracees|).
+  void attach_trace(Pid tracer, Pid tracee);
+  void detach_trace(Pid tracer, Pid tracee);
 
   // True if `descendant` is a (transitive) child of `ancestor`.
   [[nodiscard]] bool is_descendant(Pid ancestor, Pid descendant) const;
@@ -55,13 +101,53 @@ class ProcessTable {
   void for_each_live(const std::function<void(TaskStruct&)>& fn);
 
   [[nodiscard]] std::size_t live_count() const noexcept { return live_count_; }
-  [[nodiscard]] Pid last_pid() const noexcept { return next_pid_ - 1; }
+  [[nodiscard]] Pid last_pid() const noexcept { return last_pid_; }
+  [[nodiscard]] Pid pid_max() const noexcept { return pid_max_; }
 
  private:
-  Pid allocate_pid() { return next_pid_++; }
+  // 256 slots per chunk: big enough that chunk allocation is rare, small
+  // enough that a mostly-reaped table does not pin much memory. Chunks are
+  // never freed or moved, which is what keeps TaskStruct* stable.
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
 
-  std::map<Pid, std::unique_ptr<TaskStruct>> tasks_;
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool in_use = false;
+    TaskStruct task;
+  };
+  using Chunk = std::array<Slot, kChunkSize>;
+
+  [[nodiscard]] Slot& slot_at(std::int32_t index) noexcept {
+    return (*chunks_[static_cast<std::size_t>(index) >> kChunkShift])
+        [static_cast<std::size_t>(index) & kChunkMask];
+  }
+  [[nodiscard]] const Slot& slot_at(std::int32_t index) const noexcept {
+    return (*chunks_[static_cast<std::size_t>(index) >> kChunkShift])
+        [static_cast<std::size_t>(index) & kChunkMask];
+  }
+
+  // pid → slot index, or -1. Grows lazily with the highest pid seen.
+  [[nodiscard]] std::int32_t slot_index(Pid pid) const noexcept {
+    if (pid < 0 || static_cast<std::size_t>(pid) >= pid_to_slot_.size())
+      return -1;
+    return pid_to_slot_[static_cast<std::size_t>(pid)];
+  }
+
+  util::Result<Pid> allocate_pid();
+  // Allocates a slot (free-list first), binds it to `pid`, and returns the
+  // fresh zero-state task with pid/tgid set.
+  TaskStruct& allocate_task(Pid pid);
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::int32_t> free_slots_;
+  std::vector<std::int32_t> pid_to_slot_;
+  std::size_t slot_count_ = 0;  // slots ever allocated (high-water mark)
+
+  Pid pid_max_;
   Pid next_pid_ = 1;
+  Pid last_pid_ = 0;
   std::size_t live_count_ = 0;
 };
 

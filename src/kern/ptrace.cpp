@@ -28,7 +28,7 @@ Status PtraceManager::attach(Pid tracer_pid, Pid tracee_pid) {
     return Status(Code::kPermissionDenied, "ptrace: uid mismatch");
   }
 
-  tracee->traced_by = tracer_pid;
+  processes_.attach_trace(tracer_pid, tracee_pid);
   ++stats_.attaches;
   return Status::ok();
 }
@@ -38,7 +38,7 @@ Status PtraceManager::detach(Pid tracer_pid, Pid tracee_pid) {
   if (tracee == nullptr) return Status(Code::kNotFound, "ptrace: no tracee");
   if (tracee->traced_by != tracer_pid)
     return Status(Code::kPermissionDenied, "ptrace: not the tracer");
-  tracee->traced_by = kNoPid;
+  processes_.detach_trace(tracer_pid, tracee_pid);
   return Status::ok();
 }
 

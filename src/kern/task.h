@@ -7,6 +7,7 @@
 // reads or writes this field.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -73,15 +74,32 @@ struct TaskStruct {
   // model of Roesner et al. [27], kept for head-to-head comparison). Copied
   // by fork like the rest of the task_struct, but — faithfully to that
   // model's intent-precision — never propagated over IPC.
-  std::map<util::Op, sim::Timestamp> acg_grants;
+  //
+  // Stored as a dense per-Op array (kOpCount is tiny and fixed) so the
+  // monitor's ACG branch is a plain indexed load: no map nodes, no heap.
+  static constexpr std::array<sim::Timestamp, util::kOpCount> no_acg_grants() {
+    std::array<sim::Timestamp, util::kOpCount> grants{};
+    for (auto& g : grants) g = sim::Timestamp::never();
+    return grants;
+  }
+  std::array<sim::Timestamp, util::kOpCount> acg_grants = no_acg_grants();
 
-  void adopt_acg_grant(util::Op op, sim::Timestamp ts) {
-    auto [it, inserted] = acg_grants.emplace(op, ts);
-    if (!inserted && ts > it->second) it->second = ts;
+  void adopt_acg_grant(util::Op op, sim::Timestamp ts) noexcept {
+    sim::Timestamp& slot = acg_grants[static_cast<std::size_t>(op)];
+    if (ts > slot) slot = ts;
+  }
+
+  [[nodiscard]] sim::Timestamp acg_grant(util::Op op) const noexcept {
+    return acg_grants[static_cast<std::size_t>(op)];
   }
 
   // --- ptrace state --------------------------------------------------------
   Pid traced_by = kNoPid;  // tracer pid, or kNoPid when not traced
+
+  // Reverse index: pids this task is currently tracing. Maintained together
+  // with `traced_by` (ProcessTable::attach_trace/detach_trace) so exit() can
+  // detach tracees in O(|tracees|) instead of scanning the whole table.
+  std::vector<Pid> tracees;
 
   [[nodiscard]] bool is_traced() const noexcept { return traced_by != kNoPid; }
 

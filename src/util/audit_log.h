@@ -27,6 +27,11 @@ enum class Op : std::uint8_t {
   kDeviceOther,  // a protected device that is neither mic nor cam
 };
 
+// Number of mediated operations; sized for dense per-Op arrays (the ACG
+// grant table in TaskStruct indexes by static_cast<size_t>(op)).
+inline constexpr std::size_t kOpCount =
+    static_cast<std::size_t>(Op::kDeviceOther) + 1;
+
 std::string_view op_name(Op op) noexcept;
 
 enum class Decision : std::uint8_t { kGrant, kDeny };

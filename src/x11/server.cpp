@@ -442,7 +442,7 @@ Status XServer::xtest_fake_key(ClientId sender, int keycode) {
 // --- Overhaul liaison ------------------------------------------------------------------
 
 Decision XServer::ask_monitor(ClientId client_id, util::Op op,
-                              const std::string& detail) {
+                              std::string_view detail) {
   if (!config_.overhaul_enabled) return Decision::kGrant;  // unmodified server
   XClient* c = client(client_id);
   if (c == nullptr || channel_ == nullptr) return Decision::kDeny;
@@ -451,7 +451,7 @@ Decision XServer::ask_monitor(ClientId client_id, util::Op op,
   query.pid = c->pid();
   query.op = op;
   query.op_time = kernel_.clock().now();
-  query.detail = detail;
+  query.detail.assign(detail.data(), detail.size());
   auto reply = channel_->query_permission(query);
   return reply.is_ok() ? reply.value().decision : Decision::kDeny;
 }

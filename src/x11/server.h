@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "kern/kernel.h"
 #include "x11/acg.h"
@@ -143,7 +144,7 @@ class XServer {
   // Ask the kernel permission monitor about `op` for the process behind
   // `client`. Grant-by-default when Overhaul is disabled (baseline).
   util::Decision ask_monitor(ClientId client, util::Op op,
-                             const std::string& detail);
+                             std::string_view detail);
 
   // --- sub-managers -------------------------------------------------------------------
   [[nodiscard]] SelectionManager& selections() noexcept { return selections_; }

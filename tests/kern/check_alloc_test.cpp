@@ -1,0 +1,163 @@
+// Zero-allocation contract for the mediation fast path (DESIGN.md §10).
+//
+// With audit and tracing disabled, PermissionMonitor::check must not touch
+// the heap: detail is borrowed as a string_view, ACG grants are a fixed
+// per-Op array, pid→task is a slab load. This binary overrides the global
+// allocator with counting shims — it must stay its own test executable so
+// the override cannot leak into other suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "kern/permission_monitor.h"
+#include "kern/process_table.h"
+#include "sim/clock.h"
+#include "util/audit_log.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting shims for every replaceable allocation form the toolchain may
+// emit. Deallocation is free-passthrough; only allocation counts.
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : 1))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace overhaul::kern {
+namespace {
+
+using util::Decision;
+using util::Op;
+
+class CheckAllocTest : public ::testing::Test {
+ protected:
+  CheckAllocTest() : monitor_(processes_, clock_, audit_) {
+    monitor_.set_audit_enabled(false);  // no tracer attached either
+    app_ = processes_.fork(1).value();
+    clock_.advance(sim::Duration::seconds(5));
+  }
+
+  // Allocations performed by `fn` alone.
+  template <typename Fn>
+  std::uint64_t allocations_during(Fn&& fn) {
+    const std::uint64_t before = g_allocations.load();
+    fn();
+    return g_allocations.load() - before;
+  }
+
+  sim::Clock clock_;
+  ProcessTable processes_;
+  util::AuditLog audit_;
+  PermissionMonitor monitor_;
+  Pid app_ = kNoPid;
+};
+
+TEST_F(CheckAllocTest, GrantPathIsAllocationFree) {
+  ASSERT_TRUE(monitor_.record_interaction(app_, clock_.now()));
+  // Warm-up (first call may lazily build nothing today, but keep the
+  // contract measurement honest regardless).
+  (void)monitor_.check(app_, Op::kMicrophone, clock_.now(), "/dev/mic0");
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 1'000; ++i) {
+      ASSERT_EQ(monitor_.check(app_, Op::kMicrophone, clock_.now(),
+                               "/dev/mic0"),
+                Decision::kGrant);
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(CheckAllocTest, DenyPathIsAllocationFree) {
+  // No interaction recorded: every check denies.
+  (void)monitor_.check(app_, Op::kCopy, clock_.now(), "PRIMARY");
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 1'000; ++i) {
+      ASSERT_EQ(monitor_.check(app_, Op::kCopy, clock_.now(), "PRIMARY"),
+                Decision::kDeny);
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(CheckAllocTest, AcgPolicyPathIsAllocationFree) {
+  monitor_.set_grant_policy(GrantPolicy::kAcg);
+  ASSERT_TRUE(monitor_.record_acg_grant(app_, Op::kCamera, clock_.now()));
+  (void)monitor_.check(app_, Op::kCamera, clock_.now(), "");
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 1'000; ++i) {
+      ASSERT_EQ(monitor_.check(app_, Op::kCamera, clock_.now(), ""),
+                Decision::kGrant);
+      ASSERT_EQ(monitor_.check(app_, Op::kMicrophone, clock_.now(), ""),
+                Decision::kDeny);
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(CheckAllocTest, GrantAlwaysModeIsAllocationFree) {
+  // The Table-I benchmark configuration: full path, forced grant.
+  monitor_.set_mode(MonitorMode::kGrantAlways);
+  (void)monitor_.check(app_, Op::kScreenCapture, clock_.now(), "root-window");
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 1'000; ++i) {
+      ASSERT_EQ(monitor_.check(app_, Op::kScreenCapture, clock_.now(),
+                               "root-window"),
+                Decision::kGrant);
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(CheckAllocTest, SlabLookupIsAllocationFree) {
+  const TaskHandle h = processes_.handle_of(app_);
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 1'000; ++i) {
+      ASSERT_NE(processes_.lookup_live(app_), nullptr);
+      ASSERT_NE(processes_.get_live(h), nullptr);
+    }
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+// Sanity: the counter actually observes heap traffic (guards against the
+// shims being optimized out or not linked).
+TEST_F(CheckAllocTest, CounterSeesRealAllocations) {
+  const auto n = allocations_during([&] {
+    std::string s(128, 'x');  // beyond SSO
+    ASSERT_EQ(s.size(), 128u);
+  });
+  EXPECT_GT(n, 0u);
+}
+
+}  // namespace
+}  // namespace overhaul::kern

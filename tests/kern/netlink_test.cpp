@@ -155,6 +155,156 @@ TEST_F(NetlinkTest, TwoDisplayManagerChannelsBothReceiveAlerts) {
   EXPECT_EQ(got2, 1);
 }
 
+// --- interaction coalescing ---------------------------------------------------
+// Default config: coalescing on, max_skew 10 ms. The first notification
+// after an idle period crosses immediately (leading edge); followers inside
+// the skew window buffer and flush on pid change, query, or skew expiry.
+
+class CoalesceTest : public NetlinkTest {
+ protected:
+  CoalesceTest() {
+    ch_ = kernel_.netlink().connect(xorg_pid_).value();
+    app_ = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();
+  }
+
+  void advance_ms(std::int64_t ms) {
+    clock_.advance(sim::Duration::millis(ms));
+  }
+  util::Status send_now(Pid pid) {
+    return ch_->send_interaction({pid, clock_.now()});
+  }
+  [[nodiscard]] sim::Timestamp ts_of(Pid pid) {
+    return kernel_.processes().lookup(pid)->interaction_ts;
+  }
+
+  std::shared_ptr<NetlinkChannel> ch_;
+  Pid app_ = kNoPid;
+};
+
+TEST_F(CoalesceTest, LeadingEdgeDeliversImmediately) {
+  advance_ms(1000);
+  ASSERT_TRUE(send_now(app_).is_ok());
+  EXPECT_EQ(ts_of(app_), clock_.now());  // synchronous, no buffering
+  EXPECT_EQ(ch_->stats().interactions_delivered, 1u);
+  EXPECT_FALSE(ch_->has_pending_interaction());
+}
+
+TEST_F(CoalesceTest, BurstCollapsesToOneCrossing) {
+  ASSERT_TRUE(send_now(app_).is_ok());  // leading edge: crossing #1
+  const sim::Timestamp first = clock_.now();
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // merged into the buffer
+  EXPECT_EQ(ch_->stats().interactions_sent, 3u);
+  EXPECT_EQ(ch_->stats().interactions_delivered, 1u);
+  EXPECT_EQ(ch_->stats().interactions_merged, 1u);
+  EXPECT_TRUE(ch_->has_pending_interaction());
+  // The kernel has only seen the leading-edge notification so far.
+  EXPECT_EQ(ts_of(app_), first);
+  EXPECT_EQ(kernel_.monitor().stats().notifications, 1u);
+  // The hub's merged counter is published in a batch at the next crossing
+  // (the inline merge path does no atomics), so it still reads 0 here...
+  EXPECT_EQ(kernel_.obs().metrics.counter_value("netlink.coalesce.merged"),
+            0u);
+  // ...and catches up as soon as the buffer resolves.
+  kernel_.netlink().flush_coalesced();
+  EXPECT_EQ(kernel_.obs().metrics.counter_value("netlink.coalesce.merged"),
+            1u);
+}
+
+TEST_F(CoalesceTest, QueryFlushesPendingBeforeDeciding) {
+  ASSERT_TRUE(send_now(app_).is_ok());
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered at t+1ms
+  const sim::Timestamp buffered = clock_.now();
+  auto reply =
+      ch_->query_permission({app_, Op::kPaste, clock_.now(), ""});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().decision, Decision::kGrant);
+  EXPECT_EQ(ts_of(app_), buffered);  // flushed before the decision
+  EXPECT_FALSE(ch_->has_pending_interaction());
+  EXPECT_EQ(kernel_.obs().metrics.counter_value("netlink.coalesce.flushed"),
+            1u);
+}
+
+TEST_F(CoalesceTest, PidChangeFlushes) {
+  auto other = kernel_.sys_spawn(1, "/usr/bin/other", "other").value();
+  ASSERT_TRUE(send_now(app_).is_ok());
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered for app
+  const sim::Timestamp app_ts = clock_.now();
+  ASSERT_TRUE(send_now(other).is_ok());  // different pid: flush rule 1
+  EXPECT_EQ(ts_of(app_), app_ts);
+  EXPECT_EQ(ch_->stats().interactions_delivered, 2u);
+}
+
+TEST_F(CoalesceTest, SkewExpiryFlushes) {
+  ASSERT_TRUE(send_now(app_).is_ok());  // crossing at t0
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered
+  advance_ms(10);                        // now 11 ms past the last crossing
+  ASSERT_TRUE(send_now(app_).is_ok());  // merge + flush rule 3
+  EXPECT_EQ(ts_of(app_), clock_.now());
+  EXPECT_FALSE(ch_->has_pending_interaction());
+  EXPECT_EQ(ch_->stats().interactions_delivered, 2u);
+}
+
+TEST_F(CoalesceTest, DirectMonitorCheckFlushesPending) {
+  // sys_open device mediation never touches the channel; the monitor's
+  // pre-check barrier must still drain the buffer first.
+  ASSERT_TRUE(send_now(app_).is_ok());
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered
+  const sim::Timestamp buffered = clock_.now();
+  EXPECT_EQ(kernel_.monitor().check_now(app_, Op::kCopy, ""),
+            Decision::kGrant);
+  EXPECT_EQ(ts_of(app_), buffered);
+  EXPECT_EQ(kernel_.netlink().pending_coalesced(), 0u);
+}
+
+TEST_F(CoalesceTest, CoalescingOffDeliversEveryNotification) {
+  ch_->set_coalescing({false, sim::Duration::millis(10)});
+  ASSERT_TRUE(send_now(app_).is_ok());
+  ASSERT_TRUE(send_now(app_).is_ok());
+  ASSERT_TRUE(send_now(app_).is_ok());
+  EXPECT_EQ(ch_->stats().interactions_delivered, 3u);
+  EXPECT_EQ(ch_->stats().interactions_merged, 0u);
+  EXPECT_EQ(kernel_.monitor().stats().notifications, 3u);
+}
+
+TEST_F(CoalesceTest, DisablingCoalescingFlushesPendingFirst) {
+  ASSERT_TRUE(send_now(app_).is_ok());
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered
+  ch_->set_coalescing({false, sim::Duration::millis(10)});
+  EXPECT_FALSE(ch_->has_pending_interaction());
+  EXPECT_EQ(ts_of(app_), clock_.now());
+}
+
+TEST_F(CoalesceTest, AcgGrantFlushesBufferedInteractionsFirst) {
+  ASSERT_TRUE(send_now(app_).is_ok());
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered
+  ASSERT_TRUE(
+      ch_->send_acg_grant({app_, Op::kCamera, clock_.now()}).is_ok());
+  EXPECT_FALSE(ch_->has_pending_interaction());
+  EXPECT_EQ(ts_of(app_), clock_.now());
+}
+
+TEST_F(CoalesceTest, DeadPeerPendingIsDiscardedOnExit) {
+  ASSERT_TRUE(send_now(app_).is_ok());
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered
+  const sim::Timestamp delivered = sim::Timestamp{0};
+  ASSERT_TRUE(kernel_.sys_exit(xorg_pid_).is_ok());
+  EXPECT_EQ(kernel_.netlink().pending_coalesced(), 0u);
+  // The buffered notification died with the peer; only the leading-edge
+  // crossing ever reached the kernel.
+  EXPECT_EQ(ts_of(app_), delivered);
+  (void)kernel_.monitor().check_now(app_, Op::kCopy, "");  // no crash
+}
+
 TEST_F(NetlinkTest, ChannelStatsCount) {
   auto ch = kernel_.netlink().connect(xorg_pid_).value();
   auto app = kernel_.sys_spawn(1, "/usr/bin/app", "app").value();

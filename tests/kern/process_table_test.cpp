@@ -89,9 +89,54 @@ TEST(ProcessTable, ExitDetachesTracees) {
   ProcessTable pt;
   auto tracer = pt.fork(1);
   auto tracee = pt.fork(tracer.value());
-  pt.lookup(tracee.value())->traced_by = tracer.value();
+  pt.attach_trace(tracer.value(), tracee.value());
+  ASSERT_TRUE(pt.lookup(tracee.value())->is_traced());
   ASSERT_TRUE(pt.exit(tracer.value()).is_ok());
   EXPECT_FALSE(pt.lookup(tracee.value())->is_traced());
+}
+
+TEST(ProcessTable, ExitDetachesTraceesFromItsTracer) {
+  ProcessTable pt;
+  auto tracer = pt.fork(1);
+  auto tracee = pt.fork(tracer.value());
+  pt.attach_trace(tracer.value(), tracee.value());
+  ASSERT_TRUE(pt.exit(tracee.value()).is_ok());
+  // The tracer's reverse index must not keep naming the dead tracee.
+  EXPECT_TRUE(pt.lookup(tracer.value())->tracees.empty());
+}
+
+TEST(ProcessTable, DetachTraceMaintainsReverseIndex) {
+  ProcessTable pt;
+  auto tracer = pt.fork(1);
+  auto t1 = pt.fork(tracer.value());
+  auto t2 = pt.fork(tracer.value());
+  pt.attach_trace(tracer.value(), t1.value());
+  pt.attach_trace(tracer.value(), t2.value());
+  EXPECT_EQ(pt.lookup(tracer.value())->tracees.size(), 2u);
+  pt.detach_trace(tracer.value(), t1.value());
+  EXPECT_FALSE(pt.lookup(t1.value())->is_traced());
+  EXPECT_TRUE(pt.lookup(t2.value())->is_traced());
+  EXPECT_EQ(pt.lookup(tracer.value())->tracees.size(), 1u);
+}
+
+// Regression for the old O(n) exit path: detaching tracees must not scan the
+// whole table. With 20k live tasks, a tracer exit touches only its own
+// tracees — this test pins the *behavior* (correct detach in a large table);
+// bench_hotpath tracks the cost.
+TEST(ProcessTable, ExitDetachScalesOnLargeTable) {
+  ProcessTable pt;
+  constexpr int kTasks = 20'000;
+  std::vector<Pid> pids;
+  pids.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) pids.push_back(pt.fork(1).value());
+  const Pid tracer = pids[0];
+  for (int i = 1; i <= 5; ++i) pt.attach_trace(tracer, pids[i]);
+  ASSERT_TRUE(pt.exit(tracer).is_ok());
+  for (int i = 1; i <= 5; ++i)
+    EXPECT_FALSE(pt.lookup(pids[i])->is_traced()) << "tracee " << i;
+  // Untraced bystanders are untouched.
+  EXPECT_FALSE(pt.lookup(pids[100])->is_traced());
+  EXPECT_EQ(pt.live_count(), static_cast<std::size_t>(kTasks));  // init + 19999
 }
 
 TEST(ProcessTable, ForkOfDeadParentFails) {
@@ -142,6 +187,123 @@ TEST(ProcessTable, ForEachLiveSkipsDead) {
   pt.for_each_live([&](TaskStruct&) { ++count; });
   EXPECT_EQ(count, 2);  // init + b
   (void)b;
+}
+
+// --- slab handles & generation safety ---------------------------------------
+
+TEST(ProcessTableSlab, HandleResolvesToSameTask) {
+  ProcessTable pt;
+  auto pid = pt.fork(1).value();
+  const TaskHandle h = pt.handle_of(pid);
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(pt.get(h), pt.lookup(pid));
+  EXPECT_EQ(pt.get_live(h), pt.lookup(pid));
+}
+
+TEST(ProcessTableSlab, HandleOfUnknownPidIsInvalid) {
+  ProcessTable pt;
+  EXPECT_FALSE(pt.handle_of(9999).valid());
+  EXPECT_EQ(pt.get(TaskHandle{}), nullptr);
+}
+
+TEST(ProcessTableSlab, HandleSeesTombstoneButNotLive) {
+  ProcessTable pt;
+  auto pid = pt.fork(1).value();
+  const TaskHandle h = pt.handle_of(pid);
+  ASSERT_TRUE(pt.exit(pid).is_ok());
+  ASSERT_NE(pt.get(h), nullptr);  // tombstone still addressable
+  EXPECT_FALSE(pt.get(h)->alive);
+  EXPECT_EQ(pt.get_live(h), nullptr);
+}
+
+TEST(ProcessTableSlab, ReapRequiresDeadTask) {
+  ProcessTable pt;
+  auto pid = pt.fork(1).value();
+  EXPECT_EQ(pt.reap(pid).code(), util::Code::kBusy);
+  ASSERT_TRUE(pt.exit(pid).is_ok());
+  EXPECT_TRUE(pt.reap(pid).is_ok());
+  EXPECT_EQ(pt.reap(pid).code(), util::Code::kNotFound);
+  EXPECT_EQ(pt.lookup(pid), nullptr);  // tombstone gone
+}
+
+TEST(ProcessTableSlab, StaleHandleMissesAfterReap) {
+  ProcessTable pt;
+  auto pid = pt.fork(1).value();
+  const TaskHandle h = pt.handle_of(pid);
+  ASSERT_TRUE(pt.exit(pid).is_ok());
+  ASSERT_TRUE(pt.reap(pid).is_ok());
+  EXPECT_EQ(pt.get(h), nullptr);
+  EXPECT_EQ(pt.get_live(h), nullptr);
+}
+
+TEST(ProcessTableSlab, StaleHandleMissesAfterSlotReuse) {
+  ProcessTable pt;
+  auto pid = pt.fork(1).value();
+  const TaskHandle stale = pt.handle_of(pid);
+  ASSERT_TRUE(pt.exit(pid).is_ok());
+  ASSERT_TRUE(pt.reap(pid).is_ok());
+  // The freed slot is recycled by the next fork; the generation bump keeps
+  // the old handle from resolving to the unrelated new task.
+  auto reuse = pt.fork(1).value();
+  const TaskHandle fresh = pt.handle_of(reuse);
+  EXPECT_EQ(fresh.slot, stale.slot);
+  EXPECT_NE(fresh.generation, stale.generation);
+  EXPECT_EQ(pt.get(stale), nullptr);
+  EXPECT_EQ(pt.get(fresh), pt.lookup(reuse));
+}
+
+TEST(ProcessTableSlab, PidReuseAfterWraparound) {
+  ProcessTable pt(/*pid_max=*/8);
+  std::vector<Pid> first;
+  for (int i = 0; i < 7; ++i) first.push_back(pt.fork(1).value());
+  // Pid space exhausted: every pid 1..8 is bound (init + 7 children).
+  EXPECT_EQ(pt.fork(1).code(), util::Code::kResourceExhausted);
+  // Retiring one pid makes exactly that pid allocatable again.
+  ASSERT_TRUE(pt.exit(first[2]).is_ok());
+  EXPECT_EQ(pt.fork(1).code(), util::Code::kResourceExhausted);  // tombstone
+  ASSERT_TRUE(pt.reap(first[2]).is_ok());
+  auto recycled = pt.fork(1);
+  ASSERT_TRUE(recycled.is_ok());
+  EXPECT_EQ(recycled.value(), first[2]);
+  EXPECT_EQ(pt.lookup(recycled.value())->comm, "init");  // fresh copy of parent
+}
+
+TEST(ProcessTableSlab, TaskAddressesStableAcrossGrowth) {
+  ProcessTable pt;
+  auto pid = pt.fork(1).value();
+  const TaskStruct* before = pt.lookup(pid);
+  // Grow well past several chunk boundaries.
+  for (int i = 0; i < 2'000; ++i) ASSERT_TRUE(pt.fork(1).is_ok());
+  EXPECT_EQ(pt.lookup(pid), before);
+}
+
+TEST(ProcessTableSlab, ReapedSlotsAreRecycledNotLeaked) {
+  ProcessTable pt;
+  // Churn: spawn and fully reclaim many processes; the slab must reuse
+  // slots instead of growing (observable via stable handle slot indices).
+  auto pid0 = pt.fork(1).value();
+  const std::int32_t slot0 = pt.handle_of(pid0).slot;
+  ASSERT_TRUE(pt.exit(pid0).is_ok());
+  ASSERT_TRUE(pt.reap(pid0).is_ok());
+  for (int i = 0; i < 100; ++i) {
+    auto pid = pt.fork(1).value();
+    EXPECT_EQ(pt.handle_of(pid).slot, slot0) << "iteration " << i;
+    ASSERT_TRUE(pt.exit(pid).is_ok());
+    ASSERT_TRUE(pt.reap(pid).is_ok());
+  }
+}
+
+TEST(TaskStruct, AcgGrantArrayAdoptsForwardOnly) {
+  TaskStruct t;
+  EXPECT_TRUE(t.acg_grant(util::Op::kCamera).is_never());
+  t.adopt_acg_grant(util::Op::kCamera, sim::Timestamp{100});
+  EXPECT_EQ(t.acg_grant(util::Op::kCamera).ns, 100);
+  t.adopt_acg_grant(util::Op::kCamera, sim::Timestamp{50});
+  EXPECT_EQ(t.acg_grant(util::Op::kCamera).ns, 100);
+  t.adopt_acg_grant(util::Op::kCamera, sim::Timestamp{200});
+  EXPECT_EQ(t.acg_grant(util::Op::kCamera).ns, 200);
+  // Other ops unaffected (per-op precision is the point of the ACG model).
+  EXPECT_TRUE(t.acg_grant(util::Op::kMicrophone).is_never());
 }
 
 TEST(TaskStruct, AdoptInteractionOnlyMovesForward) {

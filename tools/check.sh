@@ -6,8 +6,11 @@
 #   tools/check.sh asan            # any preset from CMakePresets.json
 #   tools/check.sh tsan
 #   tools/check.sh --metrics       # additionally smoke the BENCH_*.json path
+#   tools/check.sh --bench         # additionally smoke the perf benches
+#                                  # (bench_hotpath + bench_table1, --quick)
 #   JOBS=4 tools/check.sh          # override parallelism
 #
+# --metrics and --bench combine, in any order, before the preset name.
 # Exits nonzero on the first failing stage. clang-tidy runs only when the
 # binary is installed (the container image does not ship it).
 set -euo pipefail
@@ -15,10 +18,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 METRICS=0
-if [ "${1:-}" = "--metrics" ]; then
-  METRICS=1
-  shift
-fi
+BENCH=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --metrics) METRICS=1; shift ;;
+    --bench)   BENCH=1; shift ;;
+    *) break ;;
+  esac
+done
 
 PRESET="${1:-ubsan-asan}"
 JOBS="${JOBS:-$(nproc)}"
@@ -43,6 +50,15 @@ ctest --preset "$PRESET" -j "$JOBS"
 if [ "$METRICS" = 1 ]; then
   step "metrics smoke (bench_table1 --quick + strict JSON validation)"
   (cd "$BUILD_DIR" && ./bench/bench_table1 --quick >/dev/null &&
+    ./tools/obs/json_check BENCH_table1.json)
+fi
+
+if [ "$BENCH" = 1 ]; then
+  step "bench smoke (bench_hotpath + bench_table1, --quick, JSON validation)"
+  (cd "$BUILD_DIR" &&
+    ./bench/bench_hotpath --quick >/dev/null &&
+    ./tools/obs/json_check BENCH_hotpath.json &&
+    ./bench/bench_table1 --quick >/dev/null &&
     ./tools/obs/json_check BENCH_table1.json)
 fi
 
