@@ -16,7 +16,7 @@ Result<std::unique_ptr<PasswordManagerApp>> PasswordManagerApp::launch(
 
 Status PasswordManagerApp::copy_password_to_clipboard(const std::string& site) {
   pending_clipboard_ = password_for(site);
-  return icccm_copy(xserver(), *this, "CLIPBOARD");
+  return backend_copy(sys(), *this, "CLIPBOARD");
 }
 
 Result<std::unique_ptr<EditorApp>> EditorApp::launch(core::OverhaulSystem& sys,
@@ -28,8 +28,8 @@ Result<std::unique_ptr<EditorApp>> EditorApp::launch(core::OverhaulSystem& sys,
 }
 
 Result<std::string> EditorApp::paste_from(PasswordManagerApp& source) {
-  auto pasted = icccm_paste(xserver(), source, *this, "CLIPBOARD",
-                            source.pending_clipboard());
+  auto pasted = backend_paste(sys(), source, *this, "CLIPBOARD",
+                              source.pending_clipboard());
   if (pasted.is_ok()) buffer_ += pasted.value();
   return pasted;
 }

@@ -16,6 +16,14 @@ std::vector<x11::XEvent> GuiApp::pump_events() {
   return events;
 }
 
+std::vector<wl::WlEvent> GuiApp::pump_wl_events() {
+  std::vector<wl::WlEvent> events;
+  wl::WlConnection* c = sys_.compositor().connection(handle_.client);
+  if (c == nullptr) return events;
+  while (c->has_events()) events.push_back(c->next_event());
+  return events;
+}
+
 Status icccm_copy(x11::XServer& server, const GuiApp& source,
                   const std::string& selection) {
   // Step 2: SetSelection — mediated by Overhaul (copy permission).
@@ -212,6 +220,67 @@ Result<std::string> icccm_paste_negotiated(
                             data_from_owner);
   }
   return icccm_paste(server, source, target, selection, data_from_owner);
+}
+
+// --- backend-neutral dispatchers ------------------------------------------------
+
+namespace {
+// The mime type the Wayland helpers transfer. The x11 helpers move the same
+// payload as an untyped property; the monitor never sees either label.
+constexpr const char* kWlTextMime = "text/plain";
+}  // namespace
+
+Status backend_copy(core::OverhaulSystem& sys, const GuiApp& source,
+                    const std::string& selection) {
+  if (sys.config().display_backend == core::DisplayBackendKind::kWayland) {
+    auto& comp = sys.compositor();
+    // A well-behaved toolkit echoes back the serial of the input event that
+    // motivated the copy — the one the compositor just delivered.
+    wl::WlConnection* conn = comp.connection(source.client());
+    const wl::Serial serial =
+        conn != nullptr ? conn->last_input_serial() : wl::kInvalidSerial;
+    return comp.data_devices().set_selection(source.client(), serial,
+                                             {kWlTextMime});
+  }
+  return icccm_copy(sys.xserver(), source, selection);
+}
+
+Result<std::string> backend_paste(core::OverhaulSystem& sys, GuiApp& source,
+                                  GuiApp& target, const std::string& selection,
+                                  const std::string& data_from_owner) {
+  if (sys.config().display_backend == core::DisplayBackendKind::kWayland) {
+    auto& data = sys.compositor().data_devices();
+    // The receive request — mediated by Overhaul (paste permission).
+    if (auto s = data.request_receive(target.client(), kWlTextMime);
+        !s.is_ok())
+      return s;
+    // The source's toolkit answers the wl_data_source.send request.
+    bool saw_request = false;
+    for (const auto& ev : source.pump_wl_events()) {
+      if (ev.type == wl::WlEventType::kDataSendRequest &&
+          ev.mime == kWlTextMime) {
+        saw_request = true;
+        if (auto s =
+                data.source_send(source.client(), kWlTextMime, data_from_owner);
+            !s.is_ok())
+          return s;
+      }
+    }
+    if (!saw_request)
+      return Status(Code::kBadRequest, "source never saw the send request");
+    // The receiver reads its end of the compositor-brokered pipe.
+    return data.take_received(target.client(), kWlTextMime);
+  }
+  return icccm_paste(sys.xserver(), source, target, selection,
+                     data_from_owner);
+}
+
+Result<display::Image> backend_capture_screen(core::OverhaulSystem& sys,
+                                              const GuiApp& app) {
+  if (sys.config().display_backend == core::DisplayBackendKind::kWayland) {
+    return sys.compositor().screencopy().capture_output(app.client());
+  }
+  return sys.xserver().screen().get_image(app.client(), x11::kRootWindow);
 }
 
 }  // namespace overhaul::apps

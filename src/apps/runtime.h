@@ -4,15 +4,19 @@
 // (Skype, browsers, screenshot tools, a launcher, terminals, spyware). The
 // models in src/apps reproduce those applications' *interaction patterns* —
 // which process receives input, which process touches which resource, over
-// which IPC — as scripts against the kernel + X server APIs. GuiApp wraps
-// the common process + X client + window triple; free helpers run the
-// multi-step ICCCM clipboard dance the way a toolkit would.
+// which IPC — as scripts against the kernel + display-server APIs. GuiApp
+// wraps the common process + display client + surface triple; free helpers
+// run the multi-step clipboard dance the way a toolkit would — the ICCCM
+// selection protocol on X11, the wl_data_device offer/receive flow on
+// Wayland — and the `backend_*` dispatchers pick per the booted backend so
+// scripted apps run unmodified on either.
 #pragma once
 
 #include <string>
 
 #include "core/system.h"
 #include "util/status.h"
+#include "wl/compositor.h"
 #include "x11/server.h"
 
 namespace overhaul::apps {
@@ -25,19 +29,23 @@ class GuiApp {
   virtual ~GuiApp() = default;
 
   [[nodiscard]] kern::Pid pid() const noexcept { return handle_.pid; }
-  [[nodiscard]] x11::ClientId client() const noexcept { return handle_.client; }
-  [[nodiscard]] x11::WindowId window() const noexcept { return handle_.window; }
+  [[nodiscard]] std::uint32_t client() const noexcept { return handle_.client; }
+  [[nodiscard]] std::uint32_t window() const noexcept { return handle_.window; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-  // Screen-space point inside this app's window (for hardware clicks).
+  // Screen-space point inside this app's surface (for hardware clicks).
   [[nodiscard]] std::pair<int, int> click_point() const {
-    const x11::Window* win = sys_.xserver().window(handle_.window);
-    const auto& r = win->rect();
+    const auto rect = sys_.display().surface_rect(handle_.window);
+    const auto& r = rect.value();
     return {r.x + r.width / 2, r.y + r.height / 2};
   }
 
   // Drain and return the app's pending X events (toolkits pump the queue).
+  // Only valid on the X11 backend.
   std::vector<x11::XEvent> pump_events();
+
+  // Wayland counterpart: drain the app's compositor event queue.
+  std::vector<wl::WlEvent> pump_wl_events();
 
  protected:
   [[nodiscard]] core::OverhaulSystem& sys() noexcept { return sys_; }
@@ -83,5 +91,28 @@ util::Result<std::string> icccm_paste_negotiated(
     const std::string& selection, const std::string& data_from_owner,
     const std::vector<std::string>& owner_formats = {"STRING",
                                                      "UTF8_STRING"});
+
+// --- backend-neutral dispatchers ------------------------------------------------
+// One mediated copy / paste / capture, routed to the booted backend's native
+// protocol: ICCCM selections + GetImage on X11, wl_data_device + screencopy
+// on Wayland. Each performs exactly one monitor-mediated operation of the
+// corresponding kind on either backend, which is what makes the
+// cross-backend decision streams comparable event-for-event.
+
+// Owner side after Ctrl-C. On Wayland the source presents its last
+// delivered input serial, as a well-behaved toolkit would.
+util::Status backend_copy(core::OverhaulSystem& sys, const GuiApp& source,
+                          const std::string& selection = "CLIPBOARD");
+
+// Target side after Ctrl-V; the owner app's event pump is driven inline.
+util::Result<std::string> backend_paste(core::OverhaulSystem& sys,
+                                        GuiApp& source, GuiApp& target,
+                                        const std::string& selection,
+                                        const std::string& data_from_owner);
+
+// Full-screen capture on behalf of `app` (GetImage on the root window, or a
+// screencopy of the whole output).
+util::Result<display::Image> backend_capture_screen(core::OverhaulSystem& sys,
+                                                    const GuiApp& app);
 
 }  // namespace overhaul::apps

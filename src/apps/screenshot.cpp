@@ -14,13 +14,13 @@ Result<std::unique_ptr<ScreenshotApp>> ScreenshotApp::launch(
 }
 
 Result<x11::Image> ScreenshotApp::capture_now() {
-  return xserver().screen().get_image(client(), x11::kRootWindow);
+  return backend_capture_screen(sys(), *this);
 }
 
 void ScreenshotApp::capture_after(
     sim::Duration delay, std::function<void(Result<x11::Image>)> done) {
   sys().scheduler().after(delay, [this, done = std::move(done)]() {
-    done(xserver().screen().get_image(client(), x11::kRootWindow));
+    done(backend_capture_screen(sys(), *this));
   });
 }
 

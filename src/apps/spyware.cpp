@@ -12,13 +12,13 @@ Result<std::unique_ptr<Spyware>> Spyware::install(core::OverhaulSystem& sys,
   auto pid = sys.launch_daemon("/home/user/." + name, name);
   if (!pid.is_ok()) return pid.status();
 
-  auto client = sys.xserver().connect_client(pid.value());
+  auto client = sys.display().attach_client(pid.value());
   if (!client.is_ok()) return client.status();
 
-  // A window it never maps — needed only as a property landing pad for the
-  // selection protocol. Invisible to the user.
+  // A surface it never maps — needed only as a protocol landing pad.
+  // Invisible to the user on either backend.
   auto window =
-      sys.xserver().create_window(client.value(), x11::Rect{0, 0, 1, 1});
+      sys.display().open_surface(client.value(), display::Rect{0, 0, 1, 1});
   if (!window.is_ok()) return window.status();
 
   core::OverhaulSystem::AppHandle handle{pid.value(), client.value(),
@@ -29,8 +29,7 @@ Result<std::unique_ptr<Spyware>> Spyware::install(core::OverhaulSystem& sys,
 Status Spyware::try_sniff_clipboard(GuiApp& owner,
                                     const std::string& owner_data) {
   ++attempts_.clipboard;
-  auto pasted =
-      icccm_paste(xserver(), owner, *this, "CLIPBOARD", owner_data);
+  auto pasted = backend_paste(sys(), owner, *this, "CLIPBOARD", owner_data);
   if (!pasted.is_ok()) return pasted.status();
   loot_.clipboard.push_back(pasted.value());
   return Status::ok();
@@ -38,7 +37,7 @@ Status Spyware::try_sniff_clipboard(GuiApp& owner,
 
 Status Spyware::try_screenshot() {
   ++attempts_.screenshots;
-  auto img = xserver().screen().get_image(client(), x11::kRootWindow);
+  auto img = backend_capture_screen(sys(), *this);
   if (!img.is_ok()) return img.status();
   ++loot_.screenshots;
   return Status::ok();

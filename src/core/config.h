@@ -12,13 +12,20 @@
 
 #include <string>
 
+#include "core/display_backend.h"
 #include "kern/kernel.h"
+#include "wl/compositor.h"
 #include "x11/server.h"
 
 namespace overhaul::core {
 
 struct OverhaulConfig {
   bool enabled = true;
+
+  // Which display server implementation core::OverhaulSystem boots behind
+  // the core::DisplayBackend seam. Both enforce the same mediation model;
+  // the cross-backend differential tests assert identical decision streams.
+  DisplayBackendKind display_backend = DisplayBackendKind::kX11;
 
   sim::Duration delta = sim::Duration::seconds(2);
   sim::Duration shm_rearm_wait = sim::Duration::millis(500);
@@ -94,6 +101,15 @@ struct OverhaulConfig {
     xc.screen_width = screen_width;
     xc.screen_height = screen_height;
     return xc;
+  }
+
+  [[nodiscard]] wl::WlCompositorConfig compositor_config() const {
+    wl::WlCompositorConfig wc;
+    wc.overhaul_enabled = enabled;
+    wc.visibility_threshold = visibility_threshold;
+    wc.screen_width = screen_width;
+    wc.screen_height = screen_height;
+    return wc;
   }
 };
 

@@ -61,6 +61,16 @@ Result<OverhaulConfig> parse_config(const std::string& text) {
       auto b = parse_bool(value, line_no);
       if (!b.is_ok()) return b.status();
       cfg.enabled = b.value();
+    } else if (key == "display_backend") {
+      if (value == "x11") {
+        cfg.display_backend = DisplayBackendKind::kX11;
+      } else if (value == "wayland") {
+        cfg.display_backend = DisplayBackendKind::kWayland;
+      } else {
+        return Status(Code::kInvalidArgument,
+                      "line " + std::to_string(line_no) +
+                          ": display_backend must be x11 or wayland");
+      }
     } else if (key == "delta_ms") {
       auto ms = parse_ms(value, line_no);
       if (!ms.is_ok()) return ms.status();
@@ -133,6 +143,8 @@ Result<OverhaulConfig> parse_config(const std::string& text) {
 std::string render_config(const OverhaulConfig& config) {
   std::ostringstream out;
   out << "enabled = " << (config.enabled ? "true" : "false") << "\n"
+      << "display_backend = " << display_backend_name(config.display_backend)
+      << "\n"
       << "delta_ms = " << config.delta.ns / 1'000'000 << "\n"
       << "shm_rearm_wait_ms = " << config.shm_rearm_wait.ns / 1'000'000 << "\n"
       << "visibility_threshold_ms = "

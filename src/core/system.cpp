@@ -33,13 +33,22 @@ OverhaulSystem::OverhaulSystem(OverhaulConfig config)
     (void)kernel_->start_udev_helper();
   }
 
-  xserver_ =
-      std::make_unique<x11::XServer>(*kernel_, config_.xserver_config());
-  xserver_->alerts().set_shared_secret(config_.shared_secret);
-  xserver_->alerts().set_display_duration(config_.alert_duration);
-  input_ = std::make_unique<x11::HardwareInputDriver>(*xserver_);
+  if (config_.display_backend == DisplayBackendKind::kWayland) {
+    compositor_ = std::make_unique<wl::WlCompositor>(
+        *kernel_, config_.compositor_config());
+    display_ = compositor_.get();
+  } else {
+    xserver_ =
+        std::make_unique<x11::XServer>(*kernel_, config_.xserver_config());
+    display_ = xserver_.get();
+  }
+  display_->alert_overlay().set_shared_secret(config_.shared_secret);
+  display_->alert_overlay().set_display_duration(config_.alert_duration);
+  input_ = std::make_unique<HardwareInputDriver>(*display_);
 
-  if (config_.enabled && config_.prompt_mode) {
+  // Prompt mode rides on the X11 prompt strip; the Wayland backend ships
+  // only the transparent model (the paper's preferred configuration).
+  if (config_.enabled && config_.prompt_mode && xserver_ != nullptr) {
     // Route would-be denials through the unforgeable prompt (§IV-A).
     kernel_->monitor().set_prompt_handler(
         [this](kern::Pid pid, util::Op op) {
@@ -58,7 +67,7 @@ constexpr kern::Uid kDesktopUid = 1000;
 }  // namespace
 
 Result<OverhaulSystem::AppHandle> OverhaulSystem::launch_gui_app(
-    const std::string& exe, const std::string& comm, x11::Rect rect,
+    const std::string& exe, const std::string& comm, display::Rect rect,
     bool settle, Pid parent) {
   auto pid = kernel_->sys_spawn(parent, exe, comm);
   if (!pid.is_ok()) return pid.status();
@@ -67,12 +76,13 @@ Result<OverhaulSystem::AppHandle> OverhaulSystem::launch_gui_app(
     task->uid = kDesktopUid;
   }
 
-  auto client = xserver_->connect_client(pid.value());
+  auto client = display_->attach_client(pid.value());
   if (!client.is_ok()) return client.status();
 
-  auto window = xserver_->create_window(client.value(), rect);
+  auto window = display_->open_surface(client.value(), rect);
   if (!window.is_ok()) return window.status();
-  if (auto s = xserver_->map_window(client.value(), window.value()); !s.is_ok())
+  if (auto s = display_->show_surface(client.value(), window.value());
+      !s.is_ok())
     return s;
 
   if (settle) {

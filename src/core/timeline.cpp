@@ -39,24 +39,45 @@ std::vector<TimelineEntry> build_timeline(OverhaulSystem& sys) {
   std::vector<TimelineEntry> entries;
 
   // Input trace (key/button only — protocol events would drown the view).
-  for (const auto& t : sys.xserver().input_trace()) {
-    if (t.type != x11::EventType::kKeyPress &&
-        t.type != x11::EventType::kButtonPress)
-      continue;
-    TimelineEntry e;
-    e.time = t.time;
-    if (t.provenance != x11::Provenance::kHardware) {
-      e.kind = TimelineKind::kSyntheticInput;
-    } else if (t.clickjack_suppressed) {
-      e.kind = TimelineKind::kSuppressedInput;
-    } else {
-      e.kind = TimelineKind::kHardwareInput;
+  // Each backend keeps its own trace; the Wayland one has no synthetic
+  // provenance because clients cannot inject input there at all.
+  if (sys.display().backend_kind() == DisplayBackendKind::kWayland) {
+    for (const auto& t : sys.compositor().input_trace()) {
+      if (t.type != wl::WlEventType::kPointerButton &&
+          t.type != wl::WlEventType::kKeyboardKey)
+        continue;
+      TimelineEntry e;
+      e.time = t.time;
+      e.kind = t.clickjack_suppressed ? TimelineKind::kSuppressedInput
+                                      : TimelineKind::kHardwareInput;
+      e.pid = t.receiver_pid;
+      e.text = std::string(t.type == wl::WlEventType::kPointerButton
+                               ? "click"
+                               : "key") +
+               " -> surface " + std::to_string(t.surface) +
+               (t.produced_notification ? "  [N sent]" : "");
+      entries.push_back(std::move(e));
     }
-    e.pid = t.receiver_pid;
-    e.text = std::string(event_name(t.type)) + " -> window " +
-             std::to_string(t.window) +
-             (t.produced_notification ? "  [N sent]" : "");
-    entries.push_back(std::move(e));
+  } else {
+    for (const auto& t : sys.xserver().input_trace()) {
+      if (t.type != x11::EventType::kKeyPress &&
+          t.type != x11::EventType::kButtonPress)
+        continue;
+      TimelineEntry e;
+      e.time = t.time;
+      if (t.provenance != x11::Provenance::kHardware) {
+        e.kind = TimelineKind::kSyntheticInput;
+      } else if (t.clickjack_suppressed) {
+        e.kind = TimelineKind::kSuppressedInput;
+      } else {
+        e.kind = TimelineKind::kHardwareInput;
+      }
+      e.pid = t.receiver_pid;
+      e.text = std::string(event_name(t.type)) + " -> window " +
+               std::to_string(t.window) +
+               (t.produced_notification ? "  [N sent]" : "");
+      entries.push_back(std::move(e));
+    }
   }
 
   for (const auto& rec : sys.audit().records()) {
@@ -74,7 +95,7 @@ std::vector<TimelineEntry> build_timeline(OverhaulSystem& sys) {
     entries.push_back(std::move(e));
   }
 
-  for (const auto& alert : sys.xserver().alerts().history()) {
+  for (const auto& alert : sys.display().alert_overlay().history()) {
     TimelineEntry e;
     e.time = sim::Timestamp{alert.shown_at_ns};
     e.kind = TimelineKind::kAlert;
@@ -83,17 +104,21 @@ std::vector<TimelineEntry> build_timeline(OverhaulSystem& sys) {
     entries.push_back(std::move(e));
   }
 
-  for (const auto& prompt : sys.xserver().prompts().history()) {
-    TimelineEntry e;
-    e.time = sys.clock().now();  // prompts resolve synchronously "now"
-    e.kind = TimelineKind::kPrompt;
-    e.pid = prompt.pid;
-    e.text = prompt.text + " -> " +
-             (prompt.decided
-                  ? (prompt.decision == util::Decision::kGrant ? "allowed"
-                                                               : "denied")
-                  : "unanswered");
-    entries.push_back(std::move(e));
+  if (sys.display().backend_kind() == DisplayBackendKind::kX11) {
+    // Prompt mode is an X11-only surface; the Wayland backend ships only
+    // the transparent model.
+    for (const auto& prompt : sys.xserver().prompts().history()) {
+      TimelineEntry e;
+      e.time = sys.clock().now();  // prompts resolve synchronously "now"
+      e.kind = TimelineKind::kPrompt;
+      e.pid = prompt.pid;
+      e.text = prompt.text + " -> " +
+               (prompt.decided
+                    ? (prompt.decision == util::Decision::kGrant ? "allowed"
+                                                                 : "denied")
+                    : "unanswered");
+      entries.push_back(std::move(e));
+    }
   }
 
   std::stable_sort(entries.begin(), entries.end(),

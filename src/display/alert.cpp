@@ -1,6 +1,6 @@
-#include "x11/alert.h"
+#include "display/alert.h"
 
-namespace overhaul::x11 {
+namespace overhaul::display {
 namespace {
 
 std::string render_text(const std::string& comm, util::Op op,
@@ -57,4 +57,4 @@ std::vector<const Alert*> AlertOverlay::active(sim::Timestamp now) const {
   return out;
 }
 
-}  // namespace overhaul::x11
+}  // namespace overhaul::display

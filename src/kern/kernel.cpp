@@ -36,18 +36,22 @@ Kernel::Kernel(sim::Clock& clock, KernelConfig config)
   netlink_.set_coalescing(
       {config.netlink_coalesce, config.netlink_coalesce_skew});
 
-  // Well-known authorized netlink peers: the display manager binary and the
-  // trusted udev helper. Both must be root-owned on disk at connect time.
+  // Well-known authorized netlink peers: the display manager binaries (one
+  // per backend behind the core::DisplayBackend seam) and the trusted udev
+  // helper. All must be root-owned on disk at connect time.
   netlink_.authorize("/usr/lib/xorg/Xorg", NetlinkRole::kDisplayManager);
+  netlink_.authorize("/usr/bin/wayland-compositor",
+                     NetlinkRole::kDisplayManager);
   netlink_.authorize(kUdevHelperExe, NetlinkRole::kDeviceHelper);
 
   // Root-owned binaries exist in the VFS so introspection can stat them.
   auto& init = processes_.init_task();
-  for (const char* p :
-       {"/usr/lib/xorg", "/usr/lib/overhaul", "/dev/pts", "/dev/snd"}) {
+  for (const char* p : {"/usr/lib/xorg", "/usr/lib/overhaul", "/usr/bin",
+                        "/dev/pts", "/dev/snd"}) {
     (void)vfs_.mkdir(p, kRootUid, Mode::world_rw());
   }
-  for (const char* p : {"/usr/lib/xorg/Xorg", kUdevHelperExe, "/sbin/init"}) {
+  for (const char* p : {"/usr/lib/xorg/Xorg", "/usr/bin/wayland-compositor",
+                        kUdevHelperExe, "/sbin/init"}) {
     (void)vfs_.open(init, p, OpenFlags::kCreate);
   }
 

@@ -1,0 +1,3 @@
+#include "wl/connection.h"
+
+// Header-only; anchors the translation unit.

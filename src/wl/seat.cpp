@@ -1,0 +1,3 @@
+#include "wl/seat.h"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,3 @@
+#include "wl/surface.h"
+
+// Header-only; anchors the translation unit.

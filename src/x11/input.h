@@ -1,41 +1,16 @@
 // HardwareInputDriver: the device-driver side of the trusted input path.
 //
-// In the paper's model, "user inputs that originate from hardware attached
-// to the system should be considered authentic" (§IV-A). This driver is the
-// only source of Provenance::kHardware events — simulated applications have
-// no handle to it; scenario harnesses (the "user") do. Anything an
-// application can reach (SendEvent, XTEST) is tagged otherwise by the
-// server.
+// The driver is backend-neutral (src/core/display_backend.h): it feeds
+// hardware events into whichever DisplayBackend the system booted. The
+// x11:: alias keeps the historical spelling working — XServer implements
+// the seam, so `x11::HardwareInputDriver drv(server)` still compiles.
 #pragma once
 
+#include "core/display_backend.h"
 #include "x11/server.h"
 
 namespace overhaul::x11 {
 
-class HardwareInputDriver {
- public:
-  explicit HardwareInputDriver(XServer& server) : server_(server) {}
-
-  // A physical mouse click at screen coordinates.
-  void click(int x, int y, int button = 1) {
-    server_.hardware_button_press(x, y, button);
-  }
-
-  // A physical key press delivered to the focused window.
-  void key(int keycode) { server_.hardware_key_press(keycode); }
-
-  // Convenience for common chords used in scenarios.
-  static constexpr int kKeyCtrlC = 1001;  // copy chord
-  static constexpr int kKeyCtrlV = 1002;  // paste chord
-  static constexpr int kKeyEnter = 1003;
-  static constexpr int kKeyPrintScreen = 1004;
-
-  void press_copy_chord() { key(kKeyCtrlC); }
-  void press_paste_chord() { key(kKeyCtrlV); }
-  void press_enter() { key(kKeyEnter); }
-
- private:
-  XServer& server_;
-};
+using HardwareInputDriver = core::HardwareInputDriver;
 
 }  // namespace overhaul::x11

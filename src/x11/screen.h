@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "display/types.h"
 #include "kern/ipc/shared_memory.h"
 #include "util/status.h"
 #include "x11/window.h"
@@ -20,11 +21,9 @@ namespace overhaul::x11 {
 
 class XServer;
 
-struct Image {
-  int width = 0;
-  int height = 0;
-  std::vector<std::uint32_t> pixels;  // ARGB32
-};
+// Capture results are shared with the Wayland backend (src/display/types.h)
+// so the differential tests can compare images across backends directly.
+using Image = display::Image;
 
 class ScreenResources {
  public:

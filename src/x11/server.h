@@ -25,6 +25,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/display_backend.h"
 #include "kern/kernel.h"
 #include "x11/acg.h"
 #include "x11/alert.h"
@@ -50,7 +51,7 @@ struct XServerConfig {
   int screen_height = 768;
 };
 
-class XServer {
+class XServer final : public core::DisplayBackend {
  public:
   // Spawns the Xorg process (as a child of init) and, when Overhaul is
   // enabled, connects the authenticated netlink channel.
@@ -107,8 +108,8 @@ class XServer {
   // Hardware events (from the input driver). Button press: delivered to the
   // topmost window at (x,y); sets keyboard focus. Key press: delivered to
   // the focus window.
-  void hardware_button_press(int x, int y, int button = 1);
-  void hardware_key_press(int keycode);
+  void hardware_button_press(int x, int y, int button = 1) override;
+  void hardware_key_press(int keycode) override;
 
   // Core-protocol SendEvent: the event is delivered with the synthetic flag
   // set; it is also the vehicle for protocol attacks, so it is policed (see
@@ -144,7 +145,34 @@ class XServer {
   // Ask the kernel permission monitor about `op` for the process behind
   // `client`. Grant-by-default when Overhaul is disabled (baseline).
   util::Decision ask_monitor(ClientId client, util::Op op,
-                             std::string_view detail);
+                             std::string_view detail) override;
+
+  // --- core::DisplayBackend seam ---------------------------------------------
+  // Thin adapters onto the native request handlers; the wl compositor
+  // implements the same seam, which is what lets core::OverhaulSystem and
+  // the scripted apps run unmodified on either backend.
+  [[nodiscard]] core::DisplayBackendKind backend_kind() const noexcept override {
+    return core::DisplayBackendKind::kX11;
+  }
+  [[nodiscard]] kern::Pid server_pid() const noexcept override { return pid_; }
+  util::Result<std::uint32_t> attach_client(kern::Pid pid) override {
+    return connect_client(pid);
+  }
+  util::Result<std::uint32_t> open_surface(std::uint32_t client,
+                                           display::Rect rect) override {
+    return create_window(client, rect);
+  }
+  util::Status show_surface(std::uint32_t client,
+                            std::uint32_t surface) override {
+    return map_window(client, surface);
+  }
+  util::Result<display::Rect> surface_rect(std::uint32_t surface) override {
+    Window* win = window(surface);
+    if (win == nullptr)
+      return util::Status(util::Code::kBadWindow, "no such window");
+    return win->rect();
+  }
+  display::AlertOverlay& alert_overlay() noexcept override { return alerts_; }
 
   // --- sub-managers -------------------------------------------------------------------
   [[nodiscard]] SelectionManager& selections() noexcept { return selections_; }

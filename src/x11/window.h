@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "display/types.h"
 #include "sim/clock.h"
 
 namespace overhaul::x11 {
@@ -22,14 +23,8 @@ inline constexpr WindowId kNoWindow = 0;
 inline constexpr WindowId kRootWindow = 1;
 inline constexpr ClientId kServerClient = 0;  // the server itself
 
-struct Rect {
-  int x = 0, y = 0;
-  int width = 0, height = 0;
-
-  [[nodiscard]] bool contains(int px, int py) const noexcept {
-    return px >= x && py >= y && px < x + width && py < y + height;
-  }
-};
+// Geometry is shared with the Wayland backend (src/display/types.h).
+using Rect = display::Rect;
 
 class Window {
  public:

@@ -1,0 +1,17 @@
+// Fixture: wl_data_offer.receive that forgot the paste mediation.
+#include "fake.h"
+
+namespace fixture {
+
+Status DataDeviceManager::request_receive(ClientId client,
+                                          const std::string& mime) {
+  Connection* conn = comp_.connection(client);
+  if (conn == nullptr) return Status(Code::kNotFound, "no such client");
+  if (!selection_.has_value())
+    return Status(Code::kBadAtom, "selection has no owner");
+  // BUG: the receive is served without comp_.ask_monitor().
+  pending_.push_back(PendingReceive{client, mime});
+  return Status::ok();
+}
+
+}  // namespace fixture

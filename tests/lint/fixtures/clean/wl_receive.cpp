@@ -1,0 +1,19 @@
+// Fixture: wl_data_offer.receive with the paste mediation in place.
+#include "fake.h"
+
+namespace fixture {
+
+Status DataDeviceManager::request_receive(ClientId client,
+                                          const std::string& mime) {
+  Connection* conn = comp_.connection(client);
+  if (conn == nullptr) return Status(Code::kNotFound, "no such client");
+  if (!selection_.has_value())
+    return Status(Code::kBadAtom, "selection has no owner");
+  const Decision d = comp_.ask_monitor(client, Op::kPaste, "selection");
+  if (d == Decision::kDeny)
+    return Status(Code::kBadAccess, "paste not preceded by user input");
+  pending_.push_back(PendingReceive{client, mime});
+  return Status::ok();
+}
+
+}  // namespace fixture

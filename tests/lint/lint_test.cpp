@@ -163,7 +163,7 @@ TEST(Rules, PathMatching) {
 TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   const auto cfg = fixture_rules();
   const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
-  ASSERT_EQ(findings.size(), 5u);
+  ASSERT_EQ(findings.size(), 6u);
 
   // Sorted by file: clock_use, device_open, interaction, pipe_like.
   EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/clock_use.cpp"));
@@ -185,13 +185,20 @@ TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   EXPECT_EQ(findings[4].rule, "R1");
   EXPECT_EQ(findings[4].line, 8);
   EXPECT_NE(findings[4].message.find("Pipe::write"), std::string::npos);
+
+  // The un-mediated Wayland receive handler — proof the analyzer covers the
+  // second backend's interposition points too.
+  EXPECT_TRUE(lint::path_matches(findings[5].file, "broken/wl_receive.cpp"));
+  EXPECT_EQ(findings[5].rule, "R2");
+  EXPECT_EQ(findings[5].line, 6);
+  EXPECT_NE(findings[5].message.find("request_receive"), std::string::npos);
 }
 
 TEST(Fixtures, CleanTreePasses) {
   const auto cfg = fixture_rules();
   std::size_t scanned = 0;
   const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
-  EXPECT_EQ(scanned, 4u);
+  EXPECT_EQ(scanned, 5u);
   EXPECT_TRUE(findings.empty())
       << findings[0].file << ":" << findings[0].line << " "
       << findings[0].message;

@@ -1,0 +1,204 @@
+// wl_data_device clipboard mediation (§IV-A translated): set_selection is
+// the copy, receive is the paste, both input-correlated by the permission
+// monitor; the transfer itself is compositor-brokered.
+#include "wl/data_device.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "wl/compositor.h"
+
+namespace overhaul::wl {
+namespace {
+
+using util::Code;
+
+core::OverhaulConfig wayland_config() {
+  core::OverhaulConfig cfg;
+  cfg.display_backend = core::DisplayBackendKind::kWayland;
+  return cfg;
+}
+
+class WlDataDeviceTest : public ::testing::Test {
+ protected:
+  core::OverhaulSystem sys_{wayland_config()};
+  WlCompositor& comp_ = sys_.compositor();
+  WlDataDeviceManager& data_ = comp_.data_devices();
+
+  core::OverhaulSystem::AppHandle app(const std::string& name,
+                                      display::Rect r = {0, 0, 200, 200}) {
+    return sys_.launch_gui_app("/usr/bin/" + name, name, r).value();
+  }
+
+  // A user click into the app's surface (sets focus, mints the serial).
+  void click_into(const core::OverhaulSystem::AppHandle& a) {
+    const display::Rect r = sys_.display().surface_rect(a.window).value();
+    sys_.input().click(r.x + r.width / 2, r.y + r.height / 2);
+  }
+
+  Serial serial_of(const core::OverhaulSystem::AppHandle& a) {
+    return comp_.connection(a.client)->last_input_serial();
+  }
+};
+
+TEST_F(WlDataDeviceTest, CopyAfterClickIsGranted) {
+  auto owner = app("keepass");
+  click_into(owner);
+  const auto s =
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"});
+  EXPECT_TRUE(s.is_ok()) << s.message();
+  ASSERT_NE(data_.selection(), nullptr);
+  EXPECT_EQ(data_.selection()->client, owner.client);
+  EXPECT_TRUE(data_.selection()->serial_genuine);
+  EXPECT_EQ(data_.stats().copies_granted, 1u);
+}
+
+TEST_F(WlDataDeviceTest, CopyWithoutInputIsDenied) {
+  auto owner = app("keepass");
+  const auto s =
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"});
+  EXPECT_EQ(s.code(), Code::kBadAccess);
+  EXPECT_EQ(data_.selection(), nullptr);
+  EXPECT_EQ(data_.stats().copies_denied, 1u);
+}
+
+TEST_F(WlDataDeviceTest, EmptyMimeListIsRejected) {
+  auto owner = app("keepass");
+  click_into(owner);
+  EXPECT_EQ(data_.set_selection(owner.client, serial_of(owner), {}).code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(WlDataDeviceTest, ReceiveWithNoOwnerIsBadAtom) {
+  auto taker = app("editor");
+  click_into(taker);
+  EXPECT_EQ(data_.request_receive(taker.client, "text/plain").code(),
+            Code::kBadAtom);
+}
+
+TEST_F(WlDataDeviceTest, ReceiveOfUnofferedMimeIsRejected) {
+  auto owner = app("keepass");
+  auto taker = app("editor", {300, 300, 200, 200});
+  click_into(owner);
+  ASSERT_TRUE(
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"})
+          .is_ok());
+  click_into(taker);
+  EXPECT_EQ(data_.request_receive(taker.client, "image/png").code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(WlDataDeviceTest, PasteWithoutInputIsDenied) {
+  auto owner = app("keepass");
+  auto taker = app("editor", {300, 300, 200, 200});
+  click_into(owner);
+  ASSERT_TRUE(
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"})
+          .is_ok());
+  // Past δ: the taker has no recent interaction of its own.
+  sys_.advance(sim::Duration::seconds(5));
+  const auto s = data_.request_receive(taker.client, "text/plain");
+  EXPECT_EQ(s.code(), Code::kBadAccess);
+  EXPECT_EQ(data_.stats().pastes_denied, 1u);
+}
+
+TEST_F(WlDataDeviceTest, BrokeredTransferEndToEnd) {
+  auto owner = app("keepass");
+  auto taker = app("editor", {300, 300, 200, 200});
+  click_into(owner);
+  ASSERT_TRUE(
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"})
+          .is_ok());
+  click_into(taker);
+  ASSERT_TRUE(data_.request_receive(taker.client, "text/plain").is_ok());
+
+  // Before the source answers, the receiver's pipe is empty.
+  EXPECT_EQ(data_.take_received(taker.client, "text/plain").status().code(),
+            Code::kWouldBlock);
+
+  // The source sees wl_data_source.send in its queue and answers it.
+  bool saw_send = false;
+  WlConnection* oc = comp_.connection(owner.client);
+  while (oc->has_events()) {
+    const WlEvent ev = oc->next_event();
+    if (ev.type == WlEventType::kDataSendRequest && ev.mime == "text/plain") {
+      saw_send = true;
+      ASSERT_TRUE(
+          data_.source_send(owner.client, "text/plain", "hunter2").is_ok());
+    }
+  }
+  ASSERT_TRUE(saw_send);
+
+  auto got = data_.take_received(taker.client, "text/plain");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), "hunter2");
+  EXPECT_EQ(data_.stats().transfers_completed, 1u);
+  EXPECT_EQ(data_.stats().pastes_granted, 1u);
+}
+
+TEST_F(WlDataDeviceTest, OnlyTheSelectionSourceMayAnswerSend) {
+  auto owner = app("keepass");
+  auto imposter = app("imposter", {300, 300, 200, 200});
+  click_into(owner);
+  ASSERT_TRUE(
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"})
+          .is_ok());
+  EXPECT_EQ(
+      data_.source_send(imposter.client, "text/plain", "evil").code(),
+      Code::kBadAccess);
+}
+
+// Wayland re-advertises the selection offer on keyboard enter; the focused
+// client learns what formats are on offer.
+TEST_F(WlDataDeviceTest, OfferAdvertisedOnFocusChange) {
+  auto owner = app("keepass");
+  auto taker = app("editor", {300, 300, 200, 200});
+  click_into(owner);
+  ASSERT_TRUE(
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"})
+          .is_ok());
+  click_into(taker);  // focus moves: enter + offer
+  bool saw_offer = false;
+  WlConnection* tc = comp_.connection(taker.client);
+  while (tc->has_events()) {
+    const WlEvent ev = tc->next_event();
+    if (ev.type == WlEventType::kDataOffer) {
+      saw_offer = true;
+      EXPECT_EQ(ev.mime_types,
+                (std::vector<std::string>{"text/plain"}));
+    }
+  }
+  EXPECT_TRUE(saw_offer);
+  EXPECT_GE(data_.stats().offers_advertised, 1u);
+}
+
+TEST_F(WlDataDeviceTest, DisconnectOfOwnerClearsTheSelection) {
+  auto owner = app("keepass");
+  click_into(owner);
+  ASSERT_TRUE(
+      data_.set_selection(owner.client, serial_of(owner), {"text/plain"})
+          .is_ok());
+  ASSERT_TRUE(comp_.disconnect_client(owner.client).is_ok());
+  EXPECT_EQ(data_.selection(), nullptr);
+  auto taker = app("editor", {300, 300, 200, 200});
+  click_into(taker);
+  EXPECT_EQ(data_.request_receive(taker.client, "text/plain").code(),
+            Code::kBadAtom);
+}
+
+TEST_F(WlDataDeviceTest, BaselineCompositorSkipsMediation) {
+  core::OverhaulConfig cfg = core::OverhaulConfig::baseline();
+  cfg.display_backend = core::DisplayBackendKind::kWayland;
+  core::OverhaulSystem baseline(cfg);
+  auto owner = baseline.launch_gui_app("/usr/bin/app", "app", {0, 0, 200, 200})
+                   .value();
+  // No click, bogus serial — the unmodified compositor takes it anyway.
+  EXPECT_TRUE(baseline.compositor()
+                  .data_devices()
+                  .set_selection(owner.client, 777, {"text/plain"})
+                  .is_ok());
+  EXPECT_EQ(baseline.compositor().stats().forged_serials, 0u);
+}
+
+}  // namespace
+}  // namespace overhaul::wl

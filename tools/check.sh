@@ -47,6 +47,12 @@ step "overhaul-lint (mediation-completeness invariants)"
 step "ctest (preset: $PRESET)"
 ctest --preset "$PRESET" -j "$JOBS"
 
+# The Wayland-backend battery runs again by name so a regression in the
+# second backend is called out as its own stage even when the full suite
+# above already covered it (and so sanitizer presets gate it explicitly).
+step "ctest -R wl (Wayland backend battery)"
+(cd "$BUILD_DIR" && ctest -R '^wl' --output-on-failure -j "$JOBS")
+
 if [ "$METRICS" = 1 ]; then
   step "metrics smoke (bench_table1 --quick + strict JSON validation)"
   (cd "$BUILD_DIR" && ./bench/bench_table1 --quick >/dev/null &&
@@ -54,12 +60,14 @@ if [ "$METRICS" = 1 ]; then
 fi
 
 if [ "$BENCH" = 1 ]; then
-  step "bench smoke (bench_hotpath + bench_table1, --quick, JSON validation)"
+  step "bench smoke (bench_hotpath + bench_table1 on both backends, --quick)"
   (cd "$BUILD_DIR" &&
     ./bench/bench_hotpath --quick >/dev/null &&
     ./tools/obs/json_check BENCH_hotpath.json &&
     ./bench/bench_table1 --quick >/dev/null &&
-    ./tools/obs/json_check BENCH_table1.json)
+    ./tools/obs/json_check BENCH_table1.json &&
+    ./bench/bench_table1 --quick --backend=wl >/dev/null &&
+    ./tools/obs/json_check BENCH_table1_wl.json)
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
