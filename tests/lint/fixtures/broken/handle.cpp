@@ -1,0 +1,28 @@
+// Fixture: handle-discipline violations (R7) — a raw TaskStruct* cached in a
+// long-lived member and another returned to callers. Both go stale the
+// moment ProcessTable::reap() recycles the slot.
+#include "fake.h"
+
+namespace fixture {
+
+class SessionRegistry {
+ public:
+  // BUG: caches a raw pointer across reap()-reachable regions.
+  void bind(ProcessTable& table, TaskHandle h) { cached_task_ = table.get(h); }
+
+  // BUG: hands a raw pointer to callers who may hold it indefinitely.
+  TaskStruct* resolve(ProcessTable& table, TaskHandle h) {
+    return table.get(h);
+  }
+
+  bool signal() {
+    if (cached_task_ == nullptr) return false;
+    cached_task_->pending_signal = true;
+    return true;
+  }
+
+ private:
+  TaskStruct* cached_task_ = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: an interaction mint reachable from outside the sanctioned
+// hardware-input source (R6) — a background replay path re-mints interaction
+// records with no user input behind them.
+#include "fake.h"
+
+namespace fixture {
+
+void Compositor::forward_input(const InputEvent& ev, ClientId focus) {
+  InteractionNote note{focus, ev.ts};
+  (void)channel_.send_interaction(note);
+}
+
+void Compositor::deliver_input(const InputEvent& ev) {
+  ClientId focus = focused_client();
+  if (focus == kNoClient) return;
+  forward_input(ev, focus);
+}
+
+// BUG: replays recorded events outside deliver_input, minting interaction
+// records that no hardware input justifies.
+void Compositor::background_replay(const InputEvent& ev, ClientId target) {
+  InteractionNote note{target, ev.ts};
+  (void)channel_.send_interaction(note);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: wl screencopy capture path whose mediation survives only as dead
+// code — the authorize_capture helper still exists (so a grep for
+// ask_monitor finds it), but nothing on the capture path calls it, so the
+// seed never reaches the monitor (R5).
+#include "fake.h"
+
+namespace fixture {
+
+Decision ScreencopyManager::authorize_capture(ClientId client,
+                                              SurfaceId target) {
+  return comp_.ask_monitor(client, Op::kCaptureScreen, "screencopy");
+}
+
+Status ScreencopyManager::capture_surface(ClientId client, SurfaceId target) {
+  if (owner_of(target) == client) return blit(target);  // own-surface fast path
+  // BUG: the mediation call was "temporarily" disabled and never restored;
+  // authorize_capture is now dead code on this path.
+  // const Decision d = authorize_capture(client, target);
+  return blit(target);
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: handle discipline respected (R7) — long-lived task references are
+// generation-checked TaskHandles; raw TaskStruct* appears only as a
+// transient local that is re-resolved per use and never escapes.
+#include "fake.h"
+
+namespace fixture {
+
+class SessionRegistry {
+ public:
+  void bind(TaskHandle h) { bound_ = h; }
+  TaskHandle bound() const { return bound_; }
+
+  bool signal(ProcessTable& table) {
+    TaskStruct* task = table.get_live(bound_);  // transient, re-resolved
+    if (task == nullptr) return false;
+    task->pending_signal = true;
+    return true;
+  }
+
+ private:
+  TaskHandle bound_;
+};
+
+}  // namespace fixture

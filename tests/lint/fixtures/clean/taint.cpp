@@ -1,0 +1,18 @@
+// Fixture: interaction mints flow only from the sanctioned hardware-input
+// source (R6: send_interaction is called solely on the deliver_input path).
+#include "fake.h"
+
+namespace fixture {
+
+void Compositor::forward_input(const InputEvent& ev, ClientId focus) {
+  InteractionNote note{focus, ev.ts};
+  (void)channel_.send_interaction(note);
+}
+
+void Compositor::deliver_input(const InputEvent& ev) {
+  ClientId focus = focused_client();
+  if (focus == kNoClient) return;
+  forward_input(ev, focus);
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: wl screencopy capture path that funnels through the shared
+// authorize_capture mediation helper (R5: seed capture_surface must
+// transitively reach the monitor).
+#include "fake.h"
+
+namespace fixture {
+
+Decision ScreencopyManager::authorize_capture(ClientId client,
+                                              SurfaceId target) {
+  return comp_.ask_monitor(client, Op::kCaptureScreen, "screencopy");
+}
+
+Status ScreencopyManager::capture_surface(ClientId client, SurfaceId target) {
+  if (owner_of(target) == client) return blit(target);  // own-surface fast path
+  const Decision d = authorize_capture(client, target);
+  if (d == Decision::kDeny)
+    return Status(Code::kBadAccess, "capture not preceded by user input");
+  return blit(target);
+}
+
+}  // namespace fixture

@@ -1,13 +1,23 @@
 // Unit tests for overhaul-lint: tokenizer, function extraction, rules
-// parsing, and the four mediation invariants over deliberately broken
-// fixture sources (tests/lint/fixtures/).
+// parsing, the whole-tree call graph, the seven mediation invariants over
+// deliberately broken fixture sources (tests/lint/fixtures/), suppressions,
+// baselines, the incremental cache, SARIF output, and --explain witnesses.
 #include "lint.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "callgraph.h"
+#include "ir.h"
+#include "obs/json.h"
+#include "rules_flow.h"
+#include "sarif.h"
 
 namespace lint = overhaul::lint;
 
@@ -31,6 +41,31 @@ std::vector<std::string> call_names(const lint::FunctionInfo& fn) {
 
 bool has_call(const lint::FunctionInfo& fn, const std::string& name) {
   return std::find(fn.calls.begin(), fn.calls.end(), name) != fn.calls.end();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Builds a ProgramIR from inline (path, source) pairs.
+lint::ProgramIR make_program(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const lint::RuleConfig& cfg) {
+  lint::ProgramIR program;
+  for (const auto& [path, source] : files)
+    program.files.push_back(lint::build_file_ir(path, source, cfg));
+  return program;
+}
+
+int count_rule(const std::vector<lint::Finding>& findings,
+               const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const lint::Finding& f) { return f.rule == rule; }));
 }
 
 }  // namespace
@@ -68,6 +103,53 @@ TEST(Tokenizer, TracksLineNumbers) {
   EXPECT_EQ(toks[0].line, 1);
   EXPECT_EQ(toks[1].line, 2);
   EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Tokenizer, RawStringContentsStayOpaque) {
+  // Unbalanced braces/quotes inside a raw string must not desynchronize the
+  // extractor, and its identifiers must not look like calls.
+  const auto toks = lint::tokenize(
+      "auto s = R\"(stamp_on_send( { \" ))\" ; \n"
+      "int after = 1;\n");
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kIdent) {
+      EXPECT_NE(t.text, "stamp_on_send");
+    }
+  }
+  const auto after = std::find_if(
+      toks.begin(), toks.end(),
+      [](const lint::Token& t) { return t.text == "after"; });
+  ASSERT_NE(after, toks.end());
+  EXPECT_EQ(after->line, 2);
+}
+
+TEST(Tokenizer, RawStringEncodingPrefixes) {
+  const auto toks = lint::tokenize(
+      "auto a = LR\"x(check( })x\";\n"
+      "auto b = u8R\"(check()\";\n"
+      "auto c = uR\"(check()\";\n");
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kIdent) {
+      EXPECT_NE(t.text, "check");
+    }
+  }
+}
+
+TEST(Tokenizer, IdentEndingInRIsNotARawString) {
+  const auto toks = lint::tokenize("int fooR = 2; str = \"plain\";");
+  const auto id = std::find_if(
+      toks.begin(), toks.end(),
+      [](const lint::Token& t) { return t.text == "fooR"; });
+  EXPECT_NE(id, toks.end());
+}
+
+TEST(Tokenizer, MultilineRawStringKeepsLineNumbers) {
+  const auto toks = lint::tokenize("auto s = R\"(a\nb\nc)\";\nint last;\n");
+  const auto last = std::find_if(
+      toks.begin(), toks.end(),
+      [](const lint::Token& t) { return t.text == "last"; });
+  ASSERT_NE(last, toks.end());
+  EXPECT_EQ(last->line, 4);
 }
 
 // --- function extraction -----------------------------------------------------
@@ -115,6 +197,99 @@ TEST(ExtractFunctions, MemberCallsRecordUnqualifiedName) {
   EXPECT_TRUE(has_call(fns[0], "ask_monitor"));
 }
 
+TEST(ExtractFunctions, TemplateArgumentsInQualifiedNames) {
+  // PR 5 tokenizer-gap regression: template angle brackets in signatures
+  // used to mis-split the definition chain.
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "void Cache<int>::reset() { purge(); }\n"
+      "template <typename T>\n"
+      "T* Cache<T>::find(Key k) { return probe(k); }\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].qualified_name, "Cache::reset");
+  EXPECT_TRUE(has_call(fns[0], "purge"));
+  EXPECT_EQ(fns[1].qualified_name, "Cache::find");
+  EXPECT_TRUE(fns[1].ret_is_ptr);
+  EXPECT_TRUE(has_call(fns[1], "probe"));
+}
+
+TEST(ExtractFunctions, TemplatedCallsKeepTheBareName) {
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "void f() { auto x = get<int>(v); lt(a < b, c > d); }\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(has_call(fns[0], "get"));
+  // A genuine comparison must not be eaten as template arguments.
+  EXPECT_TRUE(has_call(fns[0], "lt"));
+}
+
+TEST(ExtractFunctions, OperatorCallDefinition) {
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "bool Functor::operator()(int x) { return check(x); }\n"
+      "bool Wrap::operator==(const Wrap& o) { return eq(o); }\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].qualified_name, "Functor::operator()");
+  EXPECT_EQ(fns[0].name, "operator()");
+  EXPECT_TRUE(has_call(fns[0], "check"));
+  EXPECT_EQ(fns[1].qualified_name, "Wrap::operator==");
+  EXPECT_TRUE(has_call(fns[1], "eq"));
+}
+
+TEST(ExtractFunctions, InClassDefinitionsGetClassQualifiedNames) {
+  const auto facts = lint::extract_facts(lint::tokenize(
+      "class Widget {\n"
+      " public:\n"
+      "  void poke() { wiggle(); }\n"
+      "  struct Inner { void jab() { stab(); } };\n"
+      "};\n"
+      "void loose() { roam(); }\n"));
+  ASSERT_EQ(facts.functions.size(), 3u);
+  EXPECT_EQ(facts.functions[0].qualified_name, "Widget::poke");
+  EXPECT_EQ(facts.functions[1].qualified_name, "Widget::Inner::jab");
+  EXPECT_EQ(facts.functions[2].qualified_name, "loose");
+}
+
+TEST(ExtractFunctions, PointerFieldsAtClassScopeOnly) {
+  const auto facts = lint::extract_facts(lint::tokenize(
+      "class Reg {\n"
+      "  TaskStruct* cached_ = nullptr;\n"
+      "  TaskStruct* find(Key k);\n"  // declaration, not a field
+      "  void use() { TaskStruct* local = get(); touch(local); }\n"
+      "};\n"
+      "TaskStruct* g_loose;\n"));  // namespace scope: not a class field
+  ASSERT_EQ(facts.pointer_fields.size(), 1u);
+  EXPECT_EQ(facts.pointer_fields[0].type, "TaskStruct");
+  EXPECT_EQ(facts.pointer_fields[0].name, "cached_");
+}
+
+TEST(ExtractFunctions, ReturnTypeRecovery) {
+  const auto fns = lint::extract_functions(lint::tokenize(
+      "TaskStruct* Table::get(H h) { return slot(h); }\n"
+      "const TaskStruct& Table::ref(H h) { return *slot(h); }\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_TRUE(fns[0].ret_is_ptr);
+  EXPECT_EQ(fns[0].ret_type, "TaskStruct");
+  EXPECT_FALSE(fns[1].ret_is_ptr);
+}
+
+TEST(ExtractFunctions, QualifiedCallSitesRecordTheQualifier) {
+  const auto facts = lint::extract_facts(lint::tokenize(
+      "void f() { IpcObject::stamp_on_send(x); plain(); }\n"));
+  ASSERT_EQ(facts.functions.size(), 1u);
+  const auto& sites = facts.functions[0].call_sites;
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].name, "stamp_on_send");
+  EXPECT_EQ(sites[0].qualifier, "IpcObject");
+  EXPECT_EQ(sites[1].qualifier, "");
+}
+
+TEST(QnameMatches, SuffixSemantics) {
+  EXPECT_TRUE(lint::qname_matches("PermissionMonitor::check", "check"));
+  EXPECT_TRUE(lint::qname_matches("kern::PermissionMonitor::check",
+                                  "PermissionMonitor::check"));
+  EXPECT_TRUE(lint::qname_matches("check", "check"));
+  EXPECT_FALSE(lint::qname_matches("recheck", "check"));
+  EXPECT_FALSE(lint::qname_matches("PermissionMonitor::recheck", "check"));
+}
+
 // --- rules parsing -----------------------------------------------------------
 
 TEST(Rules, ParsesFullConfig) {
@@ -136,6 +311,30 @@ TEST(Rules, ParsesFullConfig) {
             (std::vector<std::string>{"check_now", "check"}));
 }
 
+TEST(Rules, ParsesInterproceduralConfig) {
+  std::string error;
+  const auto cfg = lint::parse_rules(
+      "r5.seed src/x11/screen.cpp:get_image\n"
+      "r5.sink PermissionMonitor::check ask_monitor\n"
+      "r6.mint send_interaction\n"
+      "r6.source XServer::deliver_input\n"
+      "r6.allow Kernel::wire_netlink_handlers\n"
+      "r7.type TaskStruct\n"
+      "r7.allow src/kern/process_table.cpp\n"
+      "cg.edge NetlinkChannel::query_permission PermissionMonitor::check\n",
+      &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  ASSERT_EQ(cfg->r5_seeds.size(), 1u);
+  EXPECT_EQ(cfg->r5_seeds[0].file, "src/x11/screen.cpp");
+  EXPECT_EQ(cfg->r5_seeds[0].function, "get_image");
+  EXPECT_EQ(cfg->r5_sinks.size(), 2u);
+  EXPECT_EQ(cfg->r6_mints, (std::vector<std::string>{"send_interaction"}));
+  EXPECT_EQ(cfg->r7_types, (std::vector<std::string>{"TaskStruct"}));
+  ASSERT_EQ(cfg->cg_edges.size(), 1u);
+  EXPECT_EQ(cfg->cg_edges[0].caller, "NetlinkChannel::query_permission");
+  EXPECT_EQ(cfg->cg_edges[0].callee, "PermissionMonitor::check");
+}
+
 TEST(Rules, UnknownKeyIsAnError) {
   std::string error;
   EXPECT_FALSE(lint::parse_rules("r9.bogus x\n", &error).has_value());
@@ -145,6 +344,13 @@ TEST(Rules, UnknownKeyIsAnError) {
 TEST(Rules, MalformedMediationPointIsAnError) {
   std::string error;
   EXPECT_FALSE(lint::parse_rules("r2.point nocolons\n", &error).has_value());
+}
+
+TEST(Rules, MalformedSeedAndEdgeAreErrors) {
+  std::string error;
+  EXPECT_FALSE(lint::parse_rules("r5.seed nocolon\n", &error).has_value());
+  EXPECT_FALSE(
+      lint::parse_rules("cg.edge only_one_name\n", &error).has_value());
 }
 
 TEST(Rules, PathMatching) {
@@ -158,14 +364,77 @@ TEST(Rules, PathMatching) {
   EXPECT_FALSE(lint::path_matches("/repo/src/other_pipe.cpp", "pipe.cpp"));
 }
 
+// --- call graph --------------------------------------------------------------
+
+TEST(CallGraph, QualifiedCallsResolveToTheRightOverload) {
+  lint::RuleConfig cfg;
+  const auto program = make_program(
+      {{"a.cpp",
+        "struct A { void go() { a_work(); } };\n"
+        "struct B { void go() { b_work(); } };\n"
+        "void caller_q() { B::go(); }\n"
+        "void caller_u(A& a) { a.go(); }\n"}},
+      cfg);
+  const auto g = lint::CallGraph::build(program, cfg);
+  const auto b_go = g.find_qname("B::go");
+  ASSERT_EQ(b_go.size(), 1u);
+
+  const auto q = g.find_qname("caller_q");
+  ASSERT_EQ(q.size(), 1u);
+  // Explicit B::go() resolves only to B::go.
+  EXPECT_EQ(g.out_edges()[q[0]], std::vector<int>{b_go[0]});
+
+  const auto u = g.find_qname("caller_u");
+  ASSERT_EQ(u.size(), 1u);
+  // Unqualified member call over-approximates to both definitions.
+  EXPECT_EQ(g.out_edges()[u[0]].size(), 2u);
+}
+
+TEST(CallGraph, CyclesTerminateAndStayReachable) {
+  lint::RuleConfig cfg;
+  const auto program = make_program(
+      {{"c.cpp",
+        "void ping() { pong(); }\n"
+        "void pong() { ping(); leaf(); }\n"
+        "void leaf() { }\n"}},
+      cfg);
+  const auto g = lint::CallGraph::build(program, cfg);
+  const auto ping = g.find_qname("ping");
+  const auto leaf = g.find_qname("leaf");
+  ASSERT_EQ(ping.size(), 1u);
+  ASSERT_EQ(leaf.size(), 1u);
+  const auto reach = g.reachable_from(ping);
+  EXPECT_TRUE(reach[leaf[0]]);
+  const auto path =
+      g.shortest_path(ping[0], [&](int v) { return v == leaf[0]; });
+  ASSERT_EQ(path.size(), 3u);  // ping -> pong -> leaf
+}
+
+TEST(CallGraph, DeclaredEdgesSpliceHandlerIndirection) {
+  lint::RuleConfig cfg;
+  cfg.cg_edges.push_back({"Channel::query", "Monitor::check"});
+  const auto program = make_program(
+      {{"d.cpp",
+        "struct Channel { void query() { on_query_(q); } };\n"
+        "struct Monitor { void check() { decide(); } };\n"}},
+      cfg);
+  const auto g = lint::CallGraph::build(program, cfg);
+  const auto query = g.find_qname("Channel::query");
+  const auto check = g.find_qname("Monitor::check");
+  ASSERT_EQ(query.size(), 1u);
+  ASSERT_EQ(check.size(), 1u);
+  EXPECT_TRUE(g.reachable_from(query)[check[0]]);
+}
+
 // --- fixture sweeps ----------------------------------------------------------
 
 TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   const auto cfg = fixture_rules();
   const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
-  ASSERT_EQ(findings.size(), 6u);
+  ASSERT_EQ(findings.size(), 10u);
 
-  // Sorted by file: clock_use, device_open, interaction, pipe_like.
+  // Sorted by file: clock_use, device_open, handle, interaction, pipe_like,
+  // taint, wl_capture, wl_receive.
   EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/clock_use.cpp"));
   EXPECT_EQ(findings[0].rule, "R4");
   EXPECT_EQ(findings[0].line, 7);
@@ -177,28 +446,46 @@ TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   EXPECT_EQ(findings[2].line, 6);
   EXPECT_NE(findings[2].message.find("sys_open"), std::string::npos);
 
-  EXPECT_TRUE(lint::path_matches(findings[3].file, "broken/interaction.cpp"));
-  EXPECT_EQ(findings[3].rule, "R3");
-  EXPECT_EQ(findings[3].line, 8);
+  // R7 pair: the returned raw pointer, then the cached member.
+  EXPECT_TRUE(lint::path_matches(findings[3].file, "broken/handle.cpp"));
+  EXPECT_EQ(findings[3].rule, "R7");
+  EXPECT_NE(findings[3].message.find("resolve"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[4].file, "broken/handle.cpp"));
+  EXPECT_EQ(findings[4].rule, "R7");
+  EXPECT_NE(findings[4].message.find("cached_task_"), std::string::npos);
 
-  EXPECT_TRUE(lint::path_matches(findings[4].file, "broken/pipe_like.cpp"));
-  EXPECT_EQ(findings[4].rule, "R1");
-  EXPECT_EQ(findings[4].line, 8);
-  EXPECT_NE(findings[4].message.find("Pipe::write"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[5].file, "broken/interaction.cpp"));
+  EXPECT_EQ(findings[5].rule, "R3");
+  EXPECT_EQ(findings[5].line, 8);
+
+  EXPECT_TRUE(lint::path_matches(findings[6].file, "broken/pipe_like.cpp"));
+  EXPECT_EQ(findings[6].rule, "R1");
+  EXPECT_EQ(findings[6].line, 8);
+  EXPECT_NE(findings[6].message.find("Pipe::write"), std::string::npos);
+
+  // The background-replay mint, unreachable from deliver_input.
+  EXPECT_TRUE(lint::path_matches(findings[7].file, "broken/taint.cpp"));
+  EXPECT_EQ(findings[7].rule, "R6");
+  EXPECT_NE(findings[7].message.find("background_replay"), std::string::npos);
+
+  // The capture path whose mediation survives only as dead code.
+  EXPECT_TRUE(lint::path_matches(findings[8].file, "broken/wl_capture.cpp"));
+  EXPECT_EQ(findings[8].rule, "R5");
+  EXPECT_NE(findings[8].message.find("capture_surface"), std::string::npos);
 
   // The un-mediated Wayland receive handler — proof the analyzer covers the
   // second backend's interposition points too.
-  EXPECT_TRUE(lint::path_matches(findings[5].file, "broken/wl_receive.cpp"));
-  EXPECT_EQ(findings[5].rule, "R2");
-  EXPECT_EQ(findings[5].line, 6);
-  EXPECT_NE(findings[5].message.find("request_receive"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[9].file, "broken/wl_receive.cpp"));
+  EXPECT_EQ(findings[9].rule, "R2");
+  EXPECT_EQ(findings[9].line, 6);
+  EXPECT_NE(findings[9].message.find("request_receive"), std::string::npos);
 }
 
 TEST(Fixtures, CleanTreePasses) {
   const auto cfg = fixture_rules();
   std::size_t scanned = 0;
   const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
-  EXPECT_EQ(scanned, 5u);
+  EXPECT_EQ(scanned, 8u);
   EXPECT_TRUE(findings.empty())
       << findings[0].file << ":" << findings[0].line << " "
       << findings[0].message;
@@ -232,4 +519,268 @@ TEST(Fixtures, AllowlistSilencesAndExemptsWork) {
       lint::analyze_file("/r/src/kern/a.cpp", "using std::chrono::x;\n", cfg)
           .size(),
       1u);
+}
+
+// --- inter-procedural rules, fail-on-removal ---------------------------------
+
+TEST(FlowRules, R5FailsWhenTheMediationCallIsRemoved) {
+  const auto cfg = fixture_rules();
+  // The shipped clean fixture passes...
+  std::string src = read_file(fixture_dir("clean") + "/wl_capture.cpp");
+  auto ok = lint::run_tree_mem({{"wl_capture.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R5"), 0);
+
+  // ...and removing the one mediation line makes the same seed fail.
+  const auto pos = src.find("const Decision d = authorize_capture");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem({{"wl_capture.cpp", cut}}, cfg);
+  EXPECT_EQ(count_rule(bad.findings, "R5"), 1);
+}
+
+TEST(FlowRules, R6FailsWhenAMintEscapesTheInputPath) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/taint.cpp");
+  auto ok = lint::run_tree_mem({{"taint.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R6"), 0);
+
+  // Severing the source -> mint chain orphans the mint call.
+  const auto pos = src.find("forward_input(ev, focus);");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem({{"taint.cpp", cut}}, cfg);
+  EXPECT_EQ(count_rule(bad.findings, "R6"), 1);
+}
+
+TEST(FlowRules, R7FailsWhenAHandleDecaysToARawPointer) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/handle.cpp");
+  auto ok = lint::run_tree_mem({{"handle.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R7"), 0);
+
+  // Decay the stored handle into a cached raw pointer.
+  const auto pos = src.find("TaskHandle bound_;");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad_src = src;
+  bad_src.replace(pos, std::string("TaskHandle bound_;").size(),
+                  "TaskStruct* bound_;");
+  auto bad = lint::run_tree_mem({{"handle.cpp", bad_src}}, cfg);
+  EXPECT_EQ(count_rule(bad.findings, "R7"), 1);
+}
+
+TEST(FlowRules, R7AllowsThePointerOwningPaths) {
+  lint::RuleConfig cfg;
+  cfg.r7_types = {"TaskStruct"};
+  cfg.r7_allow = {"src/kern/process_table.h"};
+  const std::string src =
+      "class ProcessTable { TaskStruct* slots_; };\n"
+      "TaskStruct* get(H h) { return probe(h); }\n";
+  EXPECT_EQ(count_rule(
+                lint::run_tree_mem({{"src/kern/process_table.h", src}}, cfg)
+                    .findings,
+                "R7"),
+            0);
+  EXPECT_EQ(count_rule(
+                lint::run_tree_mem({{"src/kern/rogue.h", src}}, cfg).findings,
+                "R7"),
+            2);
+}
+
+TEST(FlowRules, R5MissingSeedFunctionIsItselfAFinding) {
+  lint::RuleConfig cfg;
+  cfg.r5_seeds.push_back({"a.cpp", "vanished_entry_point"});
+  cfg.r5_sinks = {"check"};
+  const auto res =
+      lint::run_tree_mem({{"a.cpp", "void other() { check(); }\n"}}, cfg);
+  ASSERT_EQ(count_rule(res.findings, "R5"), 1);
+  EXPECT_NE(res.findings[0].message.find("vanished_entry_point"),
+            std::string::npos);
+}
+
+// --- suppressions and baselines ----------------------------------------------
+
+TEST(Suppressions, InlineAllowSilencesTheFinding) {
+  lint::RuleConfig cfg;
+  cfg.r4_banned = {"chrono"};
+  const std::string src =
+      "// overhaul-lint: allow(R4: fixture exercises the banned ident)\n"
+      "using std::chrono::x;\n";
+  const auto res = lint::run_tree_mem({{"a.cpp", src}}, cfg);
+  EXPECT_TRUE(res.findings.empty())
+      << res.findings[0].rule << ": " << res.findings[0].message;
+  EXPECT_EQ(res.stats.suppressed, 1u);
+  // analyze_file honors the same suppressions.
+  EXPECT_TRUE(lint::analyze_file("a.cpp", src, cfg).empty());
+}
+
+TEST(Suppressions, ReasonIsMandatory) {
+  lint::RuleConfig cfg;
+  cfg.r4_banned = {"chrono"};
+  const auto res = lint::run_tree_mem(
+      {{"a.cpp",
+        "// overhaul-lint: allow(R4)\n"
+        "using std::chrono::x;\n"}},
+      cfg);
+  // The R4 finding survives AND the reasonless suppression is flagged.
+  EXPECT_EQ(count_rule(res.findings, "R4"), 1);
+  EXPECT_EQ(count_rule(res.findings, "sup"), 1);
+}
+
+TEST(Suppressions, UnusedAndUnknownRuleAreFindings) {
+  lint::RuleConfig cfg;
+  const auto res = lint::run_tree_mem(
+      {{"a.cpp",
+        "// overhaul-lint: allow(R4: nothing here triggers R4)\n"
+        "// overhaul-lint: allow(R9: no such rule)\n"
+        "int x;\n"}},
+      cfg);
+  EXPECT_EQ(count_rule(res.findings, "sup"), 2);
+}
+
+TEST(Baseline, SilencesBySymbolAndReportsStaleEntries) {
+  lint::RuleConfig cfg;
+  cfg.r4_banned = {"chrono"};
+  std::vector<lint::BaselineEntry> baseline = {
+      {"R4", "a.cpp", "chrono", "vetted: legacy time formatting"},
+      {"R7", "gone.cpp", "stale_symbol", "this entry should be stale"}};
+  const auto res = lint::run_tree_mem({{"a.cpp", "using std::chrono::x;\n"}},
+                                      cfg, baseline);
+  EXPECT_EQ(count_rule(res.findings, "R4"), 0);
+  EXPECT_EQ(res.stats.baselined, 1u);
+  ASSERT_EQ(count_rule(res.findings, "sup"), 1);
+  EXPECT_NE(res.findings[0].message.find("stale"), std::string::npos);
+}
+
+TEST(Baseline, ParserRejectsEntriesWithoutReasons) {
+  std::string error;
+  EXPECT_FALSE(
+      lint::parse_baseline("R4 a.cpp chrono\n", &error).has_value());
+  EXPECT_TRUE(lint::parse_baseline("# just a comment\n", &error).has_value());
+  const auto ok =
+      lint::parse_baseline("R4 a.cpp chrono vetted because reasons\n", &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  ASSERT_EQ(ok->size(), 1u);
+  EXPECT_EQ(ok->at(0).symbol, "chrono");
+}
+
+// --- incremental cache -------------------------------------------------------
+
+TEST(Cache, SerializationRoundTrips) {
+  lint::RuleConfig cfg;
+  cfg.r3_fields = {"interaction_ts"};
+  cfg.r4_banned = {"chrono"};
+  const std::string src =
+      "// overhaul-lint: allow(R4: demo)\n"
+      "class C { TaskStruct* p_; };\n"
+      "bool Functor::operator()(int x) { return IpcObject::check(x); }\n"
+      "void w(T& t) { t.interaction_ts = 1; std::chrono::x y; }\n";
+  const lint::FileIR ir = lint::build_file_ir("a.cpp", src, cfg);
+  const std::string blob = lint::serialize_cache({ir}, 42);
+
+  std::vector<lint::FileIR> back;
+  ASSERT_TRUE(lint::parse_cache(blob, 42, &back));
+  ASSERT_EQ(back.size(), 1u);
+  const lint::FileIR& r = back[0];
+  EXPECT_EQ(r.path, ir.path);
+  EXPECT_EQ(r.source_hash, ir.source_hash);
+  ASSERT_EQ(r.functions.size(), ir.functions.size());
+  EXPECT_EQ(r.functions[0].qualified_name, "Functor::operator()");
+  ASSERT_EQ(r.functions[0].call_sites.size(), 1u);
+  EXPECT_EQ(r.functions[0].call_sites[0].qualifier, "IpcObject");
+  EXPECT_EQ(r.pointer_fields.size(), ir.pointer_fields.size());
+  EXPECT_EQ(r.guarded_writes.size(), ir.guarded_writes.size());
+  EXPECT_EQ(r.banned_idents.size(), ir.banned_idents.size());
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_EQ(r.suppressions[0].rule, "R4");
+  EXPECT_EQ(r.suppressions[0].reason, "demo");
+
+  // A different config hash rejects the whole blob.
+  EXPECT_FALSE(lint::parse_cache(blob, 43, &back));
+}
+
+TEST(Cache, WarmRunSkipsReparsing) {
+  const auto cfg = fixture_rules();
+  const std::string cache =
+      testing::TempDir() + "/overhaul_lint_cache_test.txt";
+  std::remove(cache.c_str());
+
+  lint::TreeOptions opts;
+  opts.roots = {fixture_dir("clean")};
+  opts.config = cfg;
+  opts.rules_hash = 7;
+  opts.cache_path = cache;
+
+  const auto cold = lint::run_tree(opts);
+  EXPECT_EQ(cold.stats.reparsed, cold.stats.files);
+  const auto warm = lint::run_tree(opts);
+  EXPECT_EQ(warm.stats.reparsed, 0u);
+  EXPECT_EQ(warm.stats.files, cold.stats.files);
+  EXPECT_EQ(warm.findings.size(), cold.findings.size());
+  EXPECT_EQ(warm.stats.functions, cold.stats.functions);
+  EXPECT_EQ(warm.stats.call_edges, cold.stats.call_edges);
+
+  // A rules change invalidates everything.
+  opts.rules_hash = 8;
+  const auto rebuilt = lint::run_tree(opts);
+  EXPECT_EQ(rebuilt.stats.reparsed, rebuilt.stats.files);
+  std::remove(cache.c_str());
+}
+
+// --- SARIF -------------------------------------------------------------------
+
+TEST(Sarif, OutputIsStrictlyValidJson) {
+  const auto cfg = fixture_rules();
+  const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
+  ASSERT_FALSE(findings.empty());
+  const std::string sarif = lint::to_sarif(findings, "test");
+  std::string error;
+  EXPECT_TRUE(overhaul::obs::json::validate(sarif, &error)) << error;
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"R5\""), std::string::npos);
+  // Messages with quotes/backslashes must survive escaping.
+  const std::string hostile = lint::to_sarif(
+      {{"a\\b.cpp", 0, "R4", "msg with \"quotes\"\nand newline", "sym"}},
+      "test");
+  EXPECT_TRUE(overhaul::obs::json::validate(hostile, &error)) << error;
+}
+
+// --- --explain witnesses -----------------------------------------------------
+
+TEST(Explain, PrintsTheWitnessChain) {
+  const auto cfg = fixture_rules();
+  lint::TreeOptions opts;
+  opts.roots = {fixture_dir("clean")};
+  opts.config = cfg;
+  const auto res = lint::run_tree(opts);
+  const auto out =
+      lint::explain(res.program, cfg, "R5:capture_surface");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.text.find("capture_surface"), std::string::npos);
+  EXPECT_NE(out.text.find("authorize_capture"), std::string::npos);
+  EXPECT_NE(out.text.find("[sink]"), std::string::npos);
+}
+
+TEST(Explain, ReportsAMissingChain) {
+  const auto cfg = fixture_rules();
+  lint::TreeOptions opts;
+  opts.roots = {fixture_dir("broken")};
+  opts.config = cfg;
+  const auto res = lint::run_tree(opts);
+  const auto out = lint::explain(res.program, cfg, "R5:capture_surface");
+  EXPECT_EQ(out.exit_code, 1);
+  EXPECT_NE(out.text.find("NO PATH"), std::string::npos);
+}
+
+TEST(Explain, R6ShowsTheSourceChainToAMint) {
+  const auto cfg = fixture_rules();
+  lint::TreeOptions opts;
+  opts.roots = {fixture_dir("clean")};
+  opts.config = cfg;
+  const auto res = lint::run_tree(opts);
+  const auto out = lint::explain(res.program, cfg, "R6:forward_input");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.text.find("deliver_input"), std::string::npos);
+  EXPECT_EQ(lint::explain(res.program, cfg, "R8:nope").exit_code, 2);
 }

@@ -7,7 +7,7 @@
 #   tools/check.sh tsan
 #   tools/check.sh --metrics       # additionally smoke the BENCH_*.json path
 #   tools/check.sh --bench         # additionally smoke the perf benches
-#                                  # (bench_hotpath + bench_table1, --quick)
+#                                  # (bench_hotpath, bench_table1, bench_lint)
 #   JOBS=4 tools/check.sh          # override parallelism
 #
 # --metrics and --bench combine, in any order, before the preset name.
@@ -40,9 +40,13 @@ cmake --preset "$PRESET"
 step "build"
 cmake --build --preset "$PRESET" -j "$JOBS"
 
-step "overhaul-lint (mediation-completeness invariants)"
+step "overhaul-lint (mediation-completeness invariants, SARIF validated)"
 "./$BUILD_DIR/tools/lint/overhaul-lint" \
-  --root src --rules tools/lint/overhaul_lint.rules
+  --root src --rules tools/lint/overhaul_lint.rules \
+  --baseline tools/lint/overhaul_lint.baseline \
+  --cache "$BUILD_DIR/overhaul_lint.cache" \
+  --sarif "$BUILD_DIR/overhaul_lint.sarif" --stats
+"./$BUILD_DIR/tools/obs/json_check" "$BUILD_DIR/overhaul_lint.sarif"
 
 step "ctest (preset: $PRESET)"
 ctest --preset "$PRESET" -j "$JOBS"
@@ -68,6 +72,11 @@ if [ "$BENCH" = 1 ]; then
     ./tools/obs/json_check BENCH_table1.json &&
     ./bench/bench_table1 --quick --backend=wl >/dev/null &&
     ./tools/obs/json_check BENCH_table1_wl.json)
+
+  step "bench_lint (analyzer cold/warm cache gate, --quick)"
+  (cd "$BUILD_DIR" &&
+    ./bench/bench_lint --quick &&
+    ./tools/obs/json_check BENCH_lint.json)
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then

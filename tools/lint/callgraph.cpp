@@ -1,0 +1,142 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace overhaul::lint {
+
+CallGraph CallGraph::build(const ProgramIR& program, const RuleConfig& config) {
+  CallGraph g;
+  for (const FileIR& file : program.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      g.nodes_.push_back(
+          {fn.qualified_name, fn.name, file.path, fn.line, &fn});
+    }
+  }
+  g.edges_.assign(g.nodes_.size(), {});
+
+  // Index definitions by unqualified name.
+  std::unordered_map<std::string, std::vector<int>> by_name;
+  for (std::size_t i = 0; i < g.nodes_.size(); ++i)
+    by_name[g.nodes_[i].name].push_back(static_cast<int>(i));
+
+  // Out-degrees are small (a handful of callees per function), so deduping
+  // by linear scan of the adjacency list beats a global (from, to) set.
+  auto add_edge = [&](int from, int to) {
+    if (from == to) return;  // self-loops add nothing to reachability
+    std::vector<int>& out = g.edges_[from];
+    if (std::find(out.begin(), out.end(), to) != out.end()) return;
+    out.push_back(to);
+    ++g.edge_count_;
+  };
+
+  for (std::size_t i = 0; i < g.nodes_.size(); ++i) {
+    const FunctionInfo& fn = *g.nodes_[i].fn;
+    for (const CallSite& call : fn.call_sites) {
+      const auto it = by_name.find(call.name);
+      if (it == by_name.end()) continue;
+      const std::vector<int>& candidates = it->second;
+      if (!call.qualifier.empty()) {
+        // Qualified call: prefer definitions whose qualified name ends with
+        // the written qualification. If none match (the qualifier names a
+        // namespace we do not track, say), fall back to all name matches.
+        const std::string want = call.qualifier + "::" + call.name;
+        std::vector<int> narrowed;
+        for (const int c : candidates)
+          if (qname_matches(g.nodes_[c].qname, want)) narrowed.push_back(c);
+        for (const int c : narrowed.empty() ? candidates : narrowed)
+          add_edge(static_cast<int>(i), c);
+      } else {
+        for (const int c : candidates) add_edge(static_cast<int>(i), c);
+      }
+    }
+  }
+
+  // Declared indirect edges (handler indirection). Collect both endpoint
+  // sets in one pass, then splice the cross product — not the naive N^2
+  // qname scan per declared edge.
+  for (const ExtraEdge& e : config.cg_edges) {
+    std::vector<int> callers, callees;
+    for (std::size_t i = 0; i < g.nodes_.size(); ++i) {
+      if (qname_matches(g.nodes_[i].qname, e.caller))
+        callers.push_back(static_cast<int>(i));
+      if (qname_matches(g.nodes_[i].qname, e.callee))
+        callees.push_back(static_cast<int>(i));
+    }
+    for (const int from : callers)
+      for (const int to : callees) add_edge(from, to);
+  }
+  return g;
+}
+
+std::vector<int> CallGraph::find_qname(const std::string& pattern) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (qname_matches(nodes_[i].qname, pattern))
+      out.push_back(static_cast<int>(i));
+  return out;
+}
+
+int CallGraph::find_in_file(const std::string& file_entry,
+                            const std::string& function) const {
+  int fallback = -1;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!path_matches(nodes_[i].file, file_entry)) continue;
+    if (nodes_[i].name == function) return static_cast<int>(i);
+    if (fallback < 0 && qname_matches(nodes_[i].qname, function))
+      fallback = static_cast<int>(i);
+  }
+  return fallback;
+}
+
+std::vector<char> CallGraph::reachable_from(
+    const std::vector<int>& sources) const {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::deque<int> work;
+  for (const int s : sources) {
+    if (s >= 0 && s < static_cast<int>(seen.size()) && !seen[s]) {
+      seen[s] = 1;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const int u = work.front();
+    work.pop_front();
+    for (const int v : edges_[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        work.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<int> CallGraph::shortest_path(
+    int start, const std::function<bool(int)>& accept) const {
+  if (start < 0 || start >= static_cast<int>(nodes_.size())) return {};
+  std::vector<int> parent(nodes_.size(), -2);
+  std::deque<int> work;
+  parent[start] = -1;
+  work.push_back(start);
+  while (!work.empty()) {
+    const int u = work.front();
+    work.pop_front();
+    if (accept(u)) {
+      std::vector<int> path;
+      for (int v = u; v != -1; v = parent[v]) path.push_back(v);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const int v : edges_[u]) {
+      if (parent[v] == -2) {
+        parent[v] = u;
+        work.push_back(v);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace overhaul::lint

@@ -1,0 +1,72 @@
+// Whole-tree call graph over the per-file IR.
+//
+// Nodes are function *definitions*; edges are name-resolved call sites. The
+// resolver is deliberately over-approximate (this is a tripwire, not a
+// compiler): a call site links to every definition with the same unqualified
+// name, narrowed to suffix-matching candidates when the call was written with
+// an explicit qualifier (`IpcObject::stamp_on_send(...)`). Handler and
+// function-pointer indirection the token stream cannot see (the netlink hub's
+// installed std::function callbacks) is declared in the rules file as
+// `cg.edge caller callee` and spliced in as synthetic edges.
+//
+// Over-approximation errs toward *passing* R5 (a bogus edge can only create a
+// path, never destroy one) — acceptable for a reachability tripwire whose job
+// is to scream when a refactor severs a mediation chain, and exactly why R2
+// keeps a small direct-call anchor list for the ordering-sensitive edges.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir.h"
+
+namespace overhaul::lint {
+
+struct ProgramIR {
+  std::vector<FileIR> files;
+};
+
+class CallGraph {
+ public:
+  struct Node {
+    std::string qname;
+    std::string name;
+    std::string file;
+    int line = 0;
+    const FunctionInfo* fn = nullptr;  // borrowed from the ProgramIR
+  };
+
+  // Builds nodes from every function in `program` and resolves all call
+  // sites, plus the declared `config.cg_edges`. The ProgramIR must outlive
+  // the graph.
+  static CallGraph build(const ProgramIR& program, const RuleConfig& config);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<std::vector<int>>& out_edges() const { return edges_; }
+  std::size_t edge_count() const { return edge_count_; }
+
+  // All nodes whose qualified name matches `pattern` (exact or "::"-suffix).
+  std::vector<int> find_qname(const std::string& pattern) const;
+
+  // The node for `function` defined in a file matching the rules-file path
+  // entry `file_entry`; -1 when absent. Prefers an exact unqualified-name
+  // match, falls back to a qualified-suffix match.
+  int find_in_file(const std::string& file_entry,
+                   const std::string& function) const;
+
+  // Forward reachability from `sources` (inclusive).
+  std::vector<char> reachable_from(const std::vector<int>& sources) const;
+
+  // Shortest call chain from `start` to any node satisfying `accept`
+  // (BFS; `start` itself may satisfy it). Empty when unreachable.
+  std::vector<int> shortest_path(int start,
+                                 const std::function<bool(int)>& accept) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<int>> edges_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace overhaul::lint

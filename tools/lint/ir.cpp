@@ -1,0 +1,274 @@
+#include "ir.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace overhaul::lint {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), not_space));
+  s.erase(std::find_if(s.rbegin(), s.rend(), not_space).base(), s.end());
+  return s;
+}
+
+const std::vector<std::string>& assign_ops() {
+  static const std::vector<std::string> ops = {"=",  "+=", "-=",  "*=",
+                                               "/=", "%=", "&=",  "|=",
+                                               "^=", "<<=", ">>="};
+  return ops;
+}
+
+}  // namespace
+
+std::vector<Suppression> scan_suppressions(const std::string& source) {
+  std::vector<Suppression> out;
+  std::istringstream iss(source);
+  std::string line;
+  int lineno = 0;
+  static const std::string kMarker = "overhaul-lint:";
+  while (std::getline(iss, line)) {
+    ++lineno;
+    const auto m = line.find(kMarker);
+    if (m == std::string::npos) continue;
+    const auto a = line.find("allow(", m + kMarker.size());
+    if (a == std::string::npos) continue;
+    const auto close = line.find(')', a);
+    if (close == std::string::npos) {
+      out.push_back({lineno, "", ""});  // malformed; reported as hygiene
+      continue;
+    }
+    const std::string body = line.substr(a + 6, close - a - 6);
+    Suppression s;
+    s.line = lineno;
+    const auto colon = body.find(':');
+    if (colon == std::string::npos) {
+      s.rule = trim(body);
+    } else {
+      s.rule = trim(body.substr(0, colon));
+      s.reason = trim(body.substr(colon + 1));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+FileIR build_file_ir(const std::string& path, const std::string& source,
+                     const RuleConfig& config) {
+  FileIR ir;
+  ir.path = path;
+  ir.source_hash = fnv1a64(source);
+
+  const std::vector<Token> toks = tokenize(source);
+  FileFacts facts = extract_facts(toks);
+  ir.functions = std::move(facts.functions);
+  ir.pointer_fields = std::move(facts.pointer_fields);
+
+  const auto in = [](const std::string& s, const std::vector<std::string>& v) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (!config.r3_fields.empty() && in(t.text, config.r3_fields) &&
+        i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+        in(toks[i + 1].text, assign_ops())) {
+      ir.guarded_writes.push_back({t.line, t.text});
+    }
+    if (!config.r4_banned.empty() && in(t.text, config.r4_banned)) {
+      ir.banned_idents.push_back({t.line, t.text});
+    }
+  }
+
+  ir.suppressions = scan_suppressions(source);
+  return ir;
+}
+
+// --- incremental cache -------------------------------------------------------
+
+namespace {
+
+constexpr const char* kCacheMagic = "overhaul-lint-cache v2";
+
+std::string hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// A field may not contain tabs or newlines; scrub rather than corrupt the
+// record framing (such names would be extractor bugs anyway).
+std::string field(std::string s) {
+  std::replace(s.begin(), s.end(), '\t', ' ');
+  std::replace(s.begin(), s.end(), '\n', ' ');
+  return s.empty() ? "-" : s;
+}
+
+// Appends into a caller-owned buffer: parse_cache runs this once per record
+// over ~10k lines, and reusing the vector keeps the warm path allocation-free.
+void split_tabs(std::string_view line, std::vector<std::string_view>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (true) {
+    const auto tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      out->push_back(line.substr(start));
+      return;
+    }
+    out->push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool parse_int(std::string_view s, int* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_hex64(std::string_view s, std::uint64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out, 16);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::string unfield(std::string_view s) {
+  return s == "-" ? std::string() : std::string(s);
+}
+
+}  // namespace
+
+std::string serialize_cache(const std::vector<FileIR>& files,
+                            std::uint64_t config_hash) {
+  std::ostringstream out;
+  out << kCacheMagic << ' ' << hex(config_hash) << '\n';
+  for (const FileIR& f : files) {
+    out << "F\t" << hex(f.source_hash) << '\t' << field(f.path) << '\n';
+    for (const FunctionInfo& fn : f.functions) {
+      out << "f\t" << fn.line << '\t' << (fn.ret_is_ptr ? 1 : 0) << '\t'
+          << field(fn.ret_type) << '\t' << field(fn.name) << '\t'
+          << field(fn.qualified_name) << '\n';
+      for (const CallSite& c : fn.call_sites)
+        out << "c\t" << c.line << '\t' << field(c.qualifier) << '\t'
+            << field(c.name) << '\n';
+    }
+    for (const PointerField& p : f.pointer_fields)
+      out << "p\t" << p.line << '\t' << field(p.type) << '\t' << field(p.name)
+          << '\n';
+    for (const TokenHit& w : f.guarded_writes)
+      out << "w\t" << w.line << '\t' << field(w.text) << '\n';
+    for (const TokenHit& b : f.banned_idents)
+      out << "b\t" << b.line << '\t' << field(b.text) << '\n';
+    for (const Suppression& s : f.suppressions)
+      out << "s\t" << s.line << '\t' << field(s.rule) << '\t'
+          << field(s.reason) << '\n';
+  }
+  return out.str();
+}
+
+bool parse_cache(const std::string& text, std::uint64_t config_hash,
+                 std::vector<FileIR>* out) {
+  out->clear();
+  std::string_view rest(text);
+  const auto next_line = [&rest](std::string_view* line) {
+    if (rest.empty()) return false;
+    const auto nl = rest.find('\n');
+    if (nl == std::string_view::npos) {
+      *line = rest;
+      rest = {};
+    } else {
+      *line = rest.substr(0, nl);
+      rest.remove_prefix(nl + 1);
+    }
+    return true;
+  };
+
+  std::string_view line;
+  if (!next_line(&line)) return false;
+  {
+    std::istringstream header{std::string(line)};
+    std::string word, tail, hash_hex;
+    header >> word >> tail >> hash_hex;
+    std::uint64_t stored = 0;
+    if (word + " " + tail != kCacheMagic || !parse_hex64(hash_hex, &stored) ||
+        stored != config_hash)
+      return false;
+  }
+
+  FileIR* cur = nullptr;
+  FunctionInfo* cur_fn = nullptr;
+  auto bad = [&] {
+    out->clear();
+    return false;
+  };
+  std::vector<std::string_view> fields;
+  while (next_line(&line)) {
+    if (line.empty()) continue;
+    split_tabs(line, &fields);
+    const std::string_view tag = fields[0];
+    int ln = 0;
+    if (tag == "F") {
+      if (fields.size() != 3) return bad();
+      FileIR f;
+      if (!parse_hex64(fields[1], &f.source_hash)) return bad();
+      f.path = std::string(fields[2]);
+      out->push_back(std::move(f));
+      cur = &out->back();
+      cur_fn = nullptr;
+    } else if (tag == "f") {
+      if (cur == nullptr || fields.size() != 6 || !parse_int(fields[1], &ln))
+        return bad();
+      FunctionInfo fn;
+      fn.line = ln;
+      fn.ret_is_ptr = fields[2] == "1";
+      fn.ret_type = unfield(fields[3]);
+      fn.name = unfield(fields[4]);
+      fn.qualified_name = unfield(fields[5]);
+      cur->functions.push_back(std::move(fn));
+      cur_fn = &cur->functions.back();
+    } else if (tag == "c") {
+      if (cur_fn == nullptr || fields.size() != 4 || !parse_int(fields[1], &ln))
+        return bad();
+      CallSite c;
+      c.line = ln;
+      c.qualifier = unfield(fields[2]);
+      c.name = unfield(fields[3]);
+      cur_fn->calls.push_back(c.name);
+      cur_fn->call_sites.push_back(std::move(c));
+    } else if (tag == "p") {
+      if (cur == nullptr || fields.size() != 4 || !parse_int(fields[1], &ln))
+        return bad();
+      cur->pointer_fields.push_back(
+          {unfield(fields[2]), unfield(fields[3]), ln});
+    } else if (tag == "w" || tag == "b") {
+      if (cur == nullptr || fields.size() != 3 || !parse_int(fields[1], &ln))
+        return bad();
+      auto& dst = tag == "w" ? cur->guarded_writes : cur->banned_idents;
+      dst.push_back({ln, unfield(fields[2])});
+    } else if (tag == "s") {
+      if (cur == nullptr || fields.size() != 4 || !parse_int(fields[1], &ln))
+        return bad();
+      cur->suppressions.push_back({ln, unfield(fields[2]), unfield(fields[3])});
+    } else {
+      return bad();
+    }
+  }
+  return true;
+}
+
+}  // namespace overhaul::lint

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+
+#include "ir.h"
 
 namespace overhaul::lint {
 
@@ -25,6 +26,9 @@ const char* kPunct2[] = {"::", "->", "==", "!=", "<=", ">=", "&&", "||",
                          "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=",
                          "|=", "^=", "++", "--"};
 
+// Raw-string-literal prefixes, longest first (u8R before uR/UR/LR/R).
+const char* kRawPrefixes[] = {"u8R", "uR", "UR", "LR", "R"};
+
 }  // namespace
 
 std::vector<Token> tokenize(const std::string& src) {
@@ -35,6 +39,34 @@ std::vector<Token> tokenize(const std::string& src) {
 
   auto peek = [&](std::size_t k) -> char {
     return i + k < n ? src[i + k] : '\0';
+  };
+
+  // Raw string literal R"delim( ... )delim" (any standard prefix). `plen` is
+  // the prefix length including the R. Returns false when the text at `i`
+  // is not a well-formed raw-string opener.
+  auto try_raw_string = [&](std::size_t plen) -> bool {
+    std::size_t j = i + plen + 1;  // past prefix and opening quote
+    std::string delim;
+    while (j < n && src[j] != '(') {
+      const char d = src[j];
+      // The delimiter may not contain spaces, parens, backslash, or newline
+      // (and is at most 16 chars); anything else is not a raw string.
+      if (d == ')' || d == '\\' || d == '"' || std::isspace(
+              static_cast<unsigned char>(d)) || delim.size() >= 16)
+        return false;
+      delim += d;
+      ++j;
+    }
+    if (j >= n) return false;
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src.find(closer, j);
+    const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+    const int start_line = line;
+    for (std::size_t k = i; k < stop; ++k)
+      if (src[k] == '\n') ++line;
+    out.push_back({TokKind::kString, "<raw-string>", start_line});
+    i = stop;
+    return true;
   };
 
   while (i < n) {
@@ -77,19 +109,24 @@ std::vector<Token> tokenize(const std::string& src) {
       }
       continue;
     }
-    // Raw string literal (minimal: R"delim( ... )delim").
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t end = src.find(closer, j);
-      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
-      for (std::size_t k = i; k < stop; ++k)
-        if (src[k] == '\n') ++line;
-      out.push_back({TokKind::kString, "<raw-string>", line});
-      i = stop;
-      continue;
+    // Raw string literal, with or without an encoding prefix. Checked before
+    // plain identifiers so `LR"(...)"` does not tokenize as ident + string.
+    if (is_ident_start(c)) {
+      bool raw = false;
+      for (const char* p : kRawPrefixes) {
+        const std::size_t plen = std::char_traits<char>::length(p);
+        if (src.compare(i, plen, p) == 0 && i + plen < n &&
+            src[i + plen] == '"') {
+          // Only a raw string if the prefix is not glued to a longer
+          // identifier (`FooR"x"` is ident FooR then a string).
+          if (i > 0 && is_ident_char(src[i - 1])) break;
+          if (try_raw_string(plen)) {
+            raw = true;
+            break;
+          }
+        }
+      }
+      if (raw) continue;
     }
     // String / char literal: contents are opaque.
     if (c == '"' || c == '\'') {
@@ -171,14 +208,30 @@ bool is_specifier(const std::string& t) {
          t == "mutable" || t == "constexpr";
 }
 
+// Leading declaration specifiers skipped when recovering the return type.
+bool is_decl_specifier(const std::string& t) {
+  return t == "const" || t == "constexpr" || t == "inline" || t == "static" ||
+         t == "virtual" || t == "explicit" || t == "friend" || t == "typename";
+}
+
 bool is_punct(const Token& t, const char* s) {
   return t.kind == TokKind::kPunct && t.text == s;
 }
 
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
 }  // namespace
 
-std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
-  std::vector<FunctionInfo> out;
+bool qname_matches(const std::string& qname, const std::string& pattern) {
+  if (qname == pattern) return true;
+  const std::string suffix = "::" + pattern;
+  return qname.size() > suffix.size() &&
+         qname.compare(qname.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+FileFacts extract_facts(const std::vector<Token>& toks) {
+  FileFacts out;
   const std::size_t n = toks.size();
 
   // Skips past a balanced (...) run; `j` must point at the opener.
@@ -199,22 +252,93 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
     return j;
   };
 
-  // Parses a (possibly ::-qualified) identifier chain starting at `j`.
-  // Returns one-past-the-chain; fills name/qname/line.
+  // `j` points at '<'. Returns the index past the balanced '>', or kNpos
+  // when the run is not a plausible template-argument list (a comparison, an
+  // unclosed shift, ...). Token budget keeps a stray '<' from scanning the
+  // rest of the file.
+  auto skip_template_args = [&](std::size_t j) -> std::size_t {
+    int depth = 0;
+    std::size_t steps = 0;
+    for (; j < n && steps < 256; ++j, ++steps) {
+      const Token& t = toks[j];
+      if (is_punct(t, "<")) {
+        ++depth;
+      } else if (is_punct(t, ">")) {
+        if (--depth == 0) return j + 1;
+      } else if (is_punct(t, ">>")) {
+        depth -= 2;
+        if (depth <= 0) return j + 1;
+      } else if (t.kind == TokKind::kPunct &&
+                 (t.text == "(" || t.text == ")" || t.text == "{" ||
+                  t.text == "}" || t.text == ";" || t.text == "&&" ||
+                  t.text == "||")) {
+        return kNpos;  // not a template-argument list
+      }
+    }
+    return kNpos;
+  };
+
+  // Parses a (possibly ::-qualified, possibly templated) identifier chain
+  // starting at `j`, including operator names (`operator()`, `operator==`,
+  // `operator bool`). Template arguments are dropped from the recorded name
+  // (`Foo<int>::reset` -> "Foo::reset"). Returns one-past-the-chain; fills
+  // qname/name/line.
   auto parse_chain = [&](std::size_t j, std::string* qname, std::string* name,
                          int* name_line) -> std::size_t {
     qname->clear();
     while (j < n) {
-      if (is_punct(toks[j], "~")) {  // destructor
+      if (is_punct(toks[j], "~") && j + 1 < n &&
+          toks[j + 1].kind == TokKind::kIdent) {  // destructor
         *qname += "~";
         ++j;
         continue;
       }
       if (toks[j].kind != TokKind::kIdent) break;
+      if (toks[j].text == "operator") {
+        // Operator name: `operator` + symbol(s), or a conversion type.
+        *name_line = toks[j].line;
+        std::string op = "operator";
+        ++j;
+        if (j < n && toks[j].kind == TokKind::kIdent) {
+          // operator bool / operator new / conversion operators.
+          op += " " + toks[j].text;
+          ++j;
+          while (j + 1 < n && is_punct(toks[j], "::") &&
+                 toks[j + 1].kind == TokKind::kIdent) {
+            op += "::" + toks[j + 1].text;
+            j += 2;
+          }
+        } else if (j + 1 < n && is_punct(toks[j], "(") &&
+                   is_punct(toks[j + 1], ")")) {
+          op += "()";
+          j += 2;
+        } else if (j + 1 < n && is_punct(toks[j], "[") &&
+                   is_punct(toks[j + 1], "]")) {
+          op += "[]";
+          j += 2;
+        } else {
+          while (j < n && toks[j].kind == TokKind::kPunct &&
+                 !is_punct(toks[j], "("))
+            op += toks[j++].text;
+        }
+        *qname += op;
+        *name = op;
+        return j;  // an operator name ends the chain
+      }
       *qname += toks[j].text;
       *name = toks[j].text;
       *name_line = toks[j].line;
       ++j;
+      // Template arguments glued to this segment: `Foo<int>::reset`,
+      // `get<int>(x)`. Consumed (and dropped from the name) only when the
+      // balanced run is followed by `::` or `(` — a bare `a < b` comparison
+      // is left alone.
+      if (j < n && is_punct(toks[j], "<")) {
+        const std::size_t after_t = skip_template_args(j);
+        if (after_t != kNpos && after_t < n &&
+            (is_punct(toks[after_t], "::") || is_punct(toks[after_t], "(")))
+          j = after_t;
+      }
       if (j + 1 < n && is_punct(toks[j], "::") &&
           (toks[j + 1].kind == TokKind::kIdent || is_punct(toks[j + 1], "~"))) {
         *qname += "::";
@@ -249,7 +373,14 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
         if (after > j) {
           if (after < n && is_punct(toks[after], "(") &&
               control_keywords().count(name) == 0) {
+            CallSite call;
+            call.name = name;
+            call.line = line;
+            if (qname.size() > name.size() + 2)
+              call.qualifier =
+                  qname.substr(0, qname.size() - name.size() - 2);
             fn->calls.push_back(name);
+            fn->call_sites.push_back(std::move(call));
           }
           j = after;
           continue;
@@ -260,9 +391,38 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
     return j;
   };
 
+  // Class-scope tracking: pushed when a class/struct/union *body* opens at
+  // the main-loop level, popped at its closing brace. Function bodies are
+  // consumed by parse_body, so the main loop only ever walks namespace and
+  // class scope (plus brace-initializers, which balance out).
+  struct ClassScope {
+    std::string name;
+    int depth;
+  };
+  std::vector<ClassScope> classes;
+  int depth = 0;
+
+  auto scope_prefix = [&]() -> std::string {
+    std::string prefix;
+    for (const auto& c : classes)
+      if (!c.name.empty()) prefix += c.name + "::";
+    return prefix;
+  };
+
   std::size_t i = 0;
   while (i < n) {
     const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!classes.empty() && classes.back().depth == depth) classes.pop_back();
+      --depth;
+      ++i;
+      continue;
+    }
     if (t.kind != TokKind::kIdent && !is_punct(t, "~")) {
       ++i;
       continue;
@@ -270,15 +430,74 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
     if (t.text == "template") {  // skip the parameter list <...>
       ++i;
       if (i < n && is_punct(toks[i], "<")) {
-        int depth = 0;
+        int tdepth = 0;
         for (; i < n; ++i) {
-          if (is_punct(toks[i], "<")) ++depth;
-          else if (is_punct(toks[i], ">") && --depth == 0) {
+          if (is_punct(toks[i], "<")) ++tdepth;
+          else if (is_punct(toks[i], ">") && --tdepth == 0) {
             ++i;
             break;
           }
         }
       }
+      continue;
+    }
+    if (t.text == "enum") {
+      ++i;
+      if (i < n && toks[i].kind == TokKind::kIdent &&
+          (toks[i].text == "class" || toks[i].text == "struct"))
+        ++i;
+      if (i < n && toks[i].kind == TokKind::kIdent) ++i;  // name
+      while (i < n && !is_punct(toks[i], "{") && !is_punct(toks[i], ";")) ++i;
+      if (i < n && is_punct(toks[i], "{")) i = skip_braces(i);
+      continue;
+    }
+    if (t.text == "class" || t.text == "struct" || t.text == "union") {
+      // Parse the (possibly qualified/templated) class-head name, then scan
+      // for the body. A `;` first means forward declaration / friend decl /
+      // C-style variable — no scope to push.
+      std::string cname, clast;
+      int cline = t.line;
+      std::size_t j = parse_chain(i + 1, &cname, &clast, &cline);
+      std::size_t k = j;
+      bool found_body = false;
+      while (k < n) {
+        if (is_punct(toks[k], "{")) {
+          found_body = true;
+          break;
+        }
+        if (is_punct(toks[k], ";") || is_punct(toks[k], "=")) break;
+        if (is_punct(toks[k], "(")) {
+          k = skip_parens(k);
+          continue;
+        }
+        if (is_punct(toks[k], "<")) {
+          const std::size_t a = skip_template_args(k);
+          k = a == kNpos ? k + 1 : a;
+          continue;
+        }
+        ++k;
+      }
+      if (found_body) {
+        classes.push_back({clast, depth + 1});
+        ++depth;
+        i = k + 1;
+      } else {
+        i = std::max(k, i + 1);
+      }
+      continue;
+    }
+
+    // Class-scope pointer field: `Type* name;` / `Type* name = ...;` /
+    // `Type* name{...};`. Declarations (`Type* f(...)`) are excluded by the
+    // '(' check; locals never reach the main loop (bodies are consumed).
+    if (!classes.empty() && classes.back().depth == depth && i + 3 < n &&
+        toks[i].kind == TokKind::kIdent && is_punct(toks[i + 1], "*") &&
+        toks[i + 2].kind == TokKind::kIdent &&
+        (is_punct(toks[i + 3], ";") || is_punct(toks[i + 3], "=") ||
+         is_punct(toks[i + 3], "{"))) {
+      out.pointer_fields.push_back(
+          {toks[i].text, toks[i + 2].text, toks[i + 2].line});
+      i += 3;
       continue;
     }
 
@@ -340,13 +559,42 @@ std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
     }
 
     FunctionInfo fn;
-    fn.qualified_name = qname;
+    fn.qualified_name = classes.empty() ? qname : scope_prefix() + qname;
     fn.name = name;
     fn.line = name_line;
+
+    // Return type: walk back over '*', '&', and declaration specifiers to
+    // the nearest type identifier. Constructors/destructors have none.
+    {
+      std::size_t b = i;
+      while (b > 0) {
+        const Token& u = toks[b - 1];
+        if (is_punct(u, "*")) {
+          fn.ret_is_ptr = true;
+          --b;
+          continue;
+        }
+        if (is_punct(u, "&") || is_punct(u, "&&")) {
+          --b;
+          continue;
+        }
+        if (u.kind == TokKind::kIdent && is_decl_specifier(u.text)) {
+          --b;
+          continue;
+        }
+        if (u.kind == TokKind::kIdent) fn.ret_type = u.text;
+        break;
+      }
+    }
+
     i = parse_body(j, &fn);
-    out.push_back(std::move(fn));
+    out.functions.push_back(std::move(fn));
   }
   return out;
+}
+
+std::vector<FunctionInfo> extract_functions(const std::vector<Token>& toks) {
+  return extract_facts(toks).functions;
 }
 
 // --- rule configuration ------------------------------------------------------
@@ -460,7 +708,26 @@ std::optional<RuleConfig> parse_rules(const std::string& text,
     else if (key == "r3.allow") append(cfg.r3_allow);
     else if (key == "r4.banned") append(cfg.r4_banned);
     else if (key == "r4.exempt") append(cfg.r4_exempt);
-    else return fail("unknown key '" + key + "'");
+    else if (key == "r5.seed") {
+      for (const auto& v : vals) {
+        const auto parts = split_on(v, ':');
+        if (parts.size() != 2 || parts[0].empty() || parts[1].empty())
+          return fail("r5.seed wants file:function, got '" + v + "'");
+        cfg.r5_seeds.push_back({parts[0], parts[1]});
+      }
+    } else if (key == "r5.sink") append(cfg.r5_sinks);
+    else if (key == "r6.mint") append(cfg.r6_mints);
+    else if (key == "r6.source") append(cfg.r6_sources);
+    else if (key == "r6.allow") append(cfg.r6_allow);
+    else if (key == "r7.type") append(cfg.r7_types);
+    else if (key == "r7.allow") append(cfg.r7_allow);
+    else if (key == "cg.edge") {
+      if (vals.size() != 2)
+        return fail("cg.edge wants exactly: caller-qname callee-qname");
+      cfg.cg_edges.push_back({vals[0], vals[1]});
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
   }
   return cfg;
 }
@@ -477,18 +744,9 @@ std::optional<RuleConfig> load_rules_file(const std::string& path,
   return parse_rules(buf.str(), error);
 }
 
-// --- analysis ----------------------------------------------------------------
+// --- per-file analysis -------------------------------------------------------
 
 namespace {
-
-// Assignment operators: any of these directly after the guarded field means
-// the code writes it without going through the approved API.
-const std::set<std::string>& assign_ops() {
-  static const std::set<std::string> ops = {"=",  "+=", "-=",  "*=",  "/=",
-                                            "%=", "&=", "|=",  "^=",  "<<=",
-                                            ">>=", "++", "--"};
-  return ops;
-}
 
 bool calls_one_of(const FunctionInfo& fn,
                   const std::vector<std::string>& wanted) {
@@ -512,27 +770,15 @@ bool in_list(const std::string& s, const std::vector<std::string>& v) {
 
 // R2 function match: exact unqualified or qualified-suffix.
 bool function_matches(const FunctionInfo& fn, const std::string& want) {
-  if (fn.name == want || fn.qualified_name == want) return true;
-  const std::string suffix = "::" + want;
-  return fn.qualified_name.size() > suffix.size() &&
-         fn.qualified_name.compare(fn.qualified_name.size() - suffix.size(),
-                                   suffix.size(), suffix) == 0;
+  return fn.name == want || qname_matches(fn.qualified_name, want);
 }
 
 }  // namespace
 
-std::vector<Finding> analyze_file(const std::string& path,
-                                  const std::string& source,
-                                  const RuleConfig& cfg) {
+std::vector<Finding> run_file_rules(const FileIR& ir, const RuleConfig& cfg) {
   std::vector<Finding> findings;
-  const std::vector<Token> toks = tokenize(source);
-
-  const bool needs_functions =
-      (matches_any(path, cfg.r1_files) && !matches_any(path, cfg.r1_allow)) ||
-      std::any_of(cfg.r2_points.begin(), cfg.r2_points.end(),
-                  [&](const auto& p) { return path_matches(path, p.file); });
-  std::vector<FunctionInfo> fns;
-  if (needs_functions) fns = extract_functions(toks);
+  const std::string& path = ir.path;
+  const std::vector<FunctionInfo>& fns = ir.functions;
 
   // R1: IPC interposition completeness.
   if (matches_any(path, cfg.r1_files) && !matches_any(path, cfg.r1_allow)) {
@@ -542,19 +788,21 @@ std::vector<Finding> analyze_file(const std::string& path,
         findings.push_back(
             {path, fn.line, "R1",
              "send interposition point '" + fn.qualified_name +
-                 "' never calls any of: " + join(cfg.r1_send_via, ", ")});
+                 "' never calls any of: " + join(cfg.r1_send_via, ", "),
+             fn.qualified_name});
       }
       if (in_list(fn.name, cfg.r1_recv_fns) &&
           !calls_one_of(fn, cfg.r1_recv_via)) {
         findings.push_back(
             {path, fn.line, "R1",
              "receive interposition point '" + fn.qualified_name +
-                 "' never calls any of: " + join(cfg.r1_recv_via, ", ")});
+                 "' never calls any of: " + join(cfg.r1_recv_via, ", "),
+             fn.qualified_name});
       }
     }
   }
 
-  // R2: named mediation points must reach the permission monitor.
+  // R2: direct-call anchors must keep their call edge.
   if (!matches_any(path, cfg.r2_allow)) {
     for (const auto& point : cfg.r2_points) {
       if (!path_matches(path, point.file)) continue;
@@ -566,107 +814,87 @@ std::vector<Finding> analyze_file(const std::string& path,
         findings.push_back(
             {path, 1, "R2",
              "mediation point '" + point.function +
-                 "' not found (renamed away? update overhaul_lint.rules)"});
+                 "' not found (renamed away? update overhaul_lint.rules)",
+             point.function});
       } else if (!calls_one_of(*it, point.calls)) {
         findings.push_back(
             {path, it->line, "R2",
              "'" + it->qualified_name +
                  "' serves a mediated resource but never calls any of: " +
-                 join(point.calls, ", ")});
+                 join(point.calls, ", "),
+             it->qualified_name});
       }
     }
   }
 
   // R3: guarded-field writes outside the approved API files.
   if (!cfg.r3_fields.empty() && !matches_any(path, cfg.r3_allow)) {
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != TokKind::kIdent ||
-          !in_list(toks[i].text, cfg.r3_fields))
-        continue;
-      const Token& next = toks[i + 1];
-      if (next.kind == TokKind::kPunct && assign_ops().count(next.text) > 0) {
-        findings.push_back(
-            {path, toks[i].line, "R3",
-             "raw write to '" + toks[i].text +
-                 "' — use adopt_interaction()/clear_interaction() or the "
-                 "fork-copy path"});
-      }
+    for (const auto& w : ir.guarded_writes) {
+      findings.push_back(
+          {path, w.line, "R3",
+           "raw write to '" + w.text +
+               "' — use adopt_interaction()/clear_interaction() or the "
+               "fork-copy path",
+           w.text});
     }
   }
 
   // R4: banned raw clock/time primitives.
   if (!cfg.r4_banned.empty() && !matches_any(path, cfg.r4_exempt)) {
-    for (const auto& tok : toks) {
-      if (tok.kind == TokKind::kIdent && in_list(tok.text, cfg.r4_banned)) {
-        findings.push_back(
-            {path, tok.line, "R4",
-             "banned raw time primitive '" + tok.text +
-                 "' — all simulation time flows through sim::Clock"});
-      }
-    }
-  }
-
-  return findings;
-}
-
-std::vector<Finding> run_lint(const std::vector<std::string>& roots,
-                              const RuleConfig& cfg,
-                              std::size_t* files_scanned) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> files;
-  for (const auto& root : roots) {
-    std::error_code ec;
-    if (fs::is_regular_file(root, ec)) {
-      files.push_back(normalize_path(root));
-      continue;
-    }
-    for (fs::recursive_directory_iterator it(root, ec), end;
-         !ec && it != end; it.increment(ec)) {
-      if (!it->is_regular_file()) continue;
-      const std::string ext = it->path().extension().string();
-      if (ext == ".cpp" || ext == ".cc" || ext == ".h" || ext == ".hpp")
-        files.push_back(normalize_path(it->path().string()));
-    }
-  }
-  std::sort(files.begin(), files.end());
-  if (files_scanned != nullptr) *files_scanned = files.size();
-
-  std::vector<Finding> findings;
-  for (const auto& file : files) {
-    std::ifstream in(file);
-    if (!in) {
-      findings.push_back({file, 0, "io", "cannot read file"});
-      continue;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    auto fs_findings = analyze_file(file, buf.str(), cfg);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(fs_findings.begin()),
-                    std::make_move_iterator(fs_findings.end()));
-  }
-
-  // A mediation point whose file vanished from the scan set must not pass
-  // silently — deleting or renaming the file is exactly the regression R2
-  // exists to catch.
-  for (const auto& point : cfg.r2_points) {
-    const bool seen = std::any_of(files.begin(), files.end(), [&](const auto& f) {
-      return path_matches(f, point.file);
-    });
-    if (!seen) {
+    for (const auto& b : ir.banned_idents) {
       findings.push_back(
-          {point.file, 0, "R2",
-           "mediation file not found under scan roots (moved or deleted?)"});
+          {path, b.line, "R4",
+           "banned raw time primitive '" + b.text +
+               "' — all simulation time flows through sim::Clock",
+           b.text});
     }
   }
 
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
+  // R7: handle discipline — raw guarded-type pointers must not be stored in
+  // long-lived members or returned to callers outside the allowed owner
+  // (they go stale the moment ProcessTable::reap recycles the slot; holders
+  // must carry a generation-checked TaskHandle instead).
+  if (!cfg.r7_types.empty() && !matches_any(path, cfg.r7_allow)) {
+    for (const auto& field : ir.pointer_fields) {
+      if (!in_list(field.type, cfg.r7_types)) continue;
+      findings.push_back(
+          {path, field.line, "R7",
+           "raw " + field.type + "* member '" + field.name +
+               "' stored across a reap()-reachable region — hold a "
+               "generation-checked TaskHandle instead",
+           field.name});
+    }
+    for (const auto& fn : fns) {
+      if (!fn.ret_is_ptr || !in_list(fn.ret_type, cfg.r7_types)) continue;
+      findings.push_back(
+          {path, fn.line, "R7",
+           "'" + fn.qualified_name + "' returns a raw " + fn.ret_type +
+               "* — callers may hold it across reap(); return a "
+               "generation-checked TaskHandle",
+           fn.qualified_name});
+    }
+  }
+
   return findings;
 }
+
+std::vector<Finding> analyze_file(const std::string& path,
+                                  const std::string& source,
+                                  const RuleConfig& cfg) {
+  const FileIR ir = build_file_ir(path, source, cfg);
+  std::vector<Finding> findings = run_file_rules(ir, cfg);
+  // Honor the file's inline suppressions (hygiene findings about the
+  // suppressions themselves are a tree-level concern).
+  std::erase_if(findings, [&](const Finding& f) {
+    return std::any_of(ir.suppressions.begin(), ir.suppressions.end(),
+                       [&](const Suppression& s) {
+                         return s.rule == f.rule && !s.reason.empty() &&
+                                (s.line == f.line || s.line + 1 == f.line);
+                       });
+  });
+  return findings;
+}
+
+// run_lint lives in rules_flow.cpp (it wraps the whole-tree pipeline).
 
 }  // namespace overhaul::lint

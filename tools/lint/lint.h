@@ -4,30 +4,41 @@
 // open, display-resource request, and IPC send/receive must pass through the
 // permission monitor or the P1/P2 timestamp-propagation protocol (paper
 // §III-B–D, §IV-B). A single missed interposition point silently breaks the
-// model, so the build enforces four reference-monitor invariants over the
-// repo's own sources:
+// model, so the build enforces reference-monitor invariants over the repo's
+// own sources. Since PR 5 the analyzer is *inter-procedural*: per-file
+// parsing (this header: tokenizer + function extractor) feeds a whole-tree
+// intermediate representation (ir.h), a cross-file call graph (callgraph.h),
+// and flow rules (rules_flow.h) on top of the original per-file rules:
 //
 //   R1  ipc-stamp         every send/receive interposition point in the IPC
 //                         subsystem calls IpcObject::stamp_on_send /
 //                         propagate_on_recv (or an approved equivalent such
 //                         as PageFaultEngine::on_access).
-//   R2  mediated-access   named resource-acquisition functions (augmented
-//                         open(2), clipboard, screen capture) reach
-//                         PermissionMonitor::check/check_now before serving.
+//   R2  mediated-access   direct-call anchors: the named function must
+//                         *directly* call one of the named callees (used for
+//                         ordering-sensitive edges — obs hooks, coalescing
+//                         flush barriers — where adjacency is the invariant).
 //   R3  ts-write          TaskStruct::interaction_ts is only written through
 //                         the approved APIs (adopt_interaction,
 //                         clear_interaction, fork-copy) — never ad hoc.
 //   R4  raw-clock         no banned wall-clock/time primitives outside the
 //                         virtual-clock module (src/sim/).
+//   R5  mediation-reach   every seeded resource-acquisition entry point must
+//                         *transitively* reach a permission-monitor sink
+//                         through the call graph (rules_flow.h).
+//   R6  interaction-taint interaction-state mints may only be invoked from
+//                         functions reachable from the sanctioned hardware-
+//                         input sources (rules_flow.h).
+//   R7  handle-discipline no raw TaskStruct* stored in a long-lived member
+//                         or returned outside ProcessTable — holders must
+//                         use generation-checked TaskHandles.
 //
-// The analyzer is deliberately lightweight: a C++ tokenizer, a heuristic
-// function extractor (definition name + the set of calls in its body), and a
-// rule engine configured by a checked-in allowlist file
-// (tools/lint/overhaul_lint.rules). It is not a compiler; it is a tripwire
-// tuned to this codebase's idiom, registered as a tier-1 ctest check so a
-// refactor cannot drop a mediation call without the build going red.
+// The analyzer is still not a compiler; it is a tripwire tuned to this
+// codebase's idiom, registered as a tier-1 ctest check so a refactor cannot
+// drop a mediation call without the build going red.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,26 +57,79 @@ struct Token {
 
 // Comments, preprocessor directives, and literal *contents* never produce
 // identifier tokens, so a commented-out mediation call cannot satisfy a rule.
+// Handles raw string literals (including LR/uR/UR/u8R prefixes) so an
+// unbalanced brace or quote inside one cannot desynchronize the extractor.
 std::vector<Token> tokenize(const std::string& source);
 
 // --- function extraction -----------------------------------------------------
 
-struct FunctionInfo {
-  std::string qualified_name;  // e.g. "Pipe::write"
-  std::string name;            // unqualified: "write"
-  int line = 0;                // line of the definition's name token
-  std::vector<std::string> calls;  // unqualified callee names in the body
+// One call expression inside a function body. `qualifier` is the explicit
+// ::-qualification written at the call site ("IpcObject" for
+// IpcObject::stamp_on_send(x)); empty for unqualified/member calls.
+struct CallSite {
+  std::string name;
+  std::string qualifier;
+  int line = 0;
 };
 
+struct FunctionInfo {
+  std::string qualified_name;  // e.g. "Pipe::write"; in-class definitions are
+                               // prefixed with the enclosing class scope(s)
+  std::string name;            // unqualified: "write", "operator()"
+  int line = 0;                // line of the definition's name token
+  std::string ret_type;        // last identifier of the return type ("" if
+                               // not recoverable: constructors, auto, macros)
+  bool ret_is_ptr = false;     // '*' between return type and name
+  std::vector<std::string> calls;      // unqualified callee names (legacy)
+  std::vector<CallSite> call_sites;    // full call-site records
+};
+
+// A pointer-typed data member declared at class scope: `Type* name_;`.
+// The raw material for R7 (handle discipline).
+struct PointerField {
+  std::string type;  // last identifier of the pointee type
+  std::string name;
+  int line = 0;
+};
+
+struct FileFacts {
+  std::vector<FunctionInfo> functions;
+  std::vector<PointerField> pointer_fields;
+};
+
+// Heuristic extractor: definition name (class-scope aware), call set, return
+// type, and class-scope pointer fields. Hardened for template angle brackets
+// in signatures and qualified names, raw string literals, and operator().
+FileFacts extract_facts(const std::vector<Token>& tokens);
+
+// Legacy wrapper: functions only.
 std::vector<FunctionInfo> extract_functions(const std::vector<Token>& tokens);
+
+// True when `qname` equals `pattern` or ends with "::" + pattern. `pattern`
+// itself may be qualified ("PermissionMonitor::check").
+bool qname_matches(const std::string& qname, const std::string& pattern);
 
 // --- rule configuration ------------------------------------------------------
 
-// R2 entry: `function` in `file` must call one of `calls`.
+// R2 entry: `function` in `file` must directly call one of `calls`.
 struct MediationPoint {
   std::string file;
   std::string function;
   std::vector<std::string> calls;
+};
+
+// R5 entry: `function` in `file` must transitively reach an r5.sink.
+struct SeedPoint {
+  std::string file;
+  std::string function;
+};
+
+// Declared indirect call edge (function-pointer / installed-handler
+// indirection the token-level graph cannot see). Both ends are qualified-name
+// suffixes; every matching (caller, callee) definition pair gets an edge.
+struct ExtraEdge {
+  std::string caller;
+  std::string callee;
 };
 
 struct RuleConfig {
@@ -88,6 +152,22 @@ struct RuleConfig {
   // R4
   std::vector<std::string> r4_banned;  // banned identifiers
   std::vector<std::string> r4_exempt;  // paths allowed to use them
+
+  // R5 — mediation reachability (inter-procedural).
+  std::vector<SeedPoint> r5_seeds;
+  std::vector<std::string> r5_sinks;  // qname suffixes or bare callee names
+
+  // R6 — interaction-state taint (inter-procedural).
+  std::vector<std::string> r6_mints;    // bare callee names that mint state
+  std::vector<std::string> r6_sources;  // qname suffixes of sanctioned roots
+  std::vector<std::string> r6_allow;    // qname suffixes or path entries
+
+  // R7 — handle discipline.
+  std::vector<std::string> r7_types;  // guarded pointee types ("TaskStruct")
+  std::vector<std::string> r7_allow;  // paths allowed to traffic raw pointers
+
+  // Declared call-graph edges for handler/function-pointer indirection.
+  std::vector<ExtraEdge> cg_edges;
 };
 
 // Parses the rules file. Returns std::nullopt and sets `error` on malformed
@@ -102,8 +182,10 @@ std::optional<RuleConfig> load_rules_file(const std::string& path,
 struct Finding {
   std::string file;
   int line = 0;
-  std::string rule;  // "R1".."R4"
+  std::string rule;  // "R1".."R7", "io", "sup" (suppression/baseline hygiene)
   std::string message;
+  std::string symbol;  // qualified function / field / identifier — the
+                       // baseline key, stable across line drift
 };
 
 // True when `path` matches a config path entry. Entries ending in '/' are
@@ -111,15 +193,18 @@ struct Finding {
 // rules written as repo-relative paths work for absolute invocations too.
 bool path_matches(const std::string& path, const std::string& entry);
 
-// Runs all rules over one in-memory file.
+// Runs the per-file rules (R1–R4, R7) over one in-memory file, honoring that
+// file's inline suppressions. Inter-procedural rules (R5/R6) need the whole
+// tree — see rules_flow.h.
 std::vector<Finding> analyze_file(const std::string& path,
                                   const std::string& source,
                                   const RuleConfig& config);
 
-// Scans `roots` recursively for C++ sources (.cpp/.cc/.h/.hpp), analyzes each,
-// and appends an R2 finding for any mediation point whose file was never seen
-// (a renamed/deleted anchor must not pass silently). `files_scanned`, when
-// non-null, receives the number of files analyzed.
+// Scans `roots` recursively for C++ sources (.cpp/.cc/.h/.hpp), analyzes the
+// whole tree (per-file and inter-procedural rules), and appends findings for
+// any R2/R5 anchor whose file was never seen (a renamed/deleted anchor must
+// not pass silently). `files_scanned`, when non-null, receives the number of
+// files analyzed. Convenience wrapper over rules_flow.h's run_tree.
 std::vector<Finding> run_lint(const std::vector<std::string>& roots,
                               const RuleConfig& config,
                               std::size_t* files_scanned = nullptr);

@@ -1,61 +1,178 @@
-// overhaul-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/config error.
+// overhaul-lint CLI.
 //
-//   overhaul-lint --root src [--root more/src] --rules tools/lint/overhaul_lint.rules
+// Exit codes: 0 = clean, 1 = findings (or a missing --explain witness),
+// 2 = usage/configuration error.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "ir.h"
 #include "lint.h"
+#include "rules_flow.h"
+#include "sarif.h"
 
 namespace {
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --root <dir|file> [--root ...] --rules <file> "
-               "[--quiet]\n",
-               argv0);
-  return 2;
+constexpr const char* kVersion = "5.0";
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: overhaul-lint --root DIR [--root DIR ...] --rules FILE\n"
+      "                     [--baseline FILE] [--cache FILE] [--sarif OUT]\n"
+      "                     [--explain RULE[:FUNCTION]] [--stats] [--quiet]\n"
+      "\n"
+      "Mediation-completeness analyzer for the Overhaul tree. Scans the\n"
+      "roots for C++ sources, builds a whole-tree call graph, and enforces\n"
+      "rules R1-R7 from the rules file.\n"
+      "\n"
+      "  --baseline FILE  vetted findings (rule file symbol reason); stale\n"
+      "                   entries are themselves findings\n"
+      "  --cache FILE     incremental IR cache (keyed by content + rules\n"
+      "                   hash); safe to delete at any time\n"
+      "  --sarif OUT      also write findings as SARIF 2.1.0 JSON\n"
+      "  --explain SPEC   print witness call chains instead of linting:\n"
+      "                   R5 (all seeds), R5:<function>, R6:<function>\n"
+      "  --stats          print file/function/edge/cache counters\n"
+      "  --quiet          suppress per-finding lines (exit code only)\n");
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace overhaul::lint;
+
   std::vector<std::string> roots;
-  std::string rules_path;
-  bool quiet = false;
+  std::string rules_path, baseline_path, cache_path, sarif_path, explain_spec;
+  bool quiet = false, stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      roots.emplace_back(argv[++i]);
-    } else if (arg == "--rules" && i + 1 < argc) {
-      rules_path = argv[++i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "overhaul-lint: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return 2;
+      roots.push_back(v);
+    } else if (arg == "--rules") {
+      const char* v = value("--rules");
+      if (v == nullptr) return 2;
+      rules_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = value("--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = v;
+    } else if (arg == "--cache") {
+      const char* v = value("--cache");
+      if (v == nullptr) return 2;
+      cache_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = value("--sarif");
+      if (v == nullptr) return 2;
+      sarif_path = v;
+    } else if (arg == "--explain") {
+      const char* v = value("--explain");
+      if (v == nullptr) return 2;
+      explain_spec = v;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
     } else {
-      return usage(argv[0]);
+      std::fprintf(stderr, "overhaul-lint: unknown argument '%s'\n",
+                   arg.c_str());
+      usage(stderr);
+      return 2;
     }
   }
-  if (roots.empty() || rules_path.empty()) return usage(argv[0]);
+  if (roots.empty() || rules_path.empty()) {
+    usage(stderr);
+    return 2;
+  }
 
+  std::string rules_text;
+  if (!read_file(rules_path, &rules_text)) {
+    std::fprintf(stderr, "overhaul-lint: cannot open rules file: %s\n",
+                 rules_path.c_str());
+    return 2;
+  }
   std::string error;
-  const auto config = overhaul::lint::load_rules_file(rules_path, &error);
+  const auto config = parse_rules(rules_text, &error);
   if (!config.has_value()) {
     std::fprintf(stderr, "overhaul-lint: %s\n", error.c_str());
     return 2;
   }
 
-  std::size_t files_scanned = 0;
-  const auto findings =
-      overhaul::lint::run_lint(roots, *config, &files_scanned);
-  for (const auto& f : findings) {
-    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
+  TreeOptions opts;
+  opts.roots = roots;
+  opts.config = *config;
+  // Cache key covers the rules text and the tool version (an analyzer change
+  // may change what the IR records).
+  opts.rules_hash = fnv1a64(std::string(kVersion) + "\n" + rules_text);
+  opts.cache_path = cache_path;
+  if (!baseline_path.empty()) {
+    const auto baseline = load_baseline_file(baseline_path, &error);
+    if (!baseline.has_value()) {
+      std::fprintf(stderr, "overhaul-lint: %s\n", error.c_str());
+      return 2;
+    }
+    opts.baseline = *baseline;
   }
+
+  const TreeResult result = run_tree(opts);
+
+  if (!explain_spec.empty()) {
+    const ExplainOutcome out = explain(result.program, *config, explain_spec);
+    std::fputs(out.text.c_str(), stdout);
+    return out.exit_code;
+  }
+
   if (!quiet) {
+    for (const Finding& f : result.findings)
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+  }
+  if (stats) {
+    std::printf(
+        "overhaul-lint: %zu files (%zu reparsed), %zu functions, %zu call "
+        "edges, %zu findings (%zu suppressed, %zu baselined)\n",
+        result.stats.files, result.stats.reparsed, result.stats.functions,
+        result.stats.call_edges, result.findings.size(),
+        result.stats.suppressed, result.stats.baselined);
+  } else if (!quiet) {
     std::fprintf(stderr,
                  "overhaul-lint: %zu finding(s) in %zu file(s) scanned\n",
-                 findings.size(), files_scanned);
+                 result.findings.size(), result.stats.files);
   }
-  return findings.empty() ? 0 : 1;
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "overhaul-lint: cannot write SARIF to %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << to_sarif(result.findings, kVersion) << "\n";
+  }
+
+  return result.findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,20 @@
+// SARIF 2.1.0 serialization of lint findings, for CI upload and editor
+// ingestion. Kept dependency-free (its own minimal JSON escaping) so the lint
+// library stays standalone; tools/check.sh round-trips the output through the
+// strict obs::json validator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace overhaul::lint {
+
+// One self-contained SARIF 2.1.0 log: a single run, one result per finding
+// (level "error"), rule metadata for R1–R7 plus the io/sup hygiene rules.
+// `tool_version` lands in tool.driver.version.
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::string& tool_version);
+
+}  // namespace overhaul::lint
