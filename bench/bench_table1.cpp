@@ -71,18 +71,27 @@ double time_seconds(const std::function<void()>& fn) {
   return std::chrono::duration<double>(end - start).count();
 }
 
+// Untimed in-instance warmup: each workload runs a slice of its own loop
+// before the timed section so the freshly constructed system (cold maps,
+// unfaulted heap, empty event queues) is not charged to whichever column
+// happens to run first. Without this the Clipboard / Screen Capture rows
+// can report *negative* overhead purely from construction-order luck.
+int warmup_iters(int total) { return std::max(1, total / 100); }
+
 // --- workloads ---------------------------------------------------------------
 
 double run_device_access(bool enabled) {
   core::OverhaulSystem sys(bench_config(enabled));
   auto app = sys.launch_gui_app("/usr/bin/bench", "bench").value();
   auto& k = sys.kernel();
+  const auto open_close = [&] {
+    auto fd = k.sys_open(app.pid, core::OverhaulSystem::mic_path(),
+                         kern::OpenFlags::kRead);
+    (void)k.sys_close(app.pid, fd.value());
+  };
+  for (int i = 0; i < warmup_iters(kDeviceOpens); ++i) open_close();
   return time_seconds([&] {
-    for (int i = 0; i < kDeviceOpens; ++i) {
-      auto fd = k.sys_open(app.pid, core::OverhaulSystem::mic_path(),
-                           kern::OpenFlags::kRead);
-      (void)k.sys_close(app.pid, fd.value());
-    }
+    for (int i = 0; i < kDeviceOpens; ++i) open_close();
   });
 }
 
@@ -103,17 +112,19 @@ double run_clipboard(bool enabled) {
                             {"text/plain"})
              .is_ok())
       return -1;
-    return time_seconds([&] {
-      for (int i = 0; i < kPastes; ++i) {
-        (void)data.request_receive(dst.client, "text/plain");
-        wl::WlConnection* owner = comp.connection(src.client);
-        while (owner->has_events()) {
-          const wl::WlEvent ev = owner->next_event();
-          if (ev.type != wl::WlEventType::kDataSendRequest) continue;
-          (void)data.source_send(src.client, ev.mime, payload_wl);
-        }
-        (void)data.take_received(dst.client, "text/plain");
+    const auto paste_once = [&] {
+      (void)data.request_receive(dst.client, "text/plain");
+      wl::WlConnection* owner = comp.connection(src.client);
+      while (owner->has_events()) {
+        const wl::WlEvent ev = owner->next_event();
+        if (ev.type != wl::WlEventType::kDataSendRequest) continue;
+        (void)data.source_send(src.client, ev.mime, payload_wl);
       }
+      (void)data.take_received(dst.client, "text/plain");
+    };
+    for (int i = 0; i < warmup_iters(kPastes); ++i) paste_once();
+    return time_seconds([&] {
+      for (int i = 0; i < kPastes; ++i) paste_once();
     });
   }
   auto& x = sys.xserver();
@@ -122,26 +133,28 @@ double run_clipboard(bool enabled) {
   if (!sel.set_selection_owner(src.client, "CLIPBOARD", src.window).is_ok())
     return -1;
   const std::string payload(kClipboardPayload, 'x');
-  return time_seconds([&] {
-    for (int i = 0; i < kPastes; ++i) {
-      (void)sel.convert_selection(dst.client, "CLIPBOARD", dst.window, "P");
-      // Owner answers the SelectionRequest.
-      x11::XClient* owner = x.client(src.client);
-      while (owner->has_events()) {
-        const x11::XEvent ev = owner->next_event();
-        if (ev.type != x11::EventType::kSelectionRequest) continue;
-        (void)sel.change_property(src.client, ev.requestor, ev.property,
-                                  payload);
-        x11::XEvent notify;
-        notify.type = x11::EventType::kSelectionNotify;
-        notify.selection = ev.selection;
-        notify.property = ev.property;
-        (void)x.send_event(src.client, ev.requestor, notify);
-      }
-      x.client(dst.client)->drain();
-      (void)sel.get_property(dst.client, dst.window, "P");
-      (void)sel.delete_property(dst.client, dst.window, "P");
+  const auto paste_once = [&] {
+    (void)sel.convert_selection(dst.client, "CLIPBOARD", dst.window, "P");
+    // Owner answers the SelectionRequest.
+    x11::XClient* owner = x.client(src.client);
+    while (owner->has_events()) {
+      const x11::XEvent ev = owner->next_event();
+      if (ev.type != x11::EventType::kSelectionRequest) continue;
+      (void)sel.change_property(src.client, ev.requestor, ev.property,
+                                payload);
+      x11::XEvent notify;
+      notify.type = x11::EventType::kSelectionNotify;
+      notify.selection = ev.selection;
+      notify.property = ev.property;
+      (void)x.send_event(src.client, ev.requestor, notify);
     }
+    x.client(dst.client)->drain();
+    (void)sel.get_property(dst.client, dst.window, "P");
+    (void)sel.delete_property(dst.client, dst.window, "P");
+  };
+  for (int i = 0; i < warmup_iters(kPastes); ++i) paste_once();
+  return time_seconds([&] {
+    for (int i = 0; i < kPastes; ++i) paste_once();
   });
 }
 
@@ -150,19 +163,23 @@ double run_screen_capture(bool enabled) {
   auto app = sys.launch_gui_app("/usr/bin/shot", "shot").value();
   if (g_backend == core::DisplayBackendKind::kWayland) {
     auto& shot = sys.compositor().screencopy();
+    const auto capture_once = [&] {
+      auto img = shot.capture_output(app.client);
+      benchmarkish_sink = benchmarkish_sink + img.value().pixels[0];
+    };
+    for (int i = 0; i < warmup_iters(kCaptures); ++i) capture_once();
     return time_seconds([&] {
-      for (int i = 0; i < kCaptures; ++i) {
-        auto img = shot.capture_output(app.client);
-        benchmarkish_sink = benchmarkish_sink + img.value().pixels[0];
-      }
+      for (int i = 0; i < kCaptures; ++i) capture_once();
     });
   }
   auto& screen = sys.xserver().screen();
+  const auto capture_once = [&] {
+    auto img = screen.get_image(app.client, x11::kRootWindow);
+    benchmarkish_sink = benchmarkish_sink + img.value().pixels[0];
+  };
+  for (int i = 0; i < warmup_iters(kCaptures); ++i) capture_once();
   return time_seconds([&] {
-    for (int i = 0; i < kCaptures; ++i) {
-      auto img = screen.get_image(app.client, x11::kRootWindow);
-      benchmarkish_sink = benchmarkish_sink + img.value().pixels[0];
-    }
+    for (int i = 0; i < kCaptures; ++i) capture_once();
   });
 }
 
@@ -270,11 +287,19 @@ struct Agg {
     over = std::min(over, o);
     ratios.push_back(o / b);
   }
-  [[nodiscard]] double overhead_pct() const {
+  [[nodiscard]] double ratio_median() const {
     std::vector<double> r = ratios;
     std::sort(r.begin(), r.end());
-    const double median = r[r.size() / 2];
-    return (median - 1.0) * 100.0;
+    return r[r.size() / 2];
+  }
+  [[nodiscard]] double ratio_min() const {
+    return *std::min_element(ratios.begin(), ratios.end());
+  }
+  [[nodiscard]] double ratio_max() const {
+    return *std::max_element(ratios.begin(), ratios.end());
+  }
+  [[nodiscard]] double overhead_pct() const {
+    return (ratio_median() - 1.0) * 100.0;
   }
 };
 
@@ -293,6 +318,13 @@ std::string row_json(const char* name, const Agg& agg, double ops) {
   j += ",\"baseline_ns_per_op\":" + JsonReport::number(agg.base / ops * 1e9);
   j += ",\"overhaul_ns_per_op\":" + JsonReport::number(agg.over / ops * 1e9);
   j += ",\"overhead_pct\":" + JsonReport::number(agg.overhead_pct());
+  // Honesty fields: how many repetitions back the median, and the full
+  // ratio spread — a row whose [min,max] straddles 1.0 is a noise-floor
+  // reading, not a measured overhead, and downstream tooling can tell.
+  j += ",\"n\":" + JsonReport::number(static_cast<double>(agg.ratios.size()));
+  j += ",\"ratio_median\":" + JsonReport::number(agg.ratio_median());
+  j += ",\"ratio_min\":" + JsonReport::number(agg.ratio_min());
+  j += ",\"ratio_max\":" + JsonReport::number(agg.ratio_max());
   j += "}";
   return j;
 }

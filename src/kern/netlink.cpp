@@ -223,6 +223,13 @@ void NetlinkHub::request_alert(const AlertRequest& alert) {
 
 void NetlinkHub::flush_coalesced() {
   if (pending_coalesced_ == 0) return;
+  // Prune dead peers before flushing: a buffered notification whose subject
+  // has already exited must be discarded, never delivered — otherwise the
+  // monitor could correlate a decision with input credited to a pid that no
+  // longer exists (or worse, to its recycled successor). Ordering matters:
+  // the prune runs on the barrier path itself, so no interleaving can slip
+  // a dead peer's buffer into the delivery loop below.
+  drop_dead_channels();
   for (NetlinkChannel* ch : channels_) {
     if (ch->has_pending_) (void)ch->flush_interactions();
   }

@@ -40,6 +40,7 @@
 #include "kern/vfs.h"
 #include "obs/obs.h"
 #include "sim/clock.h"
+#include "util/annotations.h"
 #include "util/audit_log.h"
 #include "util/status.h"
 
@@ -185,19 +186,25 @@ class NetlinkChannel {
   void discard_pending() noexcept;
 
   NetlinkHub& hub_;
-  Pid peer_;
-  TaskHandle peer_handle_;
-  NetlinkRole role_;
-  std::function<void(const AlertRequest&)> alert_fn_;
-  Stats stats_;
+  OVERHAUL_SHARD_LOCAL Pid peer_;
+  OVERHAUL_SHARD_LOCAL TaskHandle peer_handle_;
+  OVERHAUL_SHARD_LOCAL NetlinkRole role_;
+  OVERHAUL_SHARD_LOCAL std::function<void(const AlertRequest&)> alert_fn_;
+  OVERHAUL_SHARD_LOCAL Stats stats_;
 
-  CoalesceConfig coalesce_;
-  bool has_pending_ = false;
-  InteractionNotification pending_;
+  OVERHAUL_SHARD_LOCAL CoalesceConfig coalesce_;
+  // The coalescing buffer is the one piece of channel state mutated from
+  // outside the owner's send path (the hub's flush barrier and dead-peer
+  // pruning reach it), so writes are confined to the send_interaction
+  // call tree — everything else must go through the flush/discard members
+  // that tree contains.
+  OVERHAUL_SHARED(send_interaction) bool has_pending_ = false;
+  OVERHAUL_SHARED(send_interaction) InteractionNotification pending_;
+  OVERHAUL_SHARED(send_interaction)
   sim::Timestamp last_delivery_ = sim::Timestamp::never();
   // Merges not yet added to the hub's netlink.coalesce.merged counter;
   // published (one batched add) whenever the pending buffer resolves.
-  std::uint64_t unpublished_merges_ = 0;
+  OVERHAUL_SHARED(send_interaction) std::uint64_t unpublished_merges_ = 0;
 };
 
 // Kernel-side multiplexer. The Kernel facade installs the message handlers;
@@ -274,28 +281,33 @@ class NetlinkHub {
 
   ProcessTable& processes_;
   Vfs& vfs_;
-  std::map<std::string, NetlinkRole> authorized_;
+  OVERHAUL_SHARD_LOCAL std::map<std::string, NetlinkRole> authorized_;
   // Raw pointers: registration in connect(), removal in ~NetlinkChannel or
-  // drop_dead_channels(), whichever comes first.
+  // drop_dead_channels(), whichever comes first. The registry is the rendez-
+  // vous point between channel owners and the kernel, so mutation is pinned
+  // to exactly those three members.
+  OVERHAUL_SHARED(connect|unregister|drop_dead_channels)
   std::vector<NetlinkChannel*> channels_;
-  CoalesceConfig coalesce_;
+  OVERHAUL_SHARD_LOCAL CoalesceConfig coalesce_;
+  // Written from the channel side of the seam (buffer start / resolve).
+  OVERHAUL_SHARED(NetlinkChannel::coalesce_interaction|NetlinkChannel::discard_pending)
   std::size_t pending_coalesced_ = 0;
 
-  obs::Counter* c_connects_ = nullptr;
-  obs::Counter* c_auth_failures_ = nullptr;
-  obs::Counter* c_broken_rejects_ = nullptr;
-  obs::Counter* c_interactions_ = nullptr;
-  obs::Counter* c_acg_grants_ = nullptr;
-  obs::Counter* c_queries_ = nullptr;
-  obs::Counter* c_device_updates_ = nullptr;
-  obs::Counter* c_alerts_ = nullptr;
-  obs::Counter* c_coalesce_merged_ = nullptr;
-  obs::Counter* c_coalesce_flushed_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_connects_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_auth_failures_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_broken_rejects_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_interactions_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_acg_grants_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_queries_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_device_updates_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_alerts_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_coalesce_merged_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_coalesce_flushed_ = nullptr;
 
-  InteractionHandler on_interaction_;
-  AcgGrantHandler on_acg_grant_;
-  QueryHandler on_query_;
-  DeviceUpdateHandler on_device_update_;
+  OVERHAUL_SHARD_LOCAL InteractionHandler on_interaction_;
+  OVERHAUL_SHARD_LOCAL AcgGrantHandler on_acg_grant_;
+  OVERHAUL_SHARD_LOCAL QueryHandler on_query_;
+  OVERHAUL_SHARD_LOCAL DeviceUpdateHandler on_device_update_;
 };
 
 }  // namespace overhaul::kern

@@ -16,6 +16,7 @@
 #include "kern/process_table.h"
 #include "obs/obs.h"
 #include "sim/clock.h"
+#include "util/annotations.h"
 #include "util/audit_log.h"
 
 namespace overhaul::kern {
@@ -146,25 +147,27 @@ class PermissionMonitor {
   sim::Clock& clock_;
   util::AuditLog& audit_;
 
-  MonitorMode mode_ = MonitorMode::kEnforce;
-  GrantPolicy policy_ = GrantPolicy::kInputDriven;
-  sim::Duration delta_ = sim::Duration::seconds(2);
-  bool ptrace_protect_ = true;
-  bool audit_enabled_ = true;
+  // The monitor is per-shard state in the parallel sim (one monitor per
+  // kernel instance); nothing here is touched across shards.
+  OVERHAUL_SHARD_LOCAL MonitorMode mode_ = MonitorMode::kEnforce;
+  OVERHAUL_SHARD_LOCAL GrantPolicy policy_ = GrantPolicy::kInputDriven;
+  OVERHAUL_SHARD_LOCAL sim::Duration delta_ = sim::Duration::seconds(2);
+  OVERHAUL_SHARD_LOCAL bool ptrace_protect_ = true;
+  OVERHAUL_SHARD_LOCAL bool audit_enabled_ = true;
 
-  AlertRequestFn alert_fn_;
-  PromptFn prompt_fn_;
-  FlushFn flush_fn_;
-  Stats stats_;
+  OVERHAUL_SHARD_LOCAL AlertRequestFn alert_fn_;
+  OVERHAUL_SHARD_LOCAL PromptFn prompt_fn_;
+  OVERHAUL_SHARD_LOCAL FlushFn flush_fn_;
+  OVERHAUL_SHARD_LOCAL Stats stats_;
 
-  obs::Observability* obs_ = nullptr;
-  obs::Counter* c_granted_ = nullptr;
-  obs::Counter* c_denied_ = nullptr;
-  obs::Counter* c_ptrace_denied_ = nullptr;
-  obs::Counter* c_prompted_ = nullptr;
-  obs::Counter* c_notifications_ = nullptr;
-  obs::Counter* c_queries_ = nullptr;
-  util::Histogram* h_grant_age_ms_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Observability* obs_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_granted_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_denied_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_ptrace_denied_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_prompted_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_notifications_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_queries_ = nullptr;
+  OVERHAUL_SHARD_LOCAL util::Histogram* h_grant_age_ms_ = nullptr;
 };
 
 }  // namespace overhaul::kern

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "kern/task.h"
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace overhaul::kern {
@@ -140,15 +141,18 @@ class ProcessTable {
   // fresh zero-state task with pid/tgid set.
   TaskStruct& allocate_task(Pid pid);
 
-  std::vector<std::unique_ptr<Chunk>> chunks_;
-  std::vector<std::int32_t> free_slots_;
-  std::vector<std::int32_t> pid_to_slot_;
-  std::size_t slot_count_ = 0;  // slots ever allocated (high-water mark)
+  // Shard-local by construction: in the parallel sim every shard owns one
+  // table; nothing crosses shard boundaries (DESIGN.md §13).
+  OVERHAUL_SHARD_LOCAL std::vector<std::unique_ptr<Chunk>> chunks_;
+  OVERHAUL_SHARD_LOCAL std::vector<std::int32_t> free_slots_;
+  OVERHAUL_SHARD_LOCAL std::vector<std::int32_t> pid_to_slot_;
+  // Slots ever allocated (high-water mark).
+  OVERHAUL_SHARD_LOCAL std::size_t slot_count_ = 0;
 
-  Pid pid_max_;
-  Pid next_pid_ = 1;
-  Pid last_pid_ = 0;
-  std::size_t live_count_ = 0;
+  OVERHAUL_SHARD_LOCAL Pid pid_max_;
+  OVERHAUL_SHARD_LOCAL Pid next_pid_ = 1;
+  OVERHAUL_SHARD_LOCAL Pid last_pid_ = 0;
+  OVERHAUL_SHARD_LOCAL std::size_t live_count_ = 0;
 };
 
 }  // namespace overhaul::kern

@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "util/annotations.h"
 #include "util/histogram.h"
 
 namespace overhaul::obs {
@@ -110,9 +111,13 @@ class MetricsRegistry {
   }
 
  private:
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<util::Histogram>> histograms_;
+  // The registry maps mutate only at registration time (single-threaded
+  // boot); the instruments themselves are relaxed atomics, so concurrent
+  // updates through resolved handles never touch these members.
+  OVERHAUL_SHARD_LOCAL std::map<std::string, std::unique_ptr<Counter>> counters_;
+  OVERHAUL_SHARD_LOCAL std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  OVERHAUL_SHARD_LOCAL std::map<std::string, std::unique_ptr<util::Histogram>>
+      histograms_;
 };
 
 }  // namespace overhaul::obs

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/clock.h"
+#include "util/annotations.h"
 
 namespace overhaul::obs {
 
@@ -116,11 +117,11 @@ class Tracer {
   void push(TraceEvent event);
 
   sim::Clock& clock_;
-  std::size_t capacity_;
-  bool enabled_ = true;
-  std::deque<TraceEvent> events_;
-  std::uint64_t emitted_ = 0;
-  std::uint64_t dropped_ = 0;
+  OVERHAUL_SHARD_LOCAL std::size_t capacity_;
+  OVERHAUL_SHARD_LOCAL bool enabled_ = true;
+  OVERHAUL_SHARD_LOCAL std::deque<TraceEvent> events_;
+  OVERHAUL_SHARD_LOCAL std::uint64_t emitted_ = 0;
+  OVERHAUL_SHARD_LOCAL std::uint64_t dropped_ = 0;
 };
 
 }  // namespace overhaul::obs

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/clock.h"
+#include "util/annotations.h"
 
 namespace overhaul::sim {
 
@@ -74,12 +75,15 @@ class Scheduler {
   }
 
   Clock& clock_;
-  std::function<void(std::size_t)> depth_observer_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<EventId> cancelled_;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::size_t live_count_ = 0;
+  // One scheduler per shard in the parallel sim; determinism rests on the
+  // (when, seq) total order, which is per-queue state.
+  OVERHAUL_SHARD_LOCAL std::function<void(std::size_t)> depth_observer_;
+  OVERHAUL_SHARD_LOCAL std::priority_queue<Event, std::vector<Event>, Later>
+      queue_;
+  OVERHAUL_SHARD_LOCAL std::vector<EventId> cancelled_;
+  OVERHAUL_SHARD_LOCAL std::uint64_t next_seq_ = 0;
+  OVERHAUL_SHARD_LOCAL EventId next_id_ = 1;
+  OVERHAUL_SHARD_LOCAL std::size_t live_count_ = 0;
 };
 
 }  // namespace overhaul::sim

@@ -1,0 +1,47 @@
+// Shard-ownership annotation vocabulary for the concurrency roadmap.
+//
+// The ROADMAP's multi-seat sharded kernels and the parallel discrete-event
+// engine both need the tree to *declare* which mutable state is confined to
+// one shard and which is shared across them — before any thread exists, so
+// the lint (tools/lint, rules R8-R10) can enforce the discipline statically
+// and the parallel-engine PR inherits an already-partitioned tree.
+//
+//   OVERHAUL_SHARD_LOCAL        this member is owned by exactly one shard
+//                               (today: the single simulation thread); it may
+//                               be read and written freely from that shard's
+//                               code and must never be handed across.
+//   OVERHAUL_SHARED(accessors)  this member is shared between producer and
+//                               consumer roles (e.g. the netlink coalescing
+//                               buffer between the send fast path and the
+//                               monitor's flush barrier). `accessors` is a
+//                               '|'-separated list of entry-point function
+//                               names; the lint (R8) rejects any write that
+//                               is not one of them or call-graph-reachable
+//                               from one.
+//   OVERHAUL_GUARDED_BY(m)      this member may only be written while mutex
+//                               `m` is held (R10). On Clang this also expands
+//                               to the thread-safety attribute so
+//                               -Wthread-safety checks it natively once real
+//                               locks arrive.
+//
+// The macros expand to nothing (or to Clang thread-safety attributes where
+// available), so annotating a header costs nothing at runtime and compiles
+// unchanged under GCC. overhaul-lint does not preprocess: it sees the macro
+// names as plain identifier tokens, which is exactly how the R8-R10 rules
+// read the declarations back out of the token stream.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define OVERHAUL_GUARDED_BY(m) __attribute__((guarded_by(m)))
+#endif
+#endif
+
+#ifndef OVERHAUL_GUARDED_BY
+#define OVERHAUL_GUARDED_BY(m)
+#endif
+
+// No compiler attribute maps to shard ownership or accessor discipline; these
+// exist for the analyzer (and the reader).
+#define OVERHAUL_SHARD_LOCAL
+#define OVERHAUL_SHARED(accessors)

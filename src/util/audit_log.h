@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/annotations.h"
+
 namespace overhaul::util {
 
 // The privileged operations Overhaul mediates (paper §III-C:
@@ -99,10 +101,13 @@ class AuditLog {
   static std::string format(const AuditRecord& record);
 
  private:
-  std::deque<AuditRecord> records_;
-  std::size_t capacity_ = kDefaultCapacity;
-  std::uint64_t total_appended_ = 0;
-  std::uint64_t dropped_ = 0;
+  // The one log every shard's monitor appends into once the sim goes
+  // parallel — mutation stays behind the three members that maintain the
+  // ring invariant (size ≤ capacity, totals monotone).
+  OVERHAUL_SHARED(append|clear|set_capacity) std::deque<AuditRecord> records_;
+  OVERHAUL_SHARD_LOCAL std::size_t capacity_ = kDefaultCapacity;
+  OVERHAUL_SHARED(append|clear|set_capacity) std::uint64_t total_appended_ = 0;
+  OVERHAUL_SHARED(append|clear|set_capacity) std::uint64_t dropped_ = 0;
 };
 
 }  // namespace overhaul::util

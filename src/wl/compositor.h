@@ -34,6 +34,7 @@
 #include "core/display_backend.h"
 #include "display/alert.h"
 #include "kern/kernel.h"
+#include "util/annotations.h"
 #include "wl/connection.h"
 #include "wl/data_device.h"
 #include "wl/screencopy.h"
@@ -183,28 +184,31 @@ class WlCompositor final : public core::DisplayBackend {
   [[nodiscard]] bool passes_visibility_check(const WlSurface& surf) const;
 
   kern::Kernel& kernel_;
-  WlCompositorConfig config_;
-  kern::Pid pid_ = kern::kNoPid;
-  std::shared_ptr<kern::NetlinkChannel> channel_;
+  // Same confinement as the X11 backend: one compositor per simulated seat.
+  OVERHAUL_SHARD_LOCAL WlCompositorConfig config_;
+  OVERHAUL_SHARD_LOCAL kern::Pid pid_ = kern::kNoPid;
+  OVERHAUL_SHARD_LOCAL std::shared_ptr<kern::NetlinkChannel> channel_;
 
-  std::map<WlClientId, std::unique_ptr<WlConnection>> connections_;
-  std::map<SurfaceId, std::unique_ptr<WlSurface>> surfaces_;
-  std::vector<SurfaceId> stacking_;  // bottom → top
-  WlClientId next_client_ = 1;
-  SurfaceId next_surface_ = 1;
+  OVERHAUL_SHARD_LOCAL std::map<WlClientId, std::unique_ptr<WlConnection>>
+      connections_;
+  OVERHAUL_SHARD_LOCAL std::map<SurfaceId, std::unique_ptr<WlSurface>>
+      surfaces_;
+  OVERHAUL_SHARD_LOCAL std::vector<SurfaceId> stacking_;  // bottom → top
+  OVERHAUL_SHARD_LOCAL WlClientId next_client_ = 1;
+  OVERHAUL_SHARD_LOCAL SurfaceId next_surface_ = 1;
 
-  WlSeat seat_;
-  display::AlertOverlay alerts_;
-  WlDataDeviceManager data_{*this};
-  WlScreencopyManager screencopy_{*this};
-  Stats stats_;
-  std::deque<InputTraceEntry> input_trace_;
+  OVERHAUL_SHARD_LOCAL WlSeat seat_;
+  OVERHAUL_SHARD_LOCAL display::AlertOverlay alerts_;
+  OVERHAUL_SHARD_LOCAL WlDataDeviceManager data_{*this};
+  OVERHAUL_SHARD_LOCAL WlScreencopyManager screencopy_{*this};
+  OVERHAUL_SHARD_LOCAL Stats stats_;
+  OVERHAUL_SHARD_LOCAL std::deque<InputTraceEntry> input_trace_;
 
   // Pre-resolved obs handles (wl.input.*).
-  obs::Counter* c_hw_events_ = nullptr;
-  obs::Counter* c_notifications_ = nullptr;
-  obs::Counter* c_clickjack_ = nullptr;
-  obs::Counter* c_forged_serials_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_hw_events_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_notifications_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_clickjack_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_forged_serials_ = nullptr;
 };
 
 }  // namespace overhaul::wl

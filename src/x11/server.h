@@ -27,6 +27,7 @@
 
 #include "core/display_backend.h"
 #include "kern/kernel.h"
+#include "util/annotations.h"
 #include "x11/acg.h"
 #include "x11/alert.h"
 #include "x11/client.h"
@@ -225,35 +226,38 @@ class XServer final : public core::DisplayBackend {
   [[nodiscard]] bool passes_visibility_check(const Window& win) const;
 
   kern::Kernel& kernel_;
-  XServerConfig config_;
-  kern::Pid pid_ = kern::kNoPid;
-  std::shared_ptr<kern::NetlinkChannel> channel_;
+  // Display-server state is confined to its shard: one backend instance per
+  // simulated seat, never shared across sim partitions.
+  OVERHAUL_SHARD_LOCAL XServerConfig config_;
+  OVERHAUL_SHARD_LOCAL kern::Pid pid_ = kern::kNoPid;
+  OVERHAUL_SHARD_LOCAL std::shared_ptr<kern::NetlinkChannel> channel_;
 
-  std::map<ClientId, std::unique_ptr<XClient>> clients_;
-  std::map<WindowId, std::unique_ptr<Window>> windows_;
-  std::vector<WindowId> stacking_;  // bottom → top
-  ClientId next_client_ = 1;
-  WindowId next_window_ = 2;  // 1 is the root window
-  WindowId focus_ = kNoWindow;
-  WindowId keyboard_grab_ = kNoWindow;
-  WindowId pointer_grab_ = kNoWindow;
-  std::map<std::pair<ClientId, WindowId>, std::uint32_t> event_masks_;
+  OVERHAUL_SHARD_LOCAL std::map<ClientId, std::unique_ptr<XClient>> clients_;
+  OVERHAUL_SHARD_LOCAL std::map<WindowId, std::unique_ptr<Window>> windows_;
+  OVERHAUL_SHARD_LOCAL std::vector<WindowId> stacking_;  // bottom → top
+  OVERHAUL_SHARD_LOCAL ClientId next_client_ = 1;
+  OVERHAUL_SHARD_LOCAL WindowId next_window_ = 2;  // 1 is the root window
+  OVERHAUL_SHARD_LOCAL WindowId focus_ = kNoWindow;
+  OVERHAUL_SHARD_LOCAL WindowId keyboard_grab_ = kNoWindow;
+  OVERHAUL_SHARD_LOCAL WindowId pointer_grab_ = kNoWindow;
+  OVERHAUL_SHARD_LOCAL std::map<std::pair<ClientId, WindowId>, std::uint32_t>
+      event_masks_;
 
-  AlertOverlay alerts_;
-  SelectionManager selections_;
-  ScreenResources screen_;
-  PromptManager prompts_{*this};
-  AcgManager acg_{*this};
-  AtomRegistry atoms_;
-  Stats stats_;
-  std::deque<InputTraceEntry> input_trace_;
+  OVERHAUL_SHARD_LOCAL AlertOverlay alerts_;
+  OVERHAUL_SHARD_LOCAL SelectionManager selections_;
+  OVERHAUL_SHARD_LOCAL ScreenResources screen_;
+  OVERHAUL_SHARD_LOCAL PromptManager prompts_{*this};
+  OVERHAUL_SHARD_LOCAL AcgManager acg_{*this};
+  OVERHAUL_SHARD_LOCAL AtomRegistry atoms_;
+  OVERHAUL_SHARD_LOCAL Stats stats_;
+  OVERHAUL_SHARD_LOCAL std::deque<InputTraceEntry> input_trace_;
 
   // Pre-resolved obs handles (trusted-input path + SendEvent policing).
-  obs::Counter* c_hw_events_ = nullptr;
-  obs::Counter* c_synthetic_events_ = nullptr;
-  obs::Counter* c_notifications_ = nullptr;
-  obs::Counter* c_clickjack_ = nullptr;
-  obs::Counter* c_send_event_drops_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_hw_events_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_synthetic_events_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_notifications_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_clickjack_ = nullptr;
+  OVERHAUL_SHARD_LOCAL obs::Counter* c_send_event_drops_ = nullptr;
 };
 
 }  // namespace overhaul::x11

@@ -263,6 +263,26 @@ TEST_F(CoalesceTest, DirectMonitorCheckFlushesPending) {
   EXPECT_EQ(kernel_.netlink().pending_coalesced(), 0u);
 }
 
+TEST_F(CoalesceTest, DeadPeerPendingNeverFlushed) {
+  // A dead display manager's buffered interaction must be discarded by the
+  // pre-check barrier, never flushed into a decision: the subject's freshness
+  // would otherwise be backed by input the kernel can no longer attribute.
+  ASSERT_TRUE(send_now(app_).is_ok());  // leading edge: delivered
+  const sim::Timestamp crossing = clock_.now();
+  advance_ms(1);
+  ASSERT_TRUE(send_now(app_).is_ok());  // buffered at t+1ms
+  ASSERT_TRUE(ch_->has_pending_interaction());
+  ASSERT_EQ(kernel_.netlink().pending_coalesced(), 1u);
+  ASSERT_TRUE(kernel_.sys_exit(xorg_pid_).is_ok());
+  (void)kernel_.monitor().check_now(app_, Op::kCopy, "");
+  // The buffered timestamp never landed: the kernel still credits only the
+  // leading-edge crossing, and the barrier drained the hub's counter by
+  // pruning the dead channel rather than by delivering.
+  EXPECT_EQ(ts_of(app_), crossing);
+  EXPECT_EQ(kernel_.monitor().stats().notifications, 1u);
+  EXPECT_EQ(kernel_.netlink().pending_coalesced(), 0u);
+}
+
 TEST_F(CoalesceTest, CoalescingOffDeliversEveryNotification) {
   ch_->set_coalescing({false, sim::Duration::millis(10)});
   ASSERT_TRUE(send_now(app_).is_ok());

@@ -1,0 +1,23 @@
+// Fixture: lock-order inversion (R10) — transfer() acquires mu_a_ while
+// already holding mu_b_, inverting the declared rank order. Any concurrent
+// path taking the declared order deadlocks against this one.
+#include "fake.h"
+
+namespace fixture {
+
+class Accounts {
+ public:
+  void transfer() {
+    std::lock_guard<std::mutex> g1(mu_b_);
+    // BUG: acquires the lower-ranked mutex second.
+    std::lock_guard<std::mutex> g2(mu_a_);
+    ++balance_;
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  OVERHAUL_GUARDED_BY(mu_a_) int balance_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: nondeterministic ordering (R9) — the journal drains into the
+// audit sink in unordered_map iteration order, which depends on hashing and
+// rehash history: two identical runs append records in different orders.
+#include "fake.h"
+
+namespace fixture {
+
+class DecisionJournal {
+ public:
+  void note(int pid, Record record) { pending_[pid] = record; }
+
+  // BUG: audit.append sees entries in hash order.
+  void flush(AuditLog& audit) {
+    for (const auto& entry : pending_) {
+      audit.append(entry.second);
+    }
+  }
+
+ private:
+  std::unordered_map<int, Record> pending_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: shared-state violation (R8) — reset() mutates the registry's
+// OVERHAUL_SHARED vector but is not reachable from any declared accessor,
+// so the mutation surface the annotation promises is a lie.
+#include "fake.h"
+
+namespace fixture {
+
+class ChannelRegistry {
+ public:
+  void connect(int id) { channels_.push_back(id); }
+  void drop(int id) { std::erase(channels_, id); }
+
+  // BUG: writes channels_ outside the connect/drop accessor tree.
+  void reset() { channels_.clear(); }
+
+ private:
+  OVERHAUL_SHARED(connect|drop) std::vector<int> channels_;
+  OVERHAUL_SHARD_LOCAL int depth_ = 0;
+};
+
+}  // namespace fixture

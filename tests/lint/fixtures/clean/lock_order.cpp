@@ -1,0 +1,22 @@
+// Fixture: lock discipline respected (R10) — both mutexes are acquired in
+// the declared rank order (mu_a_ before mu_b_), and the guarded balance is
+// only written with its mutex held.
+#include "fake.h"
+
+namespace fixture {
+
+class Accounts {
+ public:
+  void transfer() {
+    std::lock_guard<std::mutex> g1(mu_a_);
+    std::lock_guard<std::mutex> g2(mu_b_);
+    ++balance_;
+  }
+
+ private:
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+  OVERHAUL_GUARDED_BY(mu_a_) int balance_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: deterministic ordering respected (R9) — the journal drains into
+// the audit sink from a std::map, whose iteration order is the key order:
+// identical run to run, so the appended record stream is replayable.
+#include "fake.h"
+
+namespace fixture {
+
+class DecisionJournal {
+ public:
+  void note(int pid, Record record) { pending_[pid] = record; }
+
+  void flush(AuditLog& audit) {
+    for (const auto& entry : pending_) {
+      audit.append(entry.second);
+    }
+  }
+
+ private:
+  std::map<int, Record> pending_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: shared-state discipline respected (R8) — every mutable member of
+// the root class carries an annotation, and the OVERHAUL_SHARED members are
+// written only inside the declared accessors' call trees (rebalance is
+// reached from connect, so its write is legal).
+#include "fake.h"
+
+namespace fixture {
+
+class ChannelRegistry {
+ public:
+  void connect(int id) {
+    channels_.push_back(id);
+    rebalance();
+  }
+  void drop(int id) { std::erase(channels_, id); }
+
+  int depth() const { return depth_; }
+  void set_depth(int d) { depth_ = d; }
+
+ private:
+  // Reached from connect(), so its generation_ write stays in-tree.
+  void rebalance() { ++generation_; }
+
+  OVERHAUL_SHARED(connect|drop) std::vector<int> channels_;
+  OVERHAUL_SHARED(connect|drop) int generation_ = 0;
+  OVERHAUL_SHARD_LOCAL int depth_ = 0;
+};
+
+}  // namespace fixture

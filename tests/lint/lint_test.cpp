@@ -1,13 +1,16 @@
-// Unit tests for overhaul-lint: tokenizer, function extraction, rules
-// parsing, the whole-tree call graph, the seven mediation invariants over
-// deliberately broken fixture sources (tests/lint/fixtures/), suppressions,
-// baselines, the incremental cache, SARIF output, and --explain witnesses.
+// Unit tests for overhaul-lint: tokenizer, function/member/flow extraction,
+// rules parsing, the whole-tree call graph, the ten invariants (mediation
+// R1-R7, concurrency/determinism R8-R10) over deliberately broken fixture
+// sources (tests/lint/fixtures/), suppressions, baselines, the incremental
+// cache (including eviction of deleted files), SARIF output, and --explain
+// witnesses.
 #include "lint.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -66,6 +69,16 @@ int count_rule(const std::vector<lint::Finding>& findings,
   return static_cast<int>(
       std::count_if(findings.begin(), findings.end(),
                     [&](const lint::Finding& f) { return f.rule == rule; }));
+}
+
+// First finding for `rule` (the fixture rules reference files outside a
+// single-file run_tree_mem tree, so index 0 is often a missing-file finding).
+const lint::Finding& first_rule(const std::vector<lint::Finding>& findings,
+                                const std::string& rule) {
+  static const lint::Finding none{};
+  for (const auto& f : findings)
+    if (f.rule == rule) return f;
+  return none;
 }
 
 }  // namespace
@@ -281,6 +294,107 @@ TEST(ExtractFunctions, QualifiedCallSitesRecordTheQualifier) {
   EXPECT_EQ(sites[1].qualifier, "");
 }
 
+// --- member extraction -------------------------------------------------------
+
+TEST(ExtractMembers, RecordsAnnotationsMutabilityAndGuards) {
+  const auto facts = lint::extract_facts(lint::tokenize(
+      "class Hub {\n"
+      "  OVERHAUL_SHARD_LOCAL int depth_ = 0;\n"
+      "  OVERHAUL_SHARED(connect|drop) std::vector<int> channels_;\n"
+      "  OVERHAUL_GUARDED_BY(mu_) std::uint64_t total_;\n"
+      "  std::map<int, int> plain_;\n"
+      "  const int limit_ = 4;\n"
+      "  static constexpr int kCap = 8;\n"
+      "  Table& table_;\n"
+      "};\n"));
+  ASSERT_EQ(facts.members.size(), 7u);
+  EXPECT_EQ(facts.members[0].name, "depth_");
+  EXPECT_EQ(facts.members[0].anno, lint::MemberAnno::kShardLocal);
+  EXPECT_TRUE(facts.members[0].is_mutable);
+  EXPECT_EQ(facts.members[1].name, "channels_");
+  EXPECT_EQ(facts.members[1].anno, lint::MemberAnno::kShared);
+  EXPECT_EQ(facts.members[1].guard, "connect|drop");
+  EXPECT_EQ(facts.members[1].klass, "Hub");
+  EXPECT_EQ(facts.members[2].name, "total_");
+  EXPECT_EQ(facts.members[2].anno, lint::MemberAnno::kGuardedBy);
+  EXPECT_EQ(facts.members[2].guard, "mu_");
+  EXPECT_EQ(facts.members[3].name, "plain_");
+  EXPECT_EQ(facts.members[3].anno, lint::MemberAnno::kNone);
+  EXPECT_TRUE(facts.members[3].is_mutable);
+  // const / constexpr / reference members are not mutable state.
+  EXPECT_FALSE(facts.members[4].is_mutable);
+  EXPECT_FALSE(facts.members[5].is_mutable);
+  EXPECT_FALSE(facts.members[6].is_mutable);
+}
+
+TEST(ExtractMembers, QualifiedAccessorsSurviveAndLocalsAreNotMembers) {
+  const auto facts = lint::extract_facts(lint::tokenize(
+      "class Hub {\n"
+      "  OVERHAUL_SHARED(NetlinkChannel::discard_pending) std::size_t n_ = 0;\n"
+      "  void f() { int local = 0; use(local); }\n"
+      "};\n"));
+  ASSERT_EQ(facts.members.size(), 1u);
+  EXPECT_EQ(facts.members[0].guard, "NetlinkChannel::discard_pending");
+}
+
+// --- flow extraction ---------------------------------------------------------
+
+TEST(ExtractFlow, RecordsDefsUsesBranchesAndLoops) {
+  const auto facts = lint::extract_facts(lint::tokenize(
+      "void f(int n) {\n"
+      "  int total = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    total += step(i);\n"
+      "  }\n"
+      "  publish(total);\n"
+      "}\n"));
+  ASSERT_EQ(facts.functions.size(), 1u);
+  const auto& flow = facts.functions[0].flow;
+  ASSERT_FALSE(flow.empty());
+  // The declaration defines 'total'; the loop body re-defines it and uses i.
+  bool saw_decl = false, saw_loop_def = false, saw_publish = false;
+  for (const auto& s : flow) {
+    if (s.decl_type.find("int") != std::string::npos &&
+        std::find(s.defs.begin(), s.defs.end(), "total") != s.defs.end())
+      saw_decl = true;
+    if (std::find(s.defs.begin(), s.defs.end(), "total") != s.defs.end() &&
+        std::find(s.uses.begin(), s.uses.end(), "i") != s.uses.end())
+      saw_loop_def = true;
+    if (std::find(s.calls.begin(), s.calls.end(), "publish") !=
+            s.calls.end() &&
+        std::find(s.uses.begin(), s.uses.end(), "total") != s.uses.end())
+      saw_publish = true;
+  }
+  EXPECT_TRUE(saw_decl);
+  EXPECT_TRUE(saw_loop_def);
+  EXPECT_TRUE(saw_publish);
+}
+
+TEST(ExtractFlow, RangeForBindsItsVariableAndRaiiLocksRegister) {
+  const auto facts = lint::extract_facts(lint::tokenize(
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> g(mu_);\n"
+      "  for (const auto& e : table_) { sink(e); }\n"
+      "}\n"));
+  ASSERT_EQ(facts.functions.size(), 1u);
+  const auto& flow = facts.functions[0].flow;
+  bool saw_lock = false, saw_range = false, saw_unlock = false;
+  for (const auto& s : flow) {
+    if (std::find(s.locks.begin(), s.locks.end(), "mu_") != s.locks.end())
+      saw_lock = true;
+    if (s.kind == lint::FlowStmt::Kind::kRangeFor &&
+        std::find(s.defs.begin(), s.defs.end(), "e") != s.defs.end() &&
+        std::find(s.uses.begin(), s.uses.end(), "table_") != s.uses.end())
+      saw_range = true;
+    if (std::find(s.unlocks.begin(), s.unlocks.end(), "mu_") !=
+        s.unlocks.end())
+      saw_unlock = true;  // synthetic release at block close
+  }
+  EXPECT_TRUE(saw_lock);
+  EXPECT_TRUE(saw_range);
+  EXPECT_TRUE(saw_unlock);
+}
+
 TEST(QnameMatches, SuffixSemantics) {
   EXPECT_TRUE(lint::qname_matches("PermissionMonitor::check", "check"));
   EXPECT_TRUE(lint::qname_matches("kern::PermissionMonitor::check",
@@ -431,10 +545,10 @@ TEST(CallGraph, DeclaredEdgesSpliceHandlerIndirection) {
 TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   const auto cfg = fixture_rules();
   const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
-  ASSERT_EQ(findings.size(), 10u);
+  ASSERT_EQ(findings.size(), 13u);
 
-  // Sorted by file: clock_use, device_open, handle, interaction, pipe_like,
-  // taint, wl_capture, wl_receive.
+  // Sorted by file: clock_use, device_open, handle, interaction, lock_order,
+  // nondet_order, pipe_like, shared_state, taint, wl_capture, wl_receive.
   EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/clock_use.cpp"));
   EXPECT_EQ(findings[0].rule, "R4");
   EXPECT_EQ(findings[0].line, 7);
@@ -458,34 +572,55 @@ TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   EXPECT_EQ(findings[5].rule, "R3");
   EXPECT_EQ(findings[5].line, 8);
 
-  EXPECT_TRUE(lint::path_matches(findings[6].file, "broken/pipe_like.cpp"));
-  EXPECT_EQ(findings[6].rule, "R1");
-  EXPECT_EQ(findings[6].line, 8);
-  EXPECT_NE(findings[6].message.find("Pipe::write"), std::string::npos);
+  // The inverted acquisition (mu_a_ taken while mu_b_ is held).
+  EXPECT_TRUE(lint::path_matches(findings[6].file, "broken/lock_order.cpp"));
+  EXPECT_EQ(findings[6].rule, "R10");
+  EXPECT_EQ(findings[6].line, 13);
+  EXPECT_NE(findings[6].message.find("mu_a_"), std::string::npos);
+  EXPECT_NE(findings[6].message.find("mu_b_"), std::string::npos);
+
+  // The unordered_map drain into the audit sink.
+  EXPECT_TRUE(lint::path_matches(findings[7].file, "broken/nondet_order.cpp"));
+  EXPECT_EQ(findings[7].rule, "R9");
+  EXPECT_EQ(findings[7].line, 15);
+  EXPECT_NE(findings[7].message.find("append"), std::string::npos);
+  EXPECT_NE(findings[7].message.find("pending_"), std::string::npos);
+
+  EXPECT_TRUE(lint::path_matches(findings[8].file, "broken/pipe_like.cpp"));
+  EXPECT_EQ(findings[8].rule, "R1");
+  EXPECT_EQ(findings[8].line, 8);
+  EXPECT_NE(findings[8].message.find("Pipe::write"), std::string::npos);
+
+  // The shared-state write outside the declared accessor tree.
+  EXPECT_TRUE(lint::path_matches(findings[9].file, "broken/shared_state.cpp"));
+  EXPECT_EQ(findings[9].rule, "R8");
+  EXPECT_EQ(findings[9].line, 14);
+  EXPECT_NE(findings[9].message.find("channels_"), std::string::npos);
+  EXPECT_NE(findings[9].message.find("reset"), std::string::npos);
 
   // The background-replay mint, unreachable from deliver_input.
-  EXPECT_TRUE(lint::path_matches(findings[7].file, "broken/taint.cpp"));
-  EXPECT_EQ(findings[7].rule, "R6");
-  EXPECT_NE(findings[7].message.find("background_replay"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[10].file, "broken/taint.cpp"));
+  EXPECT_EQ(findings[10].rule, "R6");
+  EXPECT_NE(findings[10].message.find("background_replay"), std::string::npos);
 
   // The capture path whose mediation survives only as dead code.
-  EXPECT_TRUE(lint::path_matches(findings[8].file, "broken/wl_capture.cpp"));
-  EXPECT_EQ(findings[8].rule, "R5");
-  EXPECT_NE(findings[8].message.find("capture_surface"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[11].file, "broken/wl_capture.cpp"));
+  EXPECT_EQ(findings[11].rule, "R5");
+  EXPECT_NE(findings[11].message.find("capture_surface"), std::string::npos);
 
   // The un-mediated Wayland receive handler — proof the analyzer covers the
   // second backend's interposition points too.
-  EXPECT_TRUE(lint::path_matches(findings[9].file, "broken/wl_receive.cpp"));
-  EXPECT_EQ(findings[9].rule, "R2");
-  EXPECT_EQ(findings[9].line, 6);
-  EXPECT_NE(findings[9].message.find("request_receive"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[12].file, "broken/wl_receive.cpp"));
+  EXPECT_EQ(findings[12].rule, "R2");
+  EXPECT_EQ(findings[12].line, 6);
+  EXPECT_NE(findings[12].message.find("request_receive"), std::string::npos);
 }
 
 TEST(Fixtures, CleanTreePasses) {
   const auto cfg = fixture_rules();
   std::size_t scanned = 0;
   const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
-  EXPECT_EQ(scanned, 8u);
+  EXPECT_EQ(scanned, 11u);
   EXPECT_TRUE(findings.empty())
       << findings[0].file << ":" << findings[0].line << " "
       << findings[0].message;
@@ -599,6 +734,162 @@ TEST(FlowRules, R5MissingSeedFunctionIsItselfAFinding) {
             std::string::npos);
 }
 
+// --- concurrency & determinism rules, fail-on-removal ------------------------
+
+TEST(DataflowRules, R8FailsWhenAnAnnotationIsRemoved) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/shared_state.cpp");
+  auto ok = lint::run_tree_mem({{"shared_state.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R8"), 0);
+
+  // Stripping the ownership annotation leaves a bare mutable member.
+  const auto pos = src.find("OVERHAUL_SHARD_LOCAL int depth_");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, std::string("OVERHAUL_SHARD_LOCAL ").size());
+  auto bad = lint::run_tree_mem({{"shared_state.cpp", cut}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R8"), 1);
+  const auto& f = first_rule(bad.findings, "R8");
+  EXPECT_NE(f.message.find("depth_"), std::string::npos);
+  EXPECT_NE(f.message.find("no ownership annotation"), std::string::npos);
+}
+
+TEST(DataflowRules, R8FailsWhenAWriteEscapesTheAccessorTree) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/shared_state.cpp");
+  // Narrowing the accessor list orphans drop()'s erase call.
+  std::string cut = src;
+  const std::string anno = "OVERHAUL_SHARED(connect|drop)";
+  for (auto pos = cut.find(anno); pos != std::string::npos;
+       pos = cut.find(anno))
+    cut.replace(pos, anno.size(), "OVERHAUL_SHARED(connect)");
+  auto bad = lint::run_tree_mem({{"shared_state.cpp", cut}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R8"), 1);
+  EXPECT_NE(first_rule(bad.findings, "R8").message.find("drop"),
+            std::string::npos);
+}
+
+TEST(DataflowRules, R9FailsWhenTheContainerGoesUnordered) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/nondet_order.cpp");
+  auto ok = lint::run_tree_mem({{"nondet_order.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R9"), 0);
+
+  const auto pos = src.find("std::map<int, Record>");
+  ASSERT_NE(pos, std::string::npos);
+  std::string bad_src = src;
+  bad_src.replace(pos, std::string("std::map").size(), "std::unordered_map");
+  auto bad = lint::run_tree_mem({{"nondet_order.cpp", bad_src}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R9"), 1);
+  EXPECT_NE(first_rule(bad.findings, "R9").message.find("append"),
+            std::string::npos);
+}
+
+TEST(DataflowRules, R9TracksEntropySourcesThroughLocals) {
+  lint::RuleConfig cfg;
+  cfg.r9_sources = {"rand"};
+  cfg.r9_sinks = {"record"};
+  // rand() -> jitter -> delay -> record: two hops of intra-procedural flow.
+  const std::string src =
+      "void f(M& m) {\n"
+      "  int jitter = rand();\n"
+      "  int delay = jitter * 2;\n"
+      "  m.record(delay);\n"
+      "}\n";
+  auto res = lint::run_tree_mem({{"a.cpp", src}}, cfg);
+  ASSERT_EQ(count_rule(res.findings, "R9"), 1);
+  EXPECT_EQ(res.findings[0].line, 4);
+
+  // Overwriting the tainted value before the sink kills the flow.
+  const std::string cleansed =
+      "void f(M& m) {\n"
+      "  int jitter = rand();\n"
+      "  int delay = 7;\n"
+      "  m.record(delay);\n"
+      "}\n";
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"a.cpp", cleansed}}, cfg).findings,
+                 "R9"),
+      0);
+}
+
+TEST(DataflowRules, R9AllowExemptsAFunction) {
+  const auto base = fixture_rules();
+  std::string src = read_file(fixture_dir("broken") + "/nondet_order.cpp");
+  auto cfg = base;
+  cfg.r9_allow.push_back("DecisionJournal::flush");
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"nondet_order.cpp", src}}, cfg).findings,
+                 "R9"),
+      0);
+}
+
+TEST(DataflowRules, R10FailsWhenTheAcquisitionOrderInverts) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/lock_order.cpp");
+  auto ok = lint::run_tree_mem({{"lock_order.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R10"), 0);
+
+  // Swap the two acquisitions.
+  std::string bad_src = src;
+  const auto a = bad_src.find("g1(mu_a_)");
+  const auto b = bad_src.find("g2(mu_b_)");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  bad_src.replace(b, 9, "g2(mu_a_)");
+  bad_src.replace(a, 9, "g1(mu_b_)");
+  auto bad = lint::run_tree_mem({{"lock_order.cpp", bad_src}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R10"), 1);
+  EXPECT_NE(first_rule(bad.findings, "R10").message.find("inversion"),
+            std::string::npos);
+}
+
+TEST(DataflowRules, R10GuardedWriteWithoutTheLockIsAFinding) {
+  lint::RuleConfig cfg;
+  const std::string src =
+      "class Accounts {\n"
+      "  void audit() { ++balance_; }\n"  // no lock held
+      "  std::mutex mu_;\n"
+      "  OVERHAUL_GUARDED_BY(mu_) int balance_ = 0;\n"
+      "};\n";
+  auto res = lint::run_tree_mem({{"a.cpp", src}}, cfg);
+  ASSERT_EQ(count_rule(res.findings, "R10"), 1);
+  EXPECT_NE(res.findings[0].message.find("balance_"), std::string::npos);
+  EXPECT_NE(res.findings[0].message.find("mu_"), std::string::npos);
+
+  const std::string locked =
+      "class Accounts {\n"
+      "  void audit() { std::lock_guard<std::mutex> g(mu_); ++balance_; }\n"
+      "  std::mutex mu_;\n"
+      "  OVERHAUL_GUARDED_BY(mu_) int balance_ = 0;\n"
+      "};\n";
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"a.cpp", locked}}, cfg).findings, "R10"),
+      0);
+}
+
+TEST(DataflowRules, R10HoldsContractChecksCallers) {
+  lint::RuleConfig cfg;
+  cfg.r10_holds.emplace_back("flush_locked", "mu_");
+  const std::string bad_src =
+      "void flush_locked() { drain(); }\n"
+      "void caller() { flush_locked(); }\n";  // mu_ not held
+  auto res = lint::run_tree_mem({{"a.cpp", bad_src}}, cfg);
+  ASSERT_EQ(count_rule(res.findings, "R10"), 1);
+  EXPECT_NE(res.findings[0].message.find("flush_locked"), std::string::npos);
+
+  const std::string ok_src =
+      "void flush_locked() { drain(); }\n"
+      "void caller() {\n"
+      "  std::lock_guard<std::mutex> g(mu_);\n"
+      "  flush_locked();\n"
+      "}\n";
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"a.cpp", ok_src}}, cfg).findings,
+                 "R10"),
+      0);
+}
+
 // --- suppressions and baselines ----------------------------------------------
 
 TEST(Suppressions, InlineAllowSilencesTheFinding) {
@@ -633,7 +924,7 @@ TEST(Suppressions, UnusedAndUnknownRuleAreFindings) {
   const auto res = lint::run_tree_mem(
       {{"a.cpp",
         "// overhaul-lint: allow(R4: nothing here triggers R4)\n"
-        "// overhaul-lint: allow(R9: no such rule)\n"
+        "// overhaul-lint: allow(R99: no such rule)\n"
         "int x;\n"}},
       cfg);
   EXPECT_EQ(count_rule(res.findings, "sup"), 2);
@@ -700,6 +991,52 @@ TEST(Cache, SerializationRoundTrips) {
   EXPECT_FALSE(lint::parse_cache(blob, 43, &back));
 }
 
+TEST(Cache, MembersAndFlowRoundTrip) {
+  lint::RuleConfig cfg;
+  const std::string src =
+      "class Hub {\n"
+      "  OVERHAUL_SHARED(connect) std::vector<int> channels_;\n"
+      "  OVERHAUL_SHARD_LOCAL int depth_ = 0;\n"
+      "  void connect(int id) {\n"
+      "    std::lock_guard<std::mutex> g(mu_);\n"
+      "    for (const auto& e : table_) absorb(e);\n"
+      "    channels_.push_back(id);\n"
+      "  }\n"
+      "};\n";
+  const lint::FileIR ir = lint::build_file_ir("a.cpp", src, cfg);
+  ASSERT_EQ(ir.members.size(), 2u);
+  ASSERT_EQ(ir.functions.size(), 1u);
+  ASSERT_FALSE(ir.functions[0].flow.empty());
+
+  std::vector<lint::FileIR> back;
+  ASSERT_TRUE(lint::parse_cache(lint::serialize_cache({ir}, 1), 1, &back));
+  ASSERT_EQ(back.size(), 1u);
+  const lint::FileIR& r = back[0];
+
+  ASSERT_EQ(r.members.size(), 2u);
+  EXPECT_EQ(r.members[0].name, "channels_");
+  EXPECT_EQ(r.members[0].anno, lint::MemberAnno::kShared);
+  EXPECT_EQ(r.members[0].guard, "connect");
+  EXPECT_EQ(r.members[0].klass, "Hub");
+  EXPECT_TRUE(r.members[0].is_mutable);
+  EXPECT_EQ(r.members[1].anno, lint::MemberAnno::kShardLocal);
+
+  ASSERT_EQ(r.functions[0].flow.size(), ir.functions[0].flow.size());
+  for (std::size_t i = 0; i < r.functions[0].flow.size(); ++i) {
+    const auto& a = r.functions[0].flow[i];
+    const auto& b = ir.functions[0].flow[i];
+    EXPECT_EQ(a.line, b.line);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.succ, b.succ);
+    EXPECT_EQ(a.defs, b.defs);
+    EXPECT_EQ(a.uses, b.uses);
+    EXPECT_EQ(a.calls, b.calls);
+    EXPECT_EQ(a.decl_type, b.decl_type);
+    EXPECT_EQ(a.locks, b.locks);
+    EXPECT_EQ(a.unlocks, b.unlocks);
+  }
+}
+
 TEST(Cache, WarmRunSkipsReparsing) {
   const auto cfg = fixture_rules();
   const std::string cache =
@@ -726,6 +1063,43 @@ TEST(Cache, WarmRunSkipsReparsing) {
   const auto rebuilt = lint::run_tree(opts);
   EXPECT_EQ(rebuilt.stats.reparsed, rebuilt.stats.files);
   std::remove(cache.c_str());
+}
+
+TEST(Cache, DeletedFilesAreEvictedAndTheRestStaysWarm) {
+  // Copy the clean fixtures into a scratch root so one can be deleted.
+  const std::string root = testing::TempDir() + "/overhaul_lint_evict";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  for (const auto& entry :
+       std::filesystem::directory_iterator(fixture_dir("clean")))
+    std::filesystem::copy_file(entry.path(),
+                               root + "/" + entry.path().filename().string());
+
+  const std::string cache = root + "/cache.txt";
+  lint::TreeOptions opts;
+  opts.roots = {root};
+  opts.config = fixture_rules();
+  opts.rules_hash = 7;
+  opts.cache_path = cache;
+
+  const auto cold = lint::run_tree(opts);
+  EXPECT_EQ(cold.stats.evicted, 0u);
+  const std::size_t all = cold.stats.files;
+
+  // Deleting a file between runs must drop its entry without disturbing the
+  // warm entries of the surviving files.
+  std::filesystem::remove(root + "/handle.cpp");
+  const auto pruned = lint::run_tree(opts);
+  EXPECT_EQ(pruned.stats.files, all - 1);
+  EXPECT_EQ(pruned.stats.evicted, 1u);
+  EXPECT_EQ(pruned.stats.reparsed, 0u);  // survivors still served from cache
+
+  // The rewritten cache no longer carries the dead entry.
+  const auto warm = lint::run_tree(opts);
+  EXPECT_EQ(warm.stats.evicted, 0u);
+  EXPECT_EQ(warm.stats.reparsed, 0u);
+  EXPECT_EQ(warm.stats.files, all - 1);
+  std::filesystem::remove_all(root);
 }
 
 // --- SARIF -------------------------------------------------------------------
@@ -771,6 +1145,34 @@ TEST(Explain, ReportsAMissingChain) {
   const auto out = lint::explain(res.program, cfg, "R5:capture_surface");
   EXPECT_EQ(out.exit_code, 1);
   EXPECT_NE(out.text.find("NO PATH"), std::string::npos);
+}
+
+TEST(Explain, R9PrintsTheTaintWitnessChain) {
+  const auto cfg = fixture_rules();
+  lint::TreeOptions opts;
+  opts.roots = {fixture_dir("broken")};
+  opts.config = cfg;
+  const auto res = lint::run_tree(opts);
+  const auto out = lint::explain(res.program, cfg, "R9:flush");
+  EXPECT_EQ(out.exit_code, 0);
+  // The witness names the sink, the tainted variable, and its nondet origin.
+  EXPECT_NE(out.text.find("append"), std::string::npos);
+  EXPECT_NE(out.text.find("entry"), std::string::npos);
+  EXPECT_NE(out.text.find("pending_"), std::string::npos);
+  EXPECT_NE(out.text.find("range-for"), std::string::npos);
+
+  // On the clean tree the same function reports no tainted flow.
+  lint::TreeOptions clean_opts;
+  clean_opts.roots = {fixture_dir("clean")};
+  clean_opts.config = cfg;
+  const auto clean_res = lint::run_tree(clean_opts);
+  const auto clean_out = lint::explain(clean_res.program, cfg, "R9:flush");
+  EXPECT_EQ(clean_out.exit_code, 0);
+  EXPECT_NE(clean_out.text.find("no nondet-ordered flow"), std::string::npos);
+
+  // Unknown function / missing function name are errors.
+  EXPECT_EQ(lint::explain(res.program, cfg, "R9:nosuchfn").exit_code, 2);
+  EXPECT_EQ(lint::explain(res.program, cfg, "R9").exit_code, 2);
 }
 
 TEST(Explain, R6ShowsTheSourceChainToAMint) {

@@ -40,13 +40,19 @@ cmake --preset "$PRESET"
 step "build"
 cmake --build --preset "$PRESET" -j "$JOBS"
 
-step "overhaul-lint (mediation-completeness invariants, SARIF validated)"
+step "overhaul-lint (mediation + concurrency invariants R1-R10, SARIF validated)"
 "./$BUILD_DIR/tools/lint/overhaul-lint" \
   --root src --rules tools/lint/overhaul_lint.rules \
   --baseline tools/lint/overhaul_lint.baseline \
   --cache "$BUILD_DIR/overhaul_lint.cache" \
   --sarif "$BUILD_DIR/overhaul_lint.sarif" --stats
 "./$BUILD_DIR/tools/obs/json_check" "$BUILD_DIR/overhaul_lint.sarif"
+# The SARIF must carry the concurrency rule metadata — a regression that
+# silently drops R8-R10 would otherwise pass the clean-tree run.
+for rule in R8 R9 R10; do
+  grep -q "\"id\":\"$rule\"" "$BUILD_DIR/overhaul_lint.sarif" || {
+    echo "missing rule $rule in overhaul_lint.sarif" >&2; exit 1; }
+done
 
 step "ctest (preset: $PRESET)"
 ctest --preset "$PRESET" -j "$JOBS"
@@ -56,6 +62,13 @@ ctest --preset "$PRESET" -j "$JOBS"
 # above already covered it (and so sanitizer presets gate it explicitly).
 step "ctest -R wl (Wayland backend battery)"
 (cd "$BUILD_DIR" && ctest -R '^wl' --output-on-failure -j "$JOBS")
+
+# Same rationale for the concurrency & determinism battery: the analyzer's
+# dataflow suites plus the whole-tree R8-R10 run gate as a named stage.
+step "ctest lint concurrency battery (R8-R10)"
+(cd "$BUILD_DIR" &&
+  ctest -R '^lint\.(concurrency|DataflowRules|ExtractMembers|ExtractFlow|Explain|Cache)' \
+    --output-on-failure -j "$JOBS")
 
 if [ "$METRICS" = 1 ]; then
   step "metrics smoke (bench_table1 --quick + strict JSON validation)"

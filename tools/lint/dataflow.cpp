@@ -1,0 +1,560 @@
+#include "dataflow.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace overhaul::lint {
+
+namespace {
+
+bool in_list(const std::string& s, const std::vector<std::string>& v) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+std::vector<std::string> split_pipe(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto bar = s.find('|', start);
+    if (bar == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (bar > start) out.push_back(s.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return out;
+}
+
+// Exempt when the qualified name suffix-matches or the path matches any
+// allow entry (same convention as r6.allow).
+bool allow_matches(const std::string& qname, const std::string& path,
+                   const std::vector<std::string>& allow) {
+  for (const auto& a : allow)
+    if (qname_matches(qname, a) || path_matches(path, a)) return true;
+  return false;
+}
+
+// `qname` names a method of `klass` (exact scope or a deeper qualification).
+bool method_of(const std::string& qname, const std::string& klass) {
+  const std::string pfx = klass + "::";
+  if (qname.size() > pfx.size() && qname.compare(0, pfx.size(), pfx) == 0)
+    return true;
+  return qname.find("::" + pfx) != std::string::npos;
+}
+
+std::string class_tail(const std::string& klass) {
+  const auto pos = klass.rfind("::");
+  return pos == std::string::npos ? klass : klass.substr(pos + 2);
+}
+
+// Predecessor lists from the FlowStmt successor lists.
+std::vector<std::vector<int>> build_preds(const std::vector<FlowStmt>& flow) {
+  std::vector<std::vector<int>> preds(flow.size());
+  for (std::size_t i = 0; i < flow.size(); ++i)
+    for (const int s : flow[i].succ)
+      if (s >= 0 && static_cast<std::size_t>(s) < flow.size())
+        preds[s].push_back(static_cast<int>(i));
+  return preds;
+}
+
+bool type_has_token(const std::string& type,
+                    const std::vector<std::string>& tokens) {
+  std::istringstream iss(type);
+  std::string word;
+  while (iss >> word)
+    if (in_list(word, tokens)) return true;
+  return false;
+}
+
+}  // namespace
+
+// --- R8: shared-state discipline ---------------------------------------------
+
+void run_r8(const ProgramIR& program, const CallGraph& graph,
+            const RuleConfig& cfg, std::vector<Finding>* findings) {
+  if (cfg.r8_roots.empty()) return;
+  const auto& nodes = graph.nodes();
+  for (const FileIR& file : program.files) {
+    for (const MemberDecl& m : file.members) {
+      if (!m.is_mutable) continue;
+      const bool in_root =
+          std::any_of(cfg.r8_roots.begin(), cfg.r8_roots.end(),
+                      [&](const std::string& r) {
+                        return qname_matches(m.klass, r);
+                      });
+      if (!in_root) continue;
+      const std::string member_q = m.klass + "::" + m.name;
+      if (allow_matches(member_q, file.path, cfg.r8_allow)) continue;
+
+      if (m.anno == MemberAnno::kNone) {
+        findings->push_back(
+            {file.path, m.line, "R8",
+             "mutable member '" + member_q + "' of concurrency root '" +
+                 m.klass +
+                 "' has no ownership annotation (OVERHAUL_SHARD_LOCAL / "
+                 "OVERHAUL_SHARED / OVERHAUL_GUARDED_BY)",
+             member_q});
+        continue;
+      }
+      if (m.anno != MemberAnno::kShared) continue;
+
+      // Shared member: every write must be in — or call-graph-reachable
+      // from — a declared accessor. Constructors/destructors initialize and
+      // tear down before/after sharing begins, so they are exempt.
+      std::vector<int> legal;
+      for (const std::string& acc : split_pipe(m.guard)) {
+        const std::string pattern =
+            acc.find("::") != std::string::npos ? acc : m.klass + "::" + acc;
+        for (const int idx : graph.find_qname(pattern)) legal.push_back(idx);
+      }
+      const std::vector<char> ok = graph.reachable_from(legal);
+      const std::string tail = class_tail(m.klass);
+      for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        const CallGraph::Node& node = nodes[ni];
+        if (node.fn == nullptr || !method_of(node.qname, m.klass)) continue;
+        if (node.name == tail ||
+            (!node.name.empty() && node.name[0] == '~'))
+          continue;
+        if (ni < ok.size() && ok[ni] != 0) continue;
+        if (allow_matches(node.qname, node.file, cfg.r8_allow)) continue;
+        for (const FlowStmt& st : node.fn->flow) {
+          if (!in_list(m.name, st.defs)) continue;
+          findings->push_back(
+              {node.file, st.line, "R8",
+               "write to shared member '" + member_q + "' in '" + node.qname +
+                   "', which is not reachable from its declared accessors (" +
+                   m.guard + ")",
+               node.qname});
+          break;  // one finding per (member, function) pair
+        }
+      }
+    }
+  }
+}
+
+// --- R9: deterministic ordering ----------------------------------------------
+
+namespace {
+
+// Why a name is statically nondet-ordered (member or local of an r9.nondet
+// type), keyed by variable name.
+using NondetReasons = std::map<std::string, std::string>;
+
+struct TaintProv {
+  int line = 0;
+  std::string desc;    // human-readable origin of the taint
+  std::string parent;  // previous variable in the chain ("" at an origin)
+};
+
+struct R9Sink {
+  int line = 0;
+  std::string call;
+  std::string var;  // tainted variable reaching the sink ("" : direct source)
+};
+
+struct R9Result {
+  std::vector<R9Sink> sinks;
+  std::map<std::string, TaintProv> prov;
+  NondetReasons nondet;
+};
+
+// One function's taint analysis.
+R9Result r9_function(const FunctionInfo& fn, const NondetReasons& file_nondet,
+                     const RuleConfig& cfg) {
+  R9Result res;
+  res.nondet = file_nondet;
+
+  // Locals of nondet-ordered type join the static nondet set.
+  for (const FlowStmt& s : fn.flow) {
+    if (s.decl_type.empty() || !type_has_token(s.decl_type, cfg.r9_nondet))
+      continue;
+    for (const std::string& d : s.defs)
+      res.nondet.emplace(d, "local '" + d + "' declared as '" + s.decl_type +
+                                "' (line " + std::to_string(s.line) + ")");
+  }
+
+  // Precheck: a sink call and a taint introducer must both be present.
+  bool has_sink = false, has_intro = false;
+  for (const FlowStmt& s : fn.flow) {
+    for (const std::string& c : s.calls) {
+      if (in_list(c, cfg.r9_sinks)) has_sink = true;
+      if (in_list(c, cfg.r9_sources)) has_intro = true;
+    }
+    if (s.kind == FlowStmt::Kind::kRangeFor)
+      for (const std::string& u : s.uses)
+        if (res.nondet.count(u) != 0) has_intro = true;
+  }
+  if (!has_sink || !has_intro) return res;
+
+  const std::size_t n = fn.flow.size();
+  const std::vector<std::vector<int>> preds = build_preds(fn.flow);
+  std::vector<std::set<std::string>> out(n);
+
+  auto stmt_in = [&](std::size_t i) {
+    std::set<std::string> in;
+    for (const int p : preds[i]) in.insert(out[p].begin(), out[p].end());
+    return in;
+  };
+
+  bool changed = true;
+  std::size_t pass = 0;
+  while (changed && pass++ <= n + 4) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowStmt& s = fn.flow[i];
+      std::set<std::string> in = stmt_in(i);
+
+      std::string range_src;  // nondet/tainted container of a range-for
+      if (s.kind == FlowStmt::Kind::kRangeFor) {
+        for (const std::string& u : s.uses) {
+          if (res.nondet.count(u) != 0 || in.count(u) != 0) {
+            range_src = u;
+            break;
+          }
+        }
+      }
+      std::string source_call;
+      for (const std::string& c : s.calls)
+        if (in_list(c, cfg.r9_sources)) {
+          source_call = c;
+          break;
+        }
+      std::string tainted_use;
+      for (const std::string& u : s.uses)
+        if (in.count(u) != 0) {
+          tainted_use = u;
+          break;
+        }
+
+      std::set<std::string> o = in;
+      if (!range_src.empty() || !source_call.empty() || !tainted_use.empty()) {
+        for (const std::string& d : s.defs) {
+          o.insert(d);
+          if (res.prov.count(d) != 0) continue;
+          TaintProv p;
+          p.line = s.line;
+          if (!range_src.empty()) {
+            p.desc = "bound by range-for over nondet-ordered '" + range_src +
+                     "'";
+            p.parent = res.prov.count(range_src) != 0 ? range_src : "";
+            if (p.parent.empty() && res.nondet.count(range_src) != 0)
+              p.desc += " [" + res.nondet.at(range_src) + "]";
+          } else if (!source_call.empty()) {
+            p.desc = "produced by nondet source '" + source_call + "()'";
+          } else {
+            p.desc = "assigned from tainted '" + tainted_use + "'";
+            p.parent = tainted_use;
+          }
+          res.prov.emplace(d, std::move(p));
+        }
+      } else {
+        for (const std::string& d : s.defs) o.erase(d);
+      }
+      if (o != out[i]) {
+        out[i] = std::move(o);
+        changed = true;
+      }
+    }
+  }
+
+  // Sink detection against the converged in-states.
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowStmt& s = fn.flow[i];
+    std::string sink_call;
+    for (const std::string& c : s.calls)
+      if (in_list(c, cfg.r9_sinks)) {
+        sink_call = c;
+        break;
+      }
+    if (sink_call.empty()) continue;
+    const std::set<std::string> in = stmt_in(i);
+    std::string var;
+    for (const std::string& u : s.uses)
+      if (in.count(u) != 0) {
+        var = u;
+        break;
+      }
+    if (var.empty()) {
+      // `audit.append(rand())`: source and sink in the same statement.
+      std::string src;
+      for (const std::string& c : s.calls)
+        if (in_list(c, cfg.r9_sources)) {
+          src = c;
+          break;
+        }
+      if (src.empty()) continue;
+      TaintProv p;
+      p.line = s.line;
+      p.desc = "produced by nondet source '" + src + "()'";
+      res.prov.emplace("<" + src + "()>", std::move(p));
+      var = "<" + src + "()>";
+    }
+    res.sinks.push_back({s.line, sink_call, var});
+  }
+  return res;
+}
+
+NondetReasons file_nondet_members(const FileIR& file, const RuleConfig& cfg) {
+  NondetReasons out;
+  for (const MemberDecl& m : file.members) {
+    if (!type_has_token(m.type, cfg.r9_nondet)) continue;
+    out.emplace(m.name, "member '" + m.klass + "::" + m.name +
+                            "' of nondet-ordered type '" + m.type +
+                            "' (line " + std::to_string(m.line) + ")");
+  }
+  return out;
+}
+
+// Formats one origin → sink witness chain.
+std::string format_witness(const R9Result& res, const R9Sink& sink,
+                           const std::string& file) {
+  std::ostringstream out;
+  out << "  sink '" << sink.call << "' at " << file << ":" << sink.line
+      << " receives tainted '" << sink.var << "'\n";
+  std::set<std::string> seen;
+  std::string cur = sink.var;
+  while (!cur.empty() && seen.insert(cur).second) {
+    const auto it = res.prov.find(cur);
+    if (it == res.prov.end()) {
+      const auto nd = res.nondet.find(cur);
+      if (nd != res.nondet.end())
+        out << "    '" << cur << "' is " << nd->second << "\n";
+      break;
+    }
+    out << "    '" << cur << "' <- " << it->second.desc << " (line "
+        << it->second.line << ")\n";
+    cur = it->second.parent;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void run_r9(const ProgramIR& program, const RuleConfig& cfg,
+            std::vector<Finding>* findings) {
+  if (cfg.r9_sinks.empty() ||
+      (cfg.r9_nondet.empty() && cfg.r9_sources.empty()))
+    return;
+  for (const FileIR& file : program.files) {
+    const NondetReasons members = file_nondet_members(file, cfg);
+    for (const FunctionInfo& fn : file.functions) {
+      if (allow_matches(fn.qualified_name, file.path, cfg.r9_allow)) continue;
+      const R9Result res = r9_function(fn, members, cfg);
+      for (const R9Sink& sink : res.sinks) {
+        std::string origin;
+        const auto it = res.prov.find(sink.var);
+        if (it != res.prov.end()) origin = it->second.desc;
+        findings->push_back(
+            {file.path, sink.line, "R9",
+             "nondet-ordered value '" + sink.var + "' reaches sink '" +
+                 sink.call + "' in '" + fn.qualified_name +
+                 (origin.empty() ? "'" : "' (" + origin + ")") +
+                 " — audit/decision streams must be seed-stable; see "
+                 "--explain R9:" +
+                 fn.name,
+             fn.qualified_name});
+      }
+    }
+  }
+}
+
+std::string explain_r9(const ProgramIR& program, const RuleConfig& cfg,
+                       const std::string& function, int* exit_code) {
+  std::ostringstream out;
+  bool found = false;
+  bool any_flow = false;
+  for (const FileIR& file : program.files) {
+    const NondetReasons members = file_nondet_members(file, cfg);
+    for (const FunctionInfo& fn : file.functions) {
+      if (fn.name != function && !qname_matches(fn.qualified_name, function))
+        continue;
+      found = true;
+      const R9Result res = r9_function(fn, members, cfg);
+      out << "R9 '" << fn.qualified_name << "' (" << file.path << ":"
+          << fn.line << "):\n";
+      if (res.sinks.empty()) {
+        out << "  no nondet-ordered flow reaches a sink\n";
+        continue;
+      }
+      any_flow = true;
+      for (const R9Sink& sink : res.sinks)
+        out << format_witness(res, sink, file.path);
+    }
+  }
+  if (!found) {
+    *exit_code = 2;
+    return "--explain R9: no definition of '" + function + "' found\n";
+  }
+  (void)any_flow;
+  *exit_code = 0;
+  return out.str();
+}
+
+// --- R10: lock discipline ----------------------------------------------------
+
+namespace {
+
+struct GuardedMember {
+  std::string klass;
+  std::string mutex;
+};
+
+std::size_t rank_of(const std::string& mutex,
+                    const std::vector<std::string>& order) {
+  for (std::size_t i = 0; i < order.size(); ++i)
+    if (order[i] == mutex) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+void run_r10(const ProgramIR& program, const RuleConfig& cfg,
+             std::vector<Finding>* findings) {
+  // Program-wide guarded-member map: members live in headers while the
+  // writing methods usually live in the matching .cpp.
+  std::map<std::string, std::vector<GuardedMember>> guarded;
+  for (const FileIR& file : program.files)
+    for (const MemberDecl& m : file.members)
+      if (m.anno == MemberAnno::kGuardedBy && !m.guard.empty())
+        guarded[m.name].push_back({m.klass, m.guard});
+
+  // Holds contracts keyed by unqualified callee tail.
+  std::map<std::string, std::string> holds;
+  for (const auto& [fn_pat, mutex] : cfg.r10_holds)
+    holds.emplace(class_tail(fn_pat), mutex);
+
+  if (guarded.empty() && holds.empty() && cfg.r10_order.empty()) return;
+
+  for (const FileIR& file : program.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (allow_matches(fn.qualified_name, file.path, cfg.r10_allow)) continue;
+
+      std::set<std::string> entry;
+      for (const auto& [fn_pat, mutex] : cfg.r10_holds)
+        if (fn.name == fn_pat || qname_matches(fn.qualified_name, fn_pat))
+          entry.insert(mutex);
+
+      // Precheck: nothing lock-related happens here — skip the fixed point.
+      bool relevant = !entry.empty();
+      for (const FlowStmt& s : fn.flow) {
+        if (relevant) break;
+        if (!s.locks.empty() || !s.unlocks.empty()) relevant = true;
+        for (const std::string& d : s.defs)
+          if (guarded.count(d) != 0) relevant = true;
+        for (const std::string& c : s.calls)
+          if (holds.count(c) != 0) relevant = true;
+      }
+      if (!relevant) continue;
+
+      const std::size_t n = fn.flow.size();
+      const std::vector<std::vector<int>> preds = build_preds(fn.flow);
+
+      // Must-hold analysis: intersection at merges, seeded from the entry
+      // contract; unvisited nodes start at the universe so back edges don't
+      // artificially drain the set.
+      std::set<std::string> universe = entry;
+      for (const std::string& m : cfg.r10_order) universe.insert(m);
+      for (const auto& kv : guarded)
+        for (const GuardedMember& g : kv.second) universe.insert(g.mutex);
+      for (const FlowStmt& s : fn.flow) {
+        universe.insert(s.locks.begin(), s.locks.end());
+        universe.insert(s.unlocks.begin(), s.unlocks.end());
+      }
+      std::vector<std::set<std::string>> out(n, universe);
+
+      auto stmt_in = [&](std::size_t i) {
+        if (i == 0) return entry;
+        std::set<std::string> in;
+        bool first = true;
+        for (const int p : preds[i]) {
+          if (first) {
+            in = out[p];
+            first = false;
+            continue;
+          }
+          std::set<std::string> merged;
+          std::set_intersection(in.begin(), in.end(), out[p].begin(),
+                                out[p].end(),
+                                std::inserter(merged, merged.begin()));
+          in = std::move(merged);
+        }
+        if (first) in = entry;  // unreachable from a pred: assume entry state
+        return in;
+      };
+
+      bool changed = true;
+      std::size_t pass = 0;
+      while (changed && pass++ <= n + 4) {
+        changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          const FlowStmt& s = fn.flow[i];
+          std::set<std::string> o = stmt_in(i);
+          o.insert(s.locks.begin(), s.locks.end());
+          for (const std::string& u : s.unlocks) o.erase(u);
+          if (o != out[i]) {
+            out[i] = std::move(o);
+            changed = true;
+          }
+        }
+      }
+
+      for (std::size_t i = 0; i < n; ++i) {
+        const FlowStmt& s = fn.flow[i];
+        const std::set<std::string> in = stmt_in(i);
+
+        // 1. Acquisition-order inversions against the declared global order.
+        for (const std::string& m : s.locks) {
+          const std::size_t rm = rank_of(m, cfg.r10_order);
+          if (rm == static_cast<std::size_t>(-1)) continue;
+          for (const std::string& h : in) {
+            const std::size_t rh = rank_of(h, cfg.r10_order);
+            if (rh == static_cast<std::size_t>(-1) || rh <= rm) continue;
+            findings->push_back(
+                {file.path, s.line, "R10",
+                 "lock-order inversion in '" + fn.qualified_name +
+                     "': acquiring '" + m + "' while holding '" + h +
+                     "' (declared order puts '" + m + "' first)",
+                 fn.qualified_name});
+          }
+        }
+
+        // 2. Guarded-member writes without the guard held.
+        for (const std::string& d : s.defs) {
+          const auto git = guarded.find(d);
+          if (git == guarded.end()) continue;
+          for (const GuardedMember& g : git->second) {
+            if (!method_of(fn.qualified_name, g.klass)) continue;
+            if (in.count(g.mutex) != 0) continue;
+            findings->push_back(
+                {file.path, s.line, "R10",
+                 "write to guarded member '" + g.klass + "::" + d + "' in '" +
+                     fn.qualified_name + "' without holding its guard '" +
+                     g.mutex + "'",
+                 fn.qualified_name});
+          }
+        }
+
+        // 3. Calls into functions that assert a held mutex (r10.holds).
+        for (const std::string& c : s.calls) {
+          const auto hit = holds.find(c);
+          if (hit == holds.end()) continue;
+          if (in.count(hit->second) != 0) continue;
+          findings->push_back(
+              {file.path, s.line, "R10",
+               "call to '" + c + "' in '" + fn.qualified_name +
+                   "' without holding '" + hit->second +
+                   "' (required by r10.holds)",
+               fn.qualified_name});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace overhaul::lint

@@ -1,0 +1,48 @@
+// Flow-sensitive intra-procedural dataflow rules over the FlowStmt CFG
+// (lint.h), feeding the cross-file call graph (callgraph.h) for the
+// inter-procedural half of R8.
+//
+//   R8  shared-state discipline  every mutable member of a declared
+//       concurrency root (r8.root) carries an ownership annotation from
+//       src/util/annotations.h, and OVERHAUL_SHARED members are written only
+//       in — or call-graph-reachable from — their declared accessors.
+//   R9  deterministic ordering   taint introduced by iterating nondet-ordered
+//       containers (r9.nondet type tokens) or calling nondet sources
+//       (r9.source) must never flow into an audit/metrics/trace/decision
+//       sink (r9.sink). Union-at-merge forward taint over the CFG;
+//       `--explain R9:<fn>` replays the witness chain.
+//   R10 lock discipline          mutex acquisition respects the declared
+//       global order (r10.order, outermost first), OVERHAUL_GUARDED_BY
+//       members are written only with their guard held, and functions under
+//       an r10.holds contract are only called with that mutex held.
+//       Intersection-at-merge must-hold analysis; RAII guards release at
+//       their synthetic block-exit node.
+//
+// All three run on the cached IR: CFG extraction happens at parse time (cold
+// side), and each rule prechecks for its trigger vocabulary before running a
+// fixed point, so a clean warm run stays within the bench_lint ≥3x gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+
+namespace overhaul::lint {
+
+void run_r8(const ProgramIR& program, const CallGraph& graph,
+            const RuleConfig& config, std::vector<Finding>* findings);
+
+void run_r9(const ProgramIR& program, const RuleConfig& config,
+            std::vector<Finding>* findings);
+
+void run_r10(const ProgramIR& program, const RuleConfig& config,
+             std::vector<Finding>* findings);
+
+// `--explain R9:<function>`: replays the taint analysis for every definition
+// matching `function` and prints each nondet-origin → sink witness chain.
+// Sets *exit_code to 2 when no definition matches, 0 otherwise.
+std::string explain_r9(const ProgramIR& program, const RuleConfig& config,
+                       const std::string& function, int* exit_code);
+
+}  // namespace overhaul::lint

@@ -77,6 +77,7 @@ FileIR build_file_ir(const std::string& path, const std::string& source,
   FileFacts facts = extract_facts(toks);
   ir.functions = std::move(facts.functions);
   ir.pointer_fields = std::move(facts.pointer_fields);
+  ir.members = std::move(facts.members);
 
   const auto in = [](const std::string& s, const std::vector<std::string>& v) {
     return std::find(v.begin(), v.end(), s) != v.end();
@@ -103,7 +104,7 @@ FileIR build_file_ir(const std::string& path, const std::string& source,
 
 namespace {
 
-constexpr const char* kCacheMagic = "overhaul-lint-cache v2";
+constexpr const char* kCacheMagic = "overhaul-lint-cache v3";
 
 std::string hex(std::uint64_t v) {
   char buf[17];
@@ -151,6 +152,60 @@ std::string unfield(std::string_view s) {
   return s == "-" ? std::string() : std::string(s);
 }
 
+// List-valued fields: comma-joined, '-' when empty. Identifiers (and
+// successor indices) never contain commas, so the join is unambiguous.
+std::string join_list(const std::vector<std::string>& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += v[i];
+  }
+  return out;
+}
+
+std::string join_ints(const std::vector<int>& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+void split_list(std::string_view s, std::vector<std::string>* out) {
+  out->clear();
+  if (s == "-") return;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string_view::npos) {
+      out->push_back(std::string(s.substr(start)));
+      return;
+    }
+    out->push_back(std::string(s.substr(start, comma - start)));
+    start = comma + 1;
+  }
+}
+
+bool split_int_list(std::string_view s, std::vector<int>* out) {
+  out->clear();
+  if (s == "-") return true;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = s.find(',', start);
+    const std::string_view part =
+        comma == std::string_view::npos ? s.substr(start)
+                                        : s.substr(start, comma - start);
+    int v = 0;
+    if (!parse_int(part, &v)) return false;
+    out->push_back(v);
+    if (comma == std::string_view::npos) return true;
+    start = comma + 1;
+  }
+}
+
 }  // namespace
 
 std::string serialize_cache(const std::vector<FileIR>& files,
@@ -166,9 +221,20 @@ std::string serialize_cache(const std::vector<FileIR>& files,
       for (const CallSite& c : fn.call_sites)
         out << "c\t" << c.line << '\t' << field(c.qualifier) << '\t'
             << field(c.name) << '\n';
+      for (const FlowStmt& d : fn.flow)
+        out << "d\t" << d.line << '\t' << static_cast<int>(d.kind) << '\t'
+            << join_ints(d.succ) << '\t' << join_list(d.defs) << '\t'
+            << join_list(d.uses) << '\t' << join_list(d.calls) << '\t'
+            << field(d.decl_type) << '\t' << join_list(d.locks) << '\t'
+            << join_list(d.unlocks) << '\n';
     }
     for (const PointerField& p : f.pointer_fields)
       out << "p\t" << p.line << '\t' << field(p.type) << '\t' << field(p.name)
+          << '\n';
+    for (const MemberDecl& m : f.members)
+      out << "m\t" << m.line << '\t' << (m.is_mutable ? 1 : 0) << '\t'
+          << static_cast<int>(m.anno) << '\t' << field(m.klass) << '\t'
+          << field(m.type) << '\t' << field(m.name) << '\t' << field(m.guard)
           << '\n';
     for (const TokenHit& w : f.guarded_writes)
       out << "w\t" << w.line << '\t' << field(w.text) << '\n';
@@ -250,11 +316,42 @@ bool parse_cache(const std::string& text, std::uint64_t config_hash,
       c.name = unfield(fields[3]);
       cur_fn->calls.push_back(c.name);
       cur_fn->call_sites.push_back(std::move(c));
+    } else if (tag == "d") {
+      if (cur_fn == nullptr || fields.size() != 10 ||
+          !parse_int(fields[1], &ln))
+        return bad();
+      FlowStmt d;
+      d.line = ln;
+      int kind = 0;
+      if (!parse_int(fields[2], &kind) || kind < 0 || kind > 3) return bad();
+      d.kind = static_cast<FlowStmt::Kind>(kind);
+      if (!split_int_list(fields[3], &d.succ)) return bad();
+      split_list(fields[4], &d.defs);
+      split_list(fields[5], &d.uses);
+      split_list(fields[6], &d.calls);
+      d.decl_type = unfield(fields[7]);
+      split_list(fields[8], &d.locks);
+      split_list(fields[9], &d.unlocks);
+      cur_fn->flow.push_back(std::move(d));
     } else if (tag == "p") {
       if (cur == nullptr || fields.size() != 4 || !parse_int(fields[1], &ln))
         return bad();
       cur->pointer_fields.push_back(
           {unfield(fields[2]), unfield(fields[3]), ln});
+    } else if (tag == "m") {
+      if (cur == nullptr || fields.size() != 8 || !parse_int(fields[1], &ln))
+        return bad();
+      MemberDecl m;
+      m.line = ln;
+      m.is_mutable = fields[2] == "1";
+      int anno = 0;
+      if (!parse_int(fields[3], &anno) || anno < 0 || anno > 3) return bad();
+      m.anno = static_cast<MemberAnno>(anno);
+      m.klass = unfield(fields[4]);
+      m.type = unfield(fields[5]);
+      m.name = unfield(fields[6]);
+      m.guard = unfield(fields[7]);
+      cur->members.push_back(std::move(m));
     } else if (tag == "w" || tag == "b") {
       if (cur == nullptr || fields.size() != 3 || !parse_int(fields[1], &ln))
         return bad();

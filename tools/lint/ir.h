@@ -38,6 +38,7 @@ struct FileIR {
   std::uint64_t source_hash = 0;
   std::vector<FunctionInfo> functions;
   std::vector<PointerField> pointer_fields;
+  std::vector<MemberDecl> members;       // R8/R9: class-scope data members
   std::vector<TokenHit> guarded_writes;  // R3: `field <assign-op>` sites
   std::vector<TokenHit> banned_idents;   // R4: banned identifier uses
   std::vector<Suppression> suppressions;
@@ -64,12 +65,17 @@ std::vector<Finding> run_file_rules(const FileIR& ir, const RuleConfig& config);
 // --- incremental cache -------------------------------------------------------
 
 // Text cache format (tab-separated; names may contain spaces — `operator
-// bool` — but never tabs):
-//   overhaul-lint-cache v2 <config_hash hex>
+// bool` — but never tabs; list-valued fields are comma-joined, '-' when
+// empty — identifiers never contain commas):
+//   overhaul-lint-cache v3 <config_hash hex>
 //   F <source_hash hex> <path>
 //   f <line> <ret_is_ptr> <ret_type|-> <name> <qname>     (function)
 //   c <line> <qualifier|-> <name>                          (call site of ^)
+//   d <line> <kind> <succ> <defs> <uses> <calls> <decl_type|-> <locks>
+//     <unlocks>                                            (flow stmt of ^)
 //   p <line> <type> <name>                                 (pointer field)
+//   m <line> <mutable> <anno> <klass> <type|-> <name> <guard|->
+//                                                          (data member)
 //   w <line> <field>                                       (guarded write)
 //   b <line> <ident>                                       (banned ident)
 //   s <line> <rule> <reason>                               (suppression)

@@ -222,6 +222,603 @@ constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
 }  // namespace
 
+// --- control-flow extraction (R8-R10 raw material) ---------------------------
+
+namespace {
+
+const std::set<std::string>& assign_op_set() {
+  static const std::set<std::string> ops = {"=",  "+=", "-=", "*=",  "/=", "%=",
+                                            "&=", "|=", "^=", "<<=", ">>="};
+  return ops;
+}
+
+// Member-function calls that mutate their receiver: `channels_.push_back(x)`
+// counts as a write to `channels_` for the R8 accessor discipline.
+const std::set<std::string>& mutator_methods() {
+  static const std::set<std::string> m = {
+      "push_back", "emplace_back", "pop_back", "push_front", "pop_front",
+      "erase",     "clear",        "insert",   "emplace",    "resize",
+      "assign",    "reset"};
+  return m;
+}
+
+// RAII lock-guard types: declaring one acquires its constructor arguments
+// and releases them at the end of the enclosing block.
+const std::set<std::string>& raii_lock_types() {
+  static const std::set<std::string> t = {"lock_guard", "scoped_lock",
+                                          "unique_lock", "shared_lock"};
+  return t;
+}
+
+bool is_local_decl_specifier(const std::string& t) {
+  return t == "const" || t == "constexpr" || t == "static" || t == "auto" ||
+         t == "unsigned" || t == "signed" || t == "volatile" ||
+         t == "mutable" || t == "register" || t == "typename" ||
+         t == "thread_local";
+}
+
+// Builds FunctionInfo::flow from a body token range. Deliberately statement-
+// grained: defs/uses are the base identifiers of access chains, if/loop heads
+// become branch nodes with edges into their arms (plus a loop back edge), and
+// return/break/continue/throw terminate their path. Precise enough for the
+// R8-R10 tripwires, cheap enough to run at parse time and ride the
+// incremental cache.
+class FlowBuilder {
+ public:
+  explicit FlowBuilder(const std::vector<Token>& toks) : toks_(toks) {}
+
+  std::vector<FlowStmt> build(std::size_t begin, std::size_t end) {
+    stmts_.clear();
+    std::size_t j = begin;
+    (void)parse_block(&j, end);
+    return std::move(stmts_);
+  }
+
+ private:
+  // A parsed region: its entry statement (-1: transparent/empty) and the
+  // statements that fall through to whatever follows it.
+  struct Part {
+    int entry = -1;
+    std::vector<int> exits;
+  };
+
+  // Runaway backstop: a pathological body stops growing its CFG rather than
+  // bloating the cache (the analyses simply see a truncated graph).
+  static constexpr std::size_t kMaxStmts = 2048;
+
+  int add_stmt(FlowStmt s) {
+    if (stmts_.size() >= kMaxStmts) return -1;
+    auto dedupe = [](std::vector<std::string>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    dedupe(&s.defs);
+    dedupe(&s.uses);
+    dedupe(&s.calls);
+    dedupe(&s.locks);
+    dedupe(&s.unlocks);
+    stmts_.push_back(std::move(s));
+    return static_cast<int>(stmts_.size()) - 1;
+  }
+
+  void link(const std::vector<int>& from, int to) {
+    if (to < 0) return;
+    for (const int f : from)
+      if (f >= 0) stmts_[f].succ.push_back(to);
+  }
+
+  // `*j` points at '{'. Consumes through the matching '}'.
+  Part parse_block(std::size_t* j, std::size_t end) {
+    Part out;
+    std::vector<int> prev;
+    bool started = false;
+    std::vector<std::string> raii;  // mutexes released when this block closes
+    if (*j < end && is_punct(toks_[*j], "{")) ++*j;
+    while (*j < end && !is_punct(toks_[*j], "}")) {
+      const std::size_t before = *j;
+      Part p = parse_stmt(j, end, &raii);
+      if (*j <= before) ++*j;  // safety: always make progress
+      if (p.entry < 0) continue;
+      if (!started) {
+        out.entry = p.entry;
+        started = true;
+      } else {
+        link(prev, p.entry);
+      }
+      prev = std::move(p.exits);
+    }
+    const int close_line =
+        *j < end ? toks_[*j].line : (end > 0 ? toks_[end - 1].line : 0);
+    if (*j < end) ++*j;  // consume '}'
+    if (!raii.empty()) {
+      // Synthetic scope-exit release for the block's RAII guards.
+      FlowStmt rel;
+      rel.line = close_line;
+      rel.unlocks = raii;
+      const int idx = add_stmt(std::move(rel));
+      if (idx >= 0) {
+        link(prev, idx);
+        if (!started) {
+          out.entry = idx;
+          started = true;
+        }
+        prev = {idx};
+      }
+    }
+    if (started) out.exits = std::move(prev);
+    return out;
+  }
+
+  Part parse_stmt(std::size_t* j, std::size_t end,
+                  std::vector<std::string>* raii) {
+    if (*j >= end) return {};
+    const Token& t = toks_[*j];
+    if (is_punct(t, "{")) return parse_block(j, end);
+    if (is_punct(t, ";")) {
+      ++*j;
+      return {};
+    }
+    if (t.kind == TokKind::kIdent) {
+      const std::string& kw = t.text;
+      if (kw == "if") return parse_if(j, end, raii);
+      if (kw == "while") return parse_while(j, end, raii);
+      if (kw == "for") return parse_for(j, end, raii);
+      if (kw == "do") return parse_do(j, end, raii);
+      if (kw == "switch") return parse_switch(j, end, raii);
+      if (kw == "case" || kw == "default") {  // transparent label
+        while (*j < end && !is_punct(toks_[*j], ":")) ++*j;
+        if (*j < end) ++*j;
+        return {};
+      }
+      if (kw == "else") {  // stray else (should be consumed by parse_if)
+        ++*j;
+        return parse_stmt(j, end, raii);
+      }
+    }
+    return parse_plain(j, end, raii);
+  }
+
+  // Locates the head's balanced parens after a control keyword at `*j`;
+  // leaves `*j` one past the ')'.
+  bool head_parens(std::size_t* j, std::size_t end, std::size_t* open,
+                   std::size_t* close) {
+    std::size_t k = *j + 1;
+    while (k < end && !is_punct(toks_[k], "(")) {
+      if (toks_[k].kind == TokKind::kPunct) return false;
+      ++k;  // `if constexpr (...)` and friends
+    }
+    if (k >= end) return false;
+    *open = k;
+    int pd = 0;
+    for (; k < end; ++k) {
+      if (is_punct(toks_[k], "(")) ++pd;
+      else if (is_punct(toks_[k], ")") && --pd == 0) {
+        *close = k;
+        *j = k + 1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Part parse_if(std::size_t* j, std::size_t end,
+                std::vector<std::string>* raii) {
+    const int line = toks_[*j].line;
+    std::size_t open = 0, close = 0;
+    if (!head_parens(j, end, &open, &close)) {
+      ++*j;
+      return {};
+    }
+    FlowStmt head;
+    head.line = line;
+    head.kind = FlowStmt::Kind::kBranch;
+    scan_exprs(open + 1, close, &head);
+    const int h = add_stmt(std::move(head));
+    Part then_p = parse_stmt(j, end, raii);
+    if (h < 0) return then_p;
+    link({h}, then_p.entry);
+    Part out;
+    out.entry = h;
+    out.exits = then_p.entry < 0 ? std::vector<int>{h} : then_p.exits;
+    if (*j < end && toks_[*j].kind == TokKind::kIdent &&
+        toks_[*j].text == "else") {
+      ++*j;
+      Part else_p = parse_stmt(j, end, raii);
+      link({h}, else_p.entry);
+      if (else_p.entry < 0) {
+        out.exits.push_back(h);
+      } else {
+        out.exits.insert(out.exits.end(), else_p.exits.begin(),
+                         else_p.exits.end());
+      }
+    } else if (then_p.entry >= 0) {
+      out.exits.push_back(h);  // fall-through when the condition is false
+    }
+    return out;
+  }
+
+  Part parse_loop_head_and_body(FlowStmt head, std::size_t* j, std::size_t end,
+                                std::vector<std::string>* raii) {
+    const int h = add_stmt(std::move(head));
+    Part body = parse_stmt(j, end, raii);
+    if (h < 0) return body;
+    link({h}, body.entry);
+    link(body.exits, h);  // back edge
+    Part out;
+    out.entry = h;
+    out.exits = {h};
+    return out;
+  }
+
+  Part parse_while(std::size_t* j, std::size_t end,
+                   std::vector<std::string>* raii) {
+    const int line = toks_[*j].line;
+    std::size_t open = 0, close = 0;
+    if (!head_parens(j, end, &open, &close)) {
+      ++*j;
+      return {};
+    }
+    FlowStmt head;
+    head.line = line;
+    head.kind = FlowStmt::Kind::kLoop;
+    scan_exprs(open + 1, close, &head);
+    return parse_loop_head_and_body(std::move(head), j, end, raii);
+  }
+
+  Part parse_for(std::size_t* j, std::size_t end,
+                 std::vector<std::string>* raii) {
+    const int line = toks_[*j].line;
+    std::size_t open = 0, close = 0;
+    if (!head_parens(j, end, &open, &close)) {
+      ++*j;
+      return {};
+    }
+    FlowStmt head;
+    head.line = line;
+    // Range-for: a ':' at paren depth 1 with no ';' separators. The bound
+    // variables are R9 taint targets when the range is nondet-ordered.
+    std::size_t colon = kNpos;
+    bool classic = false;
+    {
+      int pd = 1;
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (is_punct(toks_[k], "(")) ++pd;
+        else if (is_punct(toks_[k], ")")) --pd;
+        else if (pd == 1 && is_punct(toks_[k], ";")) {
+          classic = true;
+          break;
+        } else if (pd == 1 && colon == kNpos && is_punct(toks_[k], ":")) {
+          colon = k;
+        }
+      }
+    }
+    if (!classic && colon != kNpos) {
+      head.kind = FlowStmt::Kind::kRangeFor;
+      for (std::size_t k = open + 1; k < colon; ++k) {
+        if (toks_[k].kind == TokKind::kIdent &&
+            !is_local_decl_specifier(toks_[k].text))
+          head.defs.push_back(toks_[k].text);
+      }
+      scan_exprs(colon + 1, close, &head);
+    } else {
+      head.kind = FlowStmt::Kind::kLoop;
+      std::vector<std::string> ignored;
+      analyze_range(open + 1, close, &head, &ignored);
+    }
+    return parse_loop_head_and_body(std::move(head), j, end, raii);
+  }
+
+  Part parse_do(std::size_t* j, std::size_t end,
+                std::vector<std::string>* raii) {
+    ++*j;  // past 'do'
+    Part body = parse_stmt(j, end, raii);
+    FlowStmt cond;
+    cond.kind = FlowStmt::Kind::kLoop;
+    cond.line = *j < end ? toks_[*j].line : 0;
+    if (*j < end && toks_[*j].kind == TokKind::kIdent &&
+        toks_[*j].text == "while") {
+      std::size_t open = 0, close = 0;
+      if (head_parens(j, end, &open, &close)) scan_exprs(open + 1, close, &cond);
+      if (*j < end && is_punct(toks_[*j], ";")) ++*j;
+    }
+    const int c = add_stmt(std::move(cond));
+    if (c < 0) return body;
+    link(body.exits, c);
+    link({c}, body.entry);  // back edge
+    Part out;
+    out.entry = body.entry >= 0 ? body.entry : c;
+    out.exits = {c};
+    return out;
+  }
+
+  Part parse_switch(std::size_t* j, std::size_t end,
+                    std::vector<std::string>* raii) {
+    const int line = toks_[*j].line;
+    std::size_t open = 0, close = 0;
+    if (!head_parens(j, end, &open, &close)) {
+      ++*j;
+      return {};
+    }
+    FlowStmt head;
+    head.line = line;
+    head.kind = FlowStmt::Kind::kBranch;
+    scan_exprs(open + 1, close, &head);
+    const int h = add_stmt(std::move(head));
+    Part body = parse_stmt(j, end, raii);
+    if (h < 0) return body;
+    link({h}, body.entry);
+    Part out;
+    out.entry = h;
+    out.exits = body.exits;
+    out.exits.push_back(h);  // no matching case
+    return out;
+  }
+
+  Part parse_plain(std::size_t* j, std::size_t end,
+                   std::vector<std::string>* raii) {
+    const std::size_t lo = *j;
+    int pd = 0, bd = 0;
+    std::size_t k = lo;
+    for (; k < end; ++k) {
+      const Token& t = toks_[k];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(") ++pd;
+      else if (t.text == ")") --pd;
+      else if (t.text == "{") ++bd;  // lambda body / brace init
+      else if (t.text == "}") {
+        if (bd == 0) break;  // end of enclosing block; unterminated statement
+        --bd;
+      } else if (t.text == ";" && pd <= 0 && bd == 0) {
+        break;
+      }
+    }
+    const std::size_t hi = k;  // exclusive of the ';'
+    *j = k < end && is_punct(toks_[k], ";") ? k + 1 : k;
+    if (hi == lo) return {};
+    FlowStmt s;
+    s.line = toks_[lo].line;
+    const bool terminal =
+        toks_[lo].kind == TokKind::kIdent &&
+        (toks_[lo].text == "return" || toks_[lo].text == "break" ||
+         toks_[lo].text == "continue" || toks_[lo].text == "throw" ||
+         toks_[lo].text == "goto");
+    analyze_range(lo + (terminal ? 1 : 0), hi, &s, raii);
+    const int idx = add_stmt(std::move(s));
+    Part p;
+    p.entry = idx;
+    if (!terminal && idx >= 0) p.exits = {idx};
+    return p;
+  }
+
+  // Statement-level extraction: declaration handling first (so the declared
+  // name is a def and a RAII guard registers its mutexes), then a generic
+  // expression scan over the rest.
+  void analyze_range(std::size_t lo, std::size_t hi, FlowStmt* s,
+                     std::vector<std::string>* raii) {
+    std::string declared;
+    std::size_t init_from = kNpos;
+    detect_decl(lo, hi, s, &declared, &init_from);
+    if (!declared.empty()) {
+      s->defs.push_back(declared);
+      bool raii_lock = false;
+      {
+        std::istringstream type(s->decl_type);
+        std::string word;
+        while (type >> word)
+          if (raii_lock_types().count(word) != 0) raii_lock = true;
+      }
+      if (raii_lock) {
+        // `std::lock_guard<std::mutex> g(mu_);` — acquire now, release when
+        // the enclosing block closes.
+        for (std::size_t k = init_from == kNpos ? hi : init_from; k < hi; ++k) {
+          if (toks_[k].kind != TokKind::kIdent) continue;
+          std::string base, last;
+          k = scan_chain(k, hi, &base, &last) - 1;
+          s->locks.push_back(last);
+          s->uses.push_back(last);
+          raii->push_back(last);
+        }
+        return;
+      }
+      if (init_from == kNpos) return;
+      lo = init_from;
+    }
+    scan_exprs(lo, hi, s);
+  }
+
+  // Recognizes a local declaration at the start of [lo, hi):
+  //   specifier* type-chain template-args? [*&]* name ('=' | '{' | '(' | end)
+  // Fills decl_type (space-joined type idents), the declared name, and the
+  // first initializer token (kNpos when there is no initializer).
+  void detect_decl(std::size_t lo, std::size_t hi, FlowStmt* s,
+                   std::string* name, std::size_t* init_from) const {
+    std::size_t k = lo;
+    std::vector<std::string> type;
+    while (k < hi && toks_[k].kind == TokKind::kIdent &&
+           is_local_decl_specifier(toks_[k].text)) {
+      type.push_back(toks_[k].text);
+      ++k;
+    }
+    while (k < hi && toks_[k].kind == TokKind::kIdent) {
+      if (control_keywords().count(toks_[k].text) != 0) return;
+      std::vector<std::string> seg = {toks_[k].text};
+      std::size_t seg_end = k + 1;
+      while (seg_end + 1 < hi && is_punct(toks_[seg_end], "::") &&
+             toks_[seg_end + 1].kind == TokKind::kIdent) {
+        seg.push_back(toks_[seg_end + 1].text);
+        seg_end += 2;
+      }
+      bool templated = false;
+      if (seg_end < hi && is_punct(toks_[seg_end], "<")) {
+        const std::size_t after = skip_angles(seg_end, hi, &seg);
+        if (after == kNpos) return;  // comparison, not a type
+        seg_end = after;
+        templated = true;
+      }
+      // The segment may itself be the declared name (`auto it = ...`,
+      // `unsigned x = 0`): a single untemplated ident, with type context
+      // already collected, followed by an initializer or the end.
+      if (!templated && seg.size() == 1 && !type.empty() &&
+          is_init_or_end(seg_end, hi)) {
+        *name = seg[0];
+        s->decl_type = join_words(type);
+        *init_from = seg_end < hi ? seg_end + 1 : kNpos;
+        return;
+      }
+      std::size_t decl_end = seg_end;
+      while (decl_end < hi && toks_[decl_end].kind == TokKind::kPunct &&
+             (toks_[decl_end].text == "*" || toks_[decl_end].text == "&" ||
+              toks_[decl_end].text == "&&"))
+        ++decl_end;
+      if (decl_end < hi && toks_[decl_end].kind == TokKind::kIdent &&
+          control_keywords().count(toks_[decl_end].text) == 0 &&
+          is_init_or_end(decl_end + 1, hi)) {
+        for (const std::string& t : seg) type.push_back(t);
+        *name = toks_[decl_end].text;
+        s->decl_type = join_words(type);
+        *init_from = decl_end + 1 < hi ? decl_end + 2 : kNpos;
+        return;
+      }
+      // Multi-word builtin types (`unsigned long x`): absorb and continue.
+      if (!templated && seg.size() == 1 && seg_end == k + 1 && seg_end < hi &&
+          toks_[seg_end].kind == TokKind::kIdent) {
+        type.push_back(seg[0]);
+        k = seg_end;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool is_init_or_end(std::size_t k, std::size_t hi) const {
+    if (k >= hi) return true;
+    if (toks_[k].kind != TokKind::kPunct) return false;
+    const std::string& p = toks_[k].text;
+    return p == "=" || p == "{" || p == "(" || p == ";" || p == ",";
+  }
+
+  // Balanced template-argument skip bounded to [k, hi); collects the
+  // identifier tokens inside into `seg`.
+  std::size_t skip_angles(std::size_t k, std::size_t hi,
+                          std::vector<std::string>* seg) const {
+    int depth = 0;
+    std::size_t steps = 0;
+    for (; k < hi && steps < 256; ++k, ++steps) {
+      const Token& t = toks_[k];
+      if (t.kind == TokKind::kIdent) {
+        if (seg != nullptr && depth > 0) seg->push_back(t.text);
+        continue;
+      }
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "<") {
+        ++depth;
+      } else if (t.text == ">") {
+        if (--depth == 0) return k + 1;
+      } else if (t.text == ">>") {
+        depth -= 2;
+        if (depth <= 0) return k + 1;
+      } else if (t.text == ";" || t.text == "{" || t.text == "}" ||
+                 t.text == "&&" || t.text == "||") {
+        return kNpos;
+      }
+    }
+    return kNpos;
+  }
+
+  // Access-chain scan: at an identifier, consume `a.b->c::d` and report the
+  // base and last identifiers; returns one past the chain.
+  std::size_t scan_chain(std::size_t k, std::size_t hi, std::string* base,
+                         std::string* last) const {
+    *base = *last = toks_[k].text;
+    ++k;
+    while (k + 1 < hi && toks_[k].kind == TokKind::kPunct &&
+           (toks_[k].text == "." || toks_[k].text == "->" ||
+            toks_[k].text == "::") &&
+           toks_[k + 1].kind == TokKind::kIdent) {
+      *last = toks_[k + 1].text;
+      k += 2;
+    }
+    return k;
+  }
+
+  // Generic expression scan: calls, defs (assignment targets, ++/--,
+  // container mutators, std::erase/erase_if first args), lock()/unlock(),
+  // and uses for everything else.
+  void scan_exprs(std::size_t lo, std::size_t hi, FlowStmt* s) {
+    bool pending_incr = false;
+    for (std::size_t k = lo; k < hi;) {
+      const Token& t = toks_[k];
+      if (t.kind == TokKind::kPunct && (t.text == "++" || t.text == "--")) {
+        pending_incr = true;
+        ++k;
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) {
+        ++k;
+        continue;
+      }
+      std::string base, last;
+      const std::size_t after = scan_chain(k, hi, &base, &last);
+      k = after;
+      const bool called = after < hi && is_punct(toks_[after], "(");
+      bool wrote = false;
+      if (called && control_keywords().count(last) == 0) {
+        s->calls.push_back(last);
+        const bool member_call = base != last;
+        if (member_call && last == "lock") {
+          s->locks.push_back(base);
+        } else if (member_call && last == "unlock") {
+          s->unlocks.push_back(base);
+        } else if (member_call && mutator_methods().count(last) != 0) {
+          s->defs.push_back(base);
+          wrote = true;
+        } else if ((last == "erase" || last == "erase_if") && !member_call) {
+          // unreachable: bare erase is member_call==false only when base==last
+          wrote = false;
+        }
+        if ((last == "erase" || last == "erase_if") && base == "std") {
+          // std::erase(_if)(container, ...) mutates its first argument.
+          std::size_t a = after + 1;
+          while (a < hi && toks_[a].kind != TokKind::kIdent &&
+                 !is_punct(toks_[a], ")"))
+            ++a;
+          if (a < hi && toks_[a].kind == TokKind::kIdent)
+            s->defs.push_back(toks_[a].text);
+        }
+      }
+      const bool assigned = after < hi &&
+                            toks_[after].kind == TokKind::kPunct &&
+                            assign_op_set().count(toks_[after].text) != 0;
+      const bool post_incr = after < hi &&
+                             toks_[after].kind == TokKind::kPunct &&
+                             (toks_[after].text == "++" ||
+                              toks_[after].text == "--");
+      if (!wrote) {
+        if (assigned || post_incr || pending_incr) {
+          s->defs.push_back(base);
+        } else if (!(called && base == last)) {
+          s->uses.push_back(base);
+        }
+      }
+      pending_incr = false;
+    }
+  }
+
+  static std::string join_words(const std::vector<std::string>& v) {
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out += " ";
+      out += v[i];
+    }
+    return out;
+  }
+
+  const std::vector<Token>& toks_;
+  std::vector<FlowStmt> stmts_;
+};
+
+}  // namespace
+
 bool qname_matches(const std::string& qname, const std::string& pattern) {
   if (qname == pattern) return true;
   const std::string suffix = "::" + pattern;
@@ -409,21 +1006,188 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
     return prefix;
   };
 
+  // Class-scope data-member recognizer for R8/R9. `j` points at the first
+  // token of a statement (possibly an OVERHAUL_* annotation macro). On
+  // success fills `m` (everything but klass) and returns one past the ';';
+  // returns kNpos when the statement is not a plain data member.
+  auto member_scan = [&](std::size_t j, MemberDecl* m) -> std::size_t {
+    if (toks[j].kind != TokKind::kIdent) return kNpos;
+    const std::string& first = toks[j].text;
+    if (first == "OVERHAUL_SHARD_LOCAL") {
+      m->anno = MemberAnno::kShardLocal;
+      ++j;
+    } else if (first == "OVERHAUL_SHARED" || first == "OVERHAUL_GUARDED_BY") {
+      m->anno = first == "OVERHAUL_SHARED" ? MemberAnno::kShared
+                                           : MemberAnno::kGuardedBy;
+      ++j;
+      if (j >= n || !is_punct(toks[j], "(")) return kNpos;
+      const std::size_t close = skip_parens(j);
+      // '|'-joined accessor list; qualified names keep their "::".
+      for (std::size_t k = j + 1; k + 1 < close; ++k) {
+        const Token& g = toks[k];
+        if (g.kind == TokKind::kIdent) {
+          m->guard += g.text;
+        } else if (is_punct(g, "::")) {
+          m->guard += "::";
+        } else if (!m->guard.empty() && m->guard.back() != '|') {
+          m->guard += "|";
+        }
+      }
+      if (!m->guard.empty() && m->guard.back() == '|') m->guard.pop_back();
+      j = close;
+    }
+    if (j >= n || toks[j].kind != TokKind::kIdent) return kNpos;
+    static const std::set<std::string> kNotMember = {
+        "using",    "typedef", "friend",  "operator",      "public",
+        "private",  "protected", "template", "static_assert", "class",
+        "struct",   "union",   "enum",    "namespace",     "virtual",
+        "explicit", "return",  "if",      "for",           "while",
+        "switch",   "do",      "case",    "default",       "goto"};
+    // Pre-initializer walk: collect declaration tokens up to ';', '=', or a
+    // brace initializer, rejecting anything function-shaped along the way.
+    bool is_const = false, is_constexpr = false, has_star = false;
+    int angle = 0;
+    std::size_t k = j;
+    std::size_t stmt_end = kNpos;  // one past the ';'
+    std::size_t init_at = kNpos;   // position of '=' or the init '{'
+    while (k < n) {
+      const Token& tk = toks[k];
+      if (tk.kind == TokKind::kIdent) {
+        if (angle == 0 && kNotMember.count(tk.text) != 0) return kNpos;
+        if (angle == 0 && tk.text == "const") is_const = true;
+        if (angle == 0 && tk.text == "constexpr") is_constexpr = true;
+        ++k;
+        continue;
+      }
+      if (tk.kind != TokKind::kPunct) {  // literal (array dimension, ...)
+        ++k;
+        continue;
+      }
+      const std::string& p = tk.text;
+      if (p == "<") {
+        ++angle;
+        ++k;
+        continue;
+      }
+      if (p == ">" || p == ">>") {
+        angle = std::max(0, angle - (p == ">" ? 1 : 2));
+        ++k;
+        continue;
+      }
+      if (angle > 0) {  // anything goes inside template arguments
+        ++k;
+        continue;
+      }
+      if (p == "*") {
+        has_star = true;
+        ++k;
+        continue;
+      }
+      if (p == "&" || p == "&&" || p == "::" || p == "[" || p == "]") {
+        ++k;
+        continue;
+      }
+      if (p == ";") {
+        stmt_end = k + 1;
+        break;
+      }
+      if (p == "=" || p == "{") {
+        init_at = k;
+        break;
+      }
+      return kNpos;  // '(', ',', ':', '~', ... — function, bitfield, ...
+    }
+    if (stmt_end == kNpos) {
+      if (init_at == kNpos || init_at == j) return kNpos;
+      if (is_punct(toks[init_at], "{")) {
+        // A brace initializer directly follows a name (`v_{...}`); a '{'
+        // after anything else is a function body.
+        const Token& prev = toks[init_at - 1];
+        if (!(prev.kind == TokKind::kIdent || is_punct(prev, ">") ||
+              is_punct(prev, "]")))
+          return kNpos;
+        const std::size_t after_braces = skip_braces(init_at);
+        if (after_braces >= n || !is_punct(toks[after_braces], ";"))
+          return kNpos;
+        stmt_end = after_braces + 1;
+      } else {  // '=': skip the initializer to the ';' at depth 0
+        int pd = 0, bd = 0;
+        std::size_t e = init_at + 1;
+        for (; e < n; ++e) {
+          const Token& v = toks[e];
+          if (v.kind != TokKind::kPunct) continue;
+          if (v.text == "(") ++pd;
+          else if (v.text == ")") --pd;
+          else if (v.text == "{") ++bd;
+          else if (v.text == "}") {
+            if (bd == 0) return kNpos;  // ran off the class body
+            --bd;
+          } else if (v.text == ";" && pd == 0 && bd == 0) {
+            break;
+          }
+        }
+        if (e >= n) return kNpos;
+        stmt_end = e + 1;
+      }
+    }
+    // The declared name: the identifier directly before the initializer /
+    // terminator (or before its '[' array dimensions).
+    const std::size_t decl_stop = init_at != kNpos ? init_at : stmt_end - 1;
+    std::size_t name_pos = kNpos;
+    for (std::size_t q = decl_stop; q > j; --q) {
+      if (toks[q - 1].kind != TokKind::kIdent) continue;
+      const Token& nx = toks[q];
+      if (is_punct(nx, ";") || is_punct(nx, "=") || is_punct(nx, "{") ||
+          is_punct(nx, "["))
+        name_pos = q - 1;
+      break;
+    }
+    if (name_pos == kNpos || name_pos == j) return kNpos;
+    m->name = toks[name_pos].text;
+    m->line = toks[name_pos].line;
+    for (std::size_t q = j; q < name_pos; ++q) {
+      if (toks[q].kind != TokKind::kIdent) continue;
+      if (!m->type.empty()) m->type += " ";
+      m->type += toks[q].text;
+    }
+    const bool is_ref = is_punct(toks[name_pos - 1], "&") ||
+                        is_punct(toks[name_pos - 1], "&&");
+    m->is_mutable = !is_constexpr && !is_ref && !(is_const && !has_star);
+    // R7 compatibility: `Type* name` members keep feeding pointer_fields.
+    if (name_pos >= j + 2 && is_punct(toks[name_pos - 1], "*") &&
+        toks[name_pos - 2].kind == TokKind::kIdent &&
+        name_pos + 1 < n &&
+        (is_punct(toks[name_pos + 1], ";") ||
+         is_punct(toks[name_pos + 1], "=") ||
+         is_punct(toks[name_pos + 1], "{"))) {
+      out.pointer_fields.push_back({toks[name_pos - 2].text, m->name, m->line});
+    }
+    return stmt_end;
+  };
+
+  // True when `i` sits at the start of a class/namespace-scope statement —
+  // the only positions where a member declaration may begin. Keeps the
+  // member scanner from re-triggering on identifiers mid-declaration.
+  bool stmt_start = true;
+
   std::size_t i = 0;
   while (i < n) {
     const Token& t = toks[i];
     if (is_punct(t, "{")) {
       ++depth;
       ++i;
+      stmt_start = true;
       continue;
     }
     if (is_punct(t, "}")) {
       if (!classes.empty() && classes.back().depth == depth) classes.pop_back();
       --depth;
       ++i;
+      stmt_start = true;
       continue;
     }
     if (t.kind != TokKind::kIdent && !is_punct(t, "~")) {
+      stmt_start = is_punct(t, ";") || is_punct(t, ":");
       ++i;
       continue;
     }
@@ -439,6 +1203,7 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
           }
         }
       }
+      stmt_start = false;
       continue;
     }
     if (t.text == "enum") {
@@ -449,6 +1214,7 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
       if (i < n && toks[i].kind == TokKind::kIdent) ++i;  // name
       while (i < n && !is_punct(toks[i], "{") && !is_punct(toks[i], ";")) ++i;
       if (i < n && is_punct(toks[i], "{")) i = skip_braces(i);
+      stmt_start = true;
       continue;
     }
     if (t.text == "class" || t.text == "struct" || t.text == "union") {
@@ -481,11 +1247,29 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
         classes.push_back({clast, depth + 1});
         ++depth;
         i = k + 1;
+        stmt_start = true;
       } else {
         i = std::max(k, i + 1);
+        stmt_start = false;
       }
       continue;
     }
+
+    // Class-scope data member (R8/R9 raw material). Attempted only at
+    // statement starts so mid-declaration identifiers can't re-trigger it;
+    // on success the whole statement (through its ';') is consumed.
+    if (stmt_start && !classes.empty() && classes.back().depth == depth) {
+      MemberDecl m;
+      const std::size_t after_m = member_scan(i, &m);
+      if (after_m != kNpos) {
+        m.klass = scope_prefix();
+        if (m.klass.size() >= 2) m.klass.erase(m.klass.size() - 2);  // "::"
+        out.members.push_back(std::move(m));
+        i = after_m;
+        continue;  // stmt_start stays true
+      }
+    }
+    stmt_start = false;
 
     // Class-scope pointer field: `Type* name;` / `Type* name = ...;` /
     // `Type* name{...};`. Declarations (`Type* f(...)`) are excluded by the
@@ -587,8 +1371,11 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
       }
     }
 
+    const std::size_t body_begin = j;
     i = parse_body(j, &fn);
+    fn.flow = FlowBuilder(toks).build(body_begin, i);
     out.functions.push_back(std::move(fn));
+    stmt_start = true;
   }
   return out;
 }
@@ -721,6 +1508,21 @@ std::optional<RuleConfig> parse_rules(const std::string& text,
     else if (key == "r6.allow") append(cfg.r6_allow);
     else if (key == "r7.type") append(cfg.r7_types);
     else if (key == "r7.allow") append(cfg.r7_allow);
+    else if (key == "r8.root") append(cfg.r8_roots);
+    else if (key == "r8.allow") append(cfg.r8_allow);
+    else if (key == "r9.nondet") append(cfg.r9_nondet);
+    else if (key == "r9.source") append(cfg.r9_sources);
+    else if (key == "r9.sink") append(cfg.r9_sinks);
+    else if (key == "r9.allow") append(cfg.r9_allow);
+    else if (key == "r10.order") append(cfg.r10_order);
+    else if (key == "r10.holds") {
+      for (const auto& v : vals) {
+        const auto parts = split_on(v, ':');
+        if (parts.size() != 2 || parts[0].empty() || parts[1].empty())
+          return fail("r10.holds wants function:mutex, got '" + v + "'");
+        cfg.r10_holds.emplace_back(parts[0], parts[1]);
+      }
+    } else if (key == "r10.allow") append(cfg.r10_allow);
     else if (key == "cg.edge") {
       if (vals.size() != 2)
         return fail("cg.edge wants exactly: caller-qname callee-qname");

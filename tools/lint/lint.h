@@ -32,6 +32,19 @@
 //   R7  handle-discipline no raw TaskStruct* stored in a long-lived member
 //                         or returned outside ProcessTable — holders must
 //                         use generation-checked TaskHandles.
+//   R8  shared-state      every mutable member of a declared concurrency
+//                         root carries a src/util/annotations.h ownership
+//                         annotation, and writes to OVERHAUL_SHARED state
+//                         happen only in (or call-graph-reachable from) the
+//                         declared accessors (dataflow.h).
+//   R9  nondet-order      values produced by iterating unordered containers
+//                         (or by rand/time-style sources) must not flow into
+//                         audit/metrics/trace/decision sinks — seed-stable
+//                         streams are part of the security argument
+//                         (dataflow.h; --explain R9:<fn> prints witnesses).
+//   R10 lock-discipline   mutex acquisition respects the declared global
+//                         order, and OVERHAUL_GUARDED_BY state is written
+//                         only with its guard held (dataflow.h).
 //
 // The analyzer is still not a compiler; it is a tripwire tuned to this
 // codebase's idiom, registered as a tier-1 ctest check so a refactor cannot
@@ -41,6 +54,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace overhaul::lint {
@@ -72,6 +86,31 @@ struct CallSite {
   int line = 0;
 };
 
+// One node of a function's flattened intra-procedural control-flow graph
+// (the raw material for the R8-R10 dataflow engine, dataflow.h). Compound
+// heads (if/for/while/switch) are their own nodes whose successors are the
+// branch targets; a RAII lock guard's release becomes a synthetic node at
+// the end of its enclosing block.
+struct FlowStmt {
+  enum class Kind : std::uint8_t {
+    kPlain = 0,
+    kBranch = 1,    // if / switch head
+    kLoop = 2,      // for / while / do-while head
+    kRangeFor = 3,  // range-for head: defs = bound vars, uses = range expr
+  };
+  int line = 0;
+  Kind kind = Kind::kPlain;
+  std::vector<int> succ;             // indices into the owning flow vector
+  std::vector<std::string> defs;     // identifiers written here (assignment,
+                                     // ++/--, container mutator calls)
+  std::vector<std::string> uses;     // identifiers read here
+  std::vector<std::string> calls;    // callee names invoked here
+  std::string decl_type;             // space-joined type tokens when this
+                                     // statement declares a local ("" else)
+  std::vector<std::string> locks;    // mutexes acquired in this statement
+  std::vector<std::string> unlocks;  // mutexes released (explicit or RAII)
+};
+
 struct FunctionInfo {
   std::string qualified_name;  // e.g. "Pipe::write"; in-class definitions are
                                // prefixed with the enclosing class scope(s)
@@ -82,6 +121,7 @@ struct FunctionInfo {
   bool ret_is_ptr = false;     // '*' between return type and name
   std::vector<std::string> calls;      // unqualified callee names (legacy)
   std::vector<CallSite> call_sites;    // full call-site records
+  std::vector<FlowStmt> flow;          // control-flow graph of the body
 };
 
 // A pointer-typed data member declared at class scope: `Type* name_;`.
@@ -92,9 +132,33 @@ struct PointerField {
   int line = 0;
 };
 
+// src/util/annotations.h vocabulary as the analyzer sees it. The lint does
+// not preprocess, so the macros appear as plain identifier tokens preceding
+// the member declaration.
+enum class MemberAnno : std::uint8_t {
+  kNone = 0,
+  kShardLocal = 1,  // OVERHAUL_SHARD_LOCAL
+  kShared = 2,      // OVERHAUL_SHARED(accessor|accessor...)
+  kGuardedBy = 3,   // OVERHAUL_GUARDED_BY(mutex)
+};
+
+// A data member declared at class scope, with its ownership annotation.
+// The raw material for R8 (shared-state discipline) and R9 (nondet-typed
+// member containers).
+struct MemberDecl {
+  std::string klass;  // enclosing class scope ("NetlinkHub", "Outer::Inner")
+  std::string type;   // space-joined type identifier tokens
+  std::string name;
+  int line = 0;
+  MemberAnno anno = MemberAnno::kNone;
+  std::string guard;       // kShared: '|'-joined accessors; kGuardedBy: mutex
+  bool is_mutable = true;  // false: const/constexpr/reference members
+};
+
 struct FileFacts {
   std::vector<FunctionInfo> functions;
   std::vector<PointerField> pointer_fields;
+  std::vector<MemberDecl> members;
 };
 
 // Heuristic extractor: definition name (class-scope aware), call set, return
@@ -166,6 +230,28 @@ struct RuleConfig {
   std::vector<std::string> r7_types;  // guarded pointee types ("TaskStruct")
   std::vector<std::string> r7_allow;  // paths allowed to traffic raw pointers
 
+  // R8 — shared-state discipline (annotations + dataflow, dataflow.h).
+  std::vector<std::string> r8_roots;  // class names whose mutable members
+                                      // must carry an ownership annotation
+  std::vector<std::string> r8_allow;  // qname suffixes or paths exempt
+
+  // R9 — deterministic ordering (taint dataflow, dataflow.h).
+  std::vector<std::string> r9_nondet;   // type tokens with nondeterministic
+                                        // iteration order (unordered_map...)
+  std::vector<std::string> r9_sources;  // call names producing nondet values
+                                        // (rand, time — generalizes R4)
+  std::vector<std::string> r9_sinks;    // call names of audit/metrics/trace/
+                                        // decision sinks
+  std::vector<std::string> r9_allow;    // qname suffixes or paths exempt
+
+  // R10 — lock discipline (dataflow.h).
+  std::vector<std::string> r10_order;  // global acquisition order, outermost
+                                       // mutex first
+  std::vector<std::pair<std::string, std::string>>
+      r10_holds;                       // fn:mutex — fn asserts mutex is held
+                                       // on entry (checked at its call sites)
+  std::vector<std::string> r10_allow;  // qname suffixes or paths exempt
+
   // Declared call-graph edges for handler/function-pointer indirection.
   std::vector<ExtraEdge> cg_edges;
 };
@@ -182,7 +268,7 @@ std::optional<RuleConfig> load_rules_file(const std::string& path,
 struct Finding {
   std::string file;
   int line = 0;
-  std::string rule;  // "R1".."R7", "io", "sup" (suppression/baseline hygiene)
+  std::string rule;  // "R1".."R10", "io", "sup" (suppression/baseline hygiene)
   std::string message;
   std::string symbol;  // qualified function / field / identifier — the
                        // baseline key, stable across line drift

@@ -15,7 +15,7 @@
 
 namespace {
 
-constexpr const char* kVersion = "5.0";
+constexpr const char* kVersion = "6.0";
 
 void usage(std::FILE* to) {
   std::fprintf(
@@ -25,8 +25,9 @@ void usage(std::FILE* to) {
       "                     [--explain RULE[:FUNCTION]] [--stats] [--quiet]\n"
       "\n"
       "Mediation-completeness analyzer for the Overhaul tree. Scans the\n"
-      "roots for C++ sources, builds a whole-tree call graph, and enforces\n"
-      "rules R1-R7 from the rules file.\n"
+      "roots for C++ sources, builds a whole-tree call graph plus per-\n"
+      "function dataflow CFGs, and enforces rules R1-R10 from the rules\n"
+      "file.\n"
       "\n"
       "  --baseline FILE  vetted findings (rule file symbol reason); stale\n"
       "                   entries are themselves findings\n"
@@ -34,7 +35,8 @@ void usage(std::FILE* to) {
       "                   hash); safe to delete at any time\n"
       "  --sarif OUT      also write findings as SARIF 2.1.0 JSON\n"
       "  --explain SPEC   print witness call chains instead of linting:\n"
-      "                   R5 (all seeds), R5:<function>, R6:<function>\n"
+      "                   R5 (all seeds), R5:<function>, R6:<function>,\n"
+      "                   R9:<function> (nondet-order taint witness)\n"
       "  --stats          print file/function/edge/cache counters\n"
       "  --quiet          suppress per-finding lines (exit code only)\n");
 }
@@ -153,11 +155,12 @@ int main(int argc, char** argv) {
   }
   if (stats) {
     std::printf(
-        "overhaul-lint: %zu files (%zu reparsed), %zu functions, %zu call "
-        "edges, %zu findings (%zu suppressed, %zu baselined)\n",
-        result.stats.files, result.stats.reparsed, result.stats.functions,
-        result.stats.call_edges, result.findings.size(),
-        result.stats.suppressed, result.stats.baselined);
+        "overhaul-lint: %zu files (%zu reparsed, %zu evicted), %zu functions, "
+        "%zu call edges, %zu findings (%zu suppressed, %zu baselined)\n",
+        result.stats.files, result.stats.reparsed, result.stats.evicted,
+        result.stats.functions, result.stats.call_edges,
+        result.findings.size(), result.stats.suppressed,
+        result.stats.baselined);
   } else if (!quiet) {
     std::fprintf(stderr,
                  "overhaul-lint: %zu finding(s) in %zu file(s) scanned\n",

@@ -1,5 +1,7 @@
 #include "rules_flow.h"
 
+#include "dataflow.h"
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -56,8 +58,8 @@ bool read_file(const std::string& path, std::string* out) {
 }
 
 const std::set<std::string>& known_rules() {
-  static const std::set<std::string> rules = {"R1", "R2", "R3", "R4",
-                                              "R5", "R6", "R7"};
+  static const std::set<std::string> rules = {"R1", "R2", "R3", "R4", "R5",
+                                              "R6", "R7", "R8", "R9", "R10"};
   return rules;
 }
 
@@ -278,6 +280,9 @@ TreeResult analyze_program(ProgramIR program, const RuleConfig& cfg,
   stats.call_edges = graph.edge_count();
   run_r5(program, graph, cfg, &findings);
   run_r6(graph, cfg, &findings);
+  run_r8(program, graph, cfg, &findings);
+  run_r9(program, cfg, &findings);
+  run_r10(program, cfg, &findings);
   filter_findings(program, baseline, &findings, &stats);
 
   std::sort(findings.begin(), findings.end(),
@@ -357,6 +362,13 @@ TreeResult run_tree(const TreeOptions& options) {
   by_path.reserve(cached.size());
   for (FileIR& f : cached) by_path.emplace(f.path, &f);
 
+  // Cache hygiene: entries for files that vanished from the tree are counted
+  // and dropped (the rewrite below serializes only scanned files, so an
+  // evicted entry never comes back).
+  for (const FileIR& f : cached)
+    if (!std::binary_search(paths.begin(), paths.end(), f.path))
+      ++stats.evicted;
+
   ProgramIR program;
   program.files.reserve(paths.size());
   std::size_t hits = 0;
@@ -411,9 +423,20 @@ ExplainOutcome explain(const ProgramIR& program, const RuleConfig& cfg,
     rule = spec.substr(0, colon);
     function = spec.substr(colon + 1);
   }
-  if (rule != "R5" && rule != "R6") {
+  if (rule != "R5" && rule != "R6" && rule != "R9") {
     out.exit_code = 2;
-    out.text = "--explain understands R5[:<function>] and R6:<function>\n";
+    out.text =
+        "--explain understands R5[:<function>], R6:<function>, and "
+        "R9:<function>\n";
+    return out;
+  }
+  if (rule == "R9") {
+    if (function.empty()) {
+      out.exit_code = 2;
+      out.text = "--explain R9 wants a function: --explain R9:<function>\n";
+      return out;
+    }
+    out.text = explain_r9(program, cfg, function, &out.exit_code);
     return out;
   }
 

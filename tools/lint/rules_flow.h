@@ -1,6 +1,8 @@
 // Whole-tree analysis pipeline: file discovery, the incremental cache, the
 // inter-procedural rules (R5 mediation-reachability, R6 interaction-taint),
-// suppression/baseline filtering, and the --explain witness printer.
+// the dataflow rules (R8 shared-state, R9 nondet-order, R10 lock discipline;
+// dataflow.h), suppression/baseline filtering, and the --explain witness
+// printer.
 //
 // R5: every seeded resource-acquisition entry point (r5.seed file:function)
 // must transitively reach a permission-monitor sink (r5.sink) through the
@@ -56,6 +58,7 @@ struct TreeOptions {
 struct TreeStats {
   std::size_t files = 0;
   std::size_t reparsed = 0;  // files not served from the cache
+  std::size_t evicted = 0;   // cache entries whose file vanished from disk
   std::size_t functions = 0;
   std::size_t call_edges = 0;
   std::size_t suppressed = 0;  // findings dropped by inline suppressions
@@ -79,9 +82,10 @@ TreeResult run_tree_mem(
     const RuleConfig& config,
     const std::vector<BaselineEntry>& baseline = {});
 
-// --explain: prints witness call chains. `spec` is "R5", "R5:<function>", or
-// "R6:<function>". exit_code: 0 = every requested witness exists, 1 = at
-// least one chain is missing, 2 = bad spec.
+// --explain: prints witness call chains. `spec` is "R5", "R5:<function>",
+// "R6:<function>", or "R9:<function>" (taint witness: nondet origin -> sink).
+// exit_code: 0 = every requested witness exists, 1 = at least one chain is
+// missing, 2 = bad spec.
 struct ExplainOutcome {
   int exit_code = 0;
   std::string text;

@@ -58,6 +58,15 @@ constexpr RuleMeta kRules[] = {
      "Interaction mints flow only from sanctioned hardware-input sources"},
     {"R7", "handle-discipline",
      "No raw TaskStruct* stored or returned outside ProcessTable"},
+    {"R8", "shared-state-discipline",
+     "Mutable members of concurrency roots carry ownership annotations; "
+     "OVERHAUL_SHARED writes stay inside their declared accessors"},
+    {"R9", "deterministic-ordering",
+     "Unordered-container iteration and entropy sources must not flow into "
+     "audit/metrics/decision sinks"},
+    {"R10", "lock-discipline",
+     "Locks follow the declared acquisition order; OVERHAUL_GUARDED_BY "
+     "members are written only with their mutex held"},
     {"io", "io-error", "A configured root or source file could not be read"},
     {"sup", "suppression-hygiene",
      "Malformed/unused suppressions and stale baseline entries"},
