@@ -1,0 +1,234 @@
+// Fleet-scale benchmark: boot 1k+ full per-seat kernel stacks in one
+// process and drive them from the fleet harness (DESIGN.md §14).
+//
+// Shape:
+//   1. staggered boot storm (one seat per virtual millisecond) with one GUI
+//      session launched on each seat as it comes up, timed wall-clock;
+//   2. a seeded interaction mix — hardware clicks, permission decisions
+//      inside and outside δ, cross-shard P2 sends/receives over a ring of
+//      XShardLinks — stepped through the harness's rotated round-robin,
+//      with every per-shard step timed into a latency histogram;
+//   3. BENCH_fleet.json: aggregate decisions/sec and notifications/sec,
+//      cross-shard send count, the peak-RSS proxy (process-table slabs +
+//      audit rings), and per-shard step latency p50/p99.
+//
+// The default run (1024 shards, mixed backends) is the ROADMAP's
+// "thousands of concurrent desktops in one address space" demonstrator and
+// hard-fails if fewer than 1000 sessions are live after the storm.
+// --quick (128 shards, 8 rounds) is the check.sh smoke shape.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "fleet/harness.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+
+using namespace overhaul;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Options {
+  int shards = 1024;
+  int rounds = 32;
+  fleet::BackendMix mix = fleet::BackendMix::kMixed;
+  std::uint64_t seed = 1;
+  bool quick = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+      opt.shards = 128;
+      opt.rounds = 8;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      opt.shards = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--backend=x11") == 0) {
+      opt.mix = fleet::BackendMix::kX11;
+    } else if (std::strcmp(arg, "--backend=wl") == 0 ||
+               std::strcmp(arg, "--backend=wayland") == 0) {
+      opt.mix = fleet::BackendMix::kWayland;
+    } else if (std::strcmp(arg, "--backend=mixed") == 0) {
+      opt.mix = fleet::BackendMix::kMixed;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--quick] [--shards=N] [--seed=N] "
+                   "[--backend=x11|wl|mixed]\n");
+      return 2;
+    }
+  }
+  if (opt.shards < 2) {
+    std::fprintf(stderr, "bench_fleet: need at least 2 shards\n");
+    return 2;
+  }
+
+  fleet::FleetConfig fc;
+  fc.shards = opt.shards;
+  fc.mix = opt.mix;
+  fc.seed = opt.seed;
+  // Benchmark posture, as in bench_table1: counters stay on (relaxed atomic
+  // adds), the allocating observability goes off. Audit rings stay ON here —
+  // they are part of the per-seat RSS story this bench exists to measure —
+  // but bounded so a long mix cannot grow without limit.
+  fc.base.trace = false;
+  fc.base.audit = true;
+
+  std::printf("fleet bench: %d shards (%s), seed %llu, %d mix rounds\n",
+              opt.shards, fleet::backend_mix_name(opt.mix),
+              static_cast<unsigned long long>(opt.seed), opt.rounds);
+
+  fleet::FleetHarness f(fc);
+
+  // --- phase 1: boot storm ---------------------------------------------------
+  const auto boot_start = std::chrono::steady_clock::now();
+  f.schedule_boot_storm(opt.shards, fc.boot_stagger);
+  while (f.shard_count() < opt.shards) f.step();
+  int sessions = 0;
+  for (fleet::ShardId id = 0; id < f.shard_count(); ++id) {
+    auto& shard = f.shard(id);
+    shard.kernel().audit().set_capacity(1024);
+    if (shard.launch_session("/usr/bin/seat-app", "seat-app").is_ok())
+      ++sessions;
+  }
+  // Let every surface cross the visibility threshold via fleet time.
+  f.advance(sim::Duration::millis(600));
+  // Cross-shard ring: seat k talks to seat k+1.
+  for (fleet::ShardId id = 0; id + 1 < f.shard_count(); id += 2) {
+    f.connect_xshard(id, f.shard(id).session_pids()[0], id + 1,
+                     f.shard(id + 1).session_pids()[0]);
+  }
+  const double boot_s = seconds_since(boot_start);
+  std::printf("booted %d shards / %d sessions / %zu links in %.3f s "
+              "(%.0f boots/s)\n",
+              f.shard_count(), sessions, f.link_count(), boot_s,
+              f.shard_count() / boot_s);
+
+  if (!opt.quick && sessions < 1000) {
+    std::fprintf(stderr,
+                 "bench_fleet: FAIL — only %d concurrent sessions "
+                 "(acceptance floor is 1000)\n",
+                 sessions);
+    return 1;
+  }
+
+  // --- phase 2: scripted interaction mix -------------------------------------
+  // Per round: click into 1/8 of the seats, decide for 1/4 (some fresh, some
+  // stale — the dt draw straddles δ), pump every cross-shard link once in a
+  // seeded direction, and step the whole fleet with per-shard step timing.
+  util::Rng rng(opt.seed * 7919 + 1);
+  // Per-shard step latency in ns: 100 ns bins up to 50 µs (slower steps
+  // clamp into the top bin and are visible as overflow in the percentiles).
+  util::Histogram step_ns(0, 5e4, 500);
+  std::uint64_t checks = 0;
+  const auto run_start = std::chrono::steady_clock::now();
+  for (int round = 0; round < opt.rounds; ++round) {
+    const int n = f.shard_count();
+    for (int i = 0; i < n / 8; ++i) {
+      const auto id = static_cast<fleet::ShardId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      f.shard(id).system().input().click(50, 50);
+    }
+    for (int i = 0; i < n / 4; ++i) {
+      const auto id = static_cast<fleet::ShardId>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      auto& shard = f.shard(id);
+      (void)shard.kernel().monitor().check_now(
+          shard.session_pids()[0],
+          rng.next_below(2) == 0 ? util::Op::kMicrophone
+                                 : util::Op::kScreenCapture,
+          "fleet-mix");
+      ++checks;
+    }
+    for (std::size_t l = 0; l < f.link_count(); ++l) {
+      // Round-robin over the ring: one send + the matching receive.
+      const int side = static_cast<int>(rng.next_below(2));
+      auto& link = f.link(l);
+      (void)link.send(side, "beat");
+      (void)link.receive(1 - side);
+    }
+    // Advance 100 ms of fleet time per round, timing every shard step.
+    for (int q = 0; q < 10; ++q) {
+      f.begin_step();
+      for (const fleet::ShardId id : f.step_order()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        f.step_shard(id);
+        step_ns.add(seconds_since(t0) * 1e9);
+      }
+    }
+  }
+  const double run_s = seconds_since(run_start);
+
+  // --- phase 3: rollups ------------------------------------------------------
+  const std::uint64_t granted = f.aggregate_counter("monitor.decisions.granted");
+  const std::uint64_t denied = f.aggregate_counter("monitor.decisions.denied");
+  const std::uint64_t decisions = granted + denied;
+  const std::uint64_t notifications =
+      f.aggregate_counter("monitor.notifications");
+  const std::uint64_t xshard_sends =
+      f.aggregate_counter("ipc.xshard.send_stamps");
+  const std::size_t rss_proxy = f.rss_proxy_bytes();
+
+  std::printf("mix: %.3f s wall for %llu steps — %llu decisions (%.0f/s), "
+              "%llu notifications (%.0f/s), %llu xshard sends\n",
+              run_s, static_cast<unsigned long long>(f.steps_taken()),
+              static_cast<unsigned long long>(decisions), decisions / run_s,
+              static_cast<unsigned long long>(notifications),
+              notifications / run_s,
+              static_cast<unsigned long long>(xshard_sends));
+  std::printf("per-shard step latency: p50 %.0f ns, p99 %.0f ns (n=%llu)\n",
+              step_ns.percentile(50), step_ns.percentile(99),
+              static_cast<unsigned long long>(step_ns.count()));
+  std::printf("RSS proxy (slab chunks + audit rings): %.2f MiB across %d "
+              "live shards\n",
+              rss_proxy / (1024.0 * 1024.0), f.live_count());
+
+  if (decisions != checks) {
+    std::fprintf(stderr,
+                 "bench_fleet: FAIL — rollup saw %llu decisions but the "
+                 "script issued %llu checks\n",
+                 static_cast<unsigned long long>(decisions),
+                 static_cast<unsigned long long>(checks));
+    return 1;
+  }
+
+  bench::JsonReport report("fleet");
+  report.add_raw("quick", opt.quick ? "true" : "false");
+  report.add("shards", opt.shards);
+  report.add("backend", fleet::backend_mix_name(opt.mix));
+  report.add("seed", static_cast<std::uint64_t>(opt.seed));
+  report.add("rounds", opt.rounds);
+  report.add("sessions", sessions);
+  report.add("links", static_cast<std::uint64_t>(f.link_count()));
+  report.add("boot_s", boot_s);
+  report.add("boots_per_sec", f.shard_count() / boot_s);
+  report.add("run_s", run_s);
+  report.add("fleet_steps", f.steps_taken());
+  report.add("decisions", decisions);
+  report.add("decisions_per_sec", decisions / run_s);
+  report.add("notifications", notifications);
+  report.add("notifications_per_sec", notifications / run_s);
+  report.add("xshard_sends", xshard_sends);
+  report.add("xshard_recv_adoptions",
+             f.aggregate_counter("ipc.xshard.recv_adoptions"));
+  report.add("rss_proxy_bytes", static_cast<std::uint64_t>(rss_proxy));
+  report.add("step_p50_ns", step_ns.percentile(50));
+  report.add("step_p99_ns", step_ns.percentile(99));
+  if (!report.write("BENCH_fleet.json")) return 1;
+  return 0;
+}

@@ -333,9 +333,12 @@ std::string row_json(const char* name, const Agg& agg, double ops) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool ci = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--ci") == 0) {
+      ci = true;
     } else if (std::strcmp(argv[i], "--backend=wl") == 0 ||
                std::strcmp(argv[i], "--backend=wayland") == 0) {
       g_backend = core::DisplayBackendKind::kWayland;
@@ -343,11 +346,30 @@ int main(int argc, char** argv) {
       g_backend = core::DisplayBackendKind::kX11;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_table1 [--quick] [--backend=x11|wl]\n");
+                   "usage: bench_table1 [--quick|--ci] [--backend=x11|wl]\n");
       return 2;
     }
   }
+  if (quick && ci) {
+    std::fprintf(stderr, "bench_table1: --quick and --ci are exclusive\n");
+    return 2;
+  }
   const bool wl_mode = g_backend == core::DisplayBackendKind::kWayland;
+  if (ci) {
+    // CI shape: counts small enough for a gating run, but repetitions and
+    // the warmup pass kept so the emitted ratio_min/ratio_max interval is a
+    // real spread the bench gate can reason about — unlike --quick, whose
+    // single repetition yields a degenerate [r, r] interval.
+    g_scale = 20;
+    kDeviceOpens /= g_scale;
+    kPastes /= g_scale;
+    kCaptures /= 5;
+    kShmWrites /= g_scale;
+    kBonnieFiles /= g_scale;
+    std::printf("(--ci: iteration counts divided by %d, 5 repetitions + "
+                "warmup — CI gating shape)\n",
+                g_scale);
+  }
   if (quick) {
     g_scale = 200;
     kDeviceOpens /= g_scale;
@@ -372,11 +394,12 @@ int main(int argc, char** argv) {
   // Per-repetition ratios; each repetition alternates which side goes
   // first, and the row reports the median ratio (robust to load spikes on
   // shared machines) plus each side's best time.
-  const int kReps = quick ? 1 : 7;
+  const int kReps = quick ? 1 : (ci ? 5 : 7);
   Agg dev, clip, scr, shm, fs_create, fs_stat, fs_delete;
 
   // Discarded warmup pass: grows the heap and ramps the CPU so the first
-  // timed repetition is not systematically slower than later ones.
+  // timed repetition is not systematically slower than later ones. Kept in
+  // --ci mode: the gate consumes the ratio interval, which warmup tightens.
   if (!quick) {
     if (!wl_mode) (void)run_device_access(false);
     (void)run_clipboard(false);
@@ -433,6 +456,7 @@ int main(int argc, char** argv) {
 
   bench::JsonReport report("table1");
   report.add_raw("quick", quick ? "true" : "false");
+  report.add_raw("ci", ci ? "true" : "false");
   report.add("reps", kReps);
   report.add_raw("backend", obs::json::quote(backend_tag()));
   std::string rows;

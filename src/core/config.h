@@ -65,6 +65,17 @@ struct OverhaulConfig {
   int screen_width = 1024;
   int screen_height = 768;
 
+  // Multi-seat fleet sizing (src/fleet/, DESIGN.md §14). A single
+  // OverhaulSystem always boots exactly one seat; fleet::FleetHarness reads
+  // this to decide how many shards to boot when constructed from an
+  // OverhaulConfig. Kept here so config files can say `fleet_shards 64`.
+  int fleet_shards = 1;
+
+  // Prepended to every metric this system's kernel registers — the fleet
+  // harness boots shard k with "fleet.shard<k>." so shard registries roll
+  // up without name collisions. Empty (no prefix) for single-seat boots.
+  std::string metrics_prefix;
+
   // The unmodified system: no mediation, no propagation, no alerts.
   [[nodiscard]] static OverhaulConfig baseline() {
     OverhaulConfig cfg;
@@ -91,6 +102,7 @@ struct OverhaulConfig {
     kc.monitor_mode = monitor_mode;
     kc.netlink_coalesce = netlink_coalesce;
     kc.netlink_coalesce_skew = coalesce_skew;
+    kc.metrics_prefix = metrics_prefix;
     return kc;
   }
 

@@ -1,0 +1,156 @@
+#include "fleet/harness.h"
+
+namespace overhaul::fleet {
+
+using util::Code;
+using util::Status;
+
+namespace {
+
+core::DisplayBackendKind backend_for(BackendMix mix, ShardId id) {
+  switch (mix) {
+    case BackendMix::kX11: return core::DisplayBackendKind::kX11;
+    case BackendMix::kWayland: return core::DisplayBackendKind::kWayland;
+    case BackendMix::kMixed:
+      return (id % 2 == 0) ? core::DisplayBackendKind::kX11
+                           : core::DisplayBackendKind::kWayland;
+  }
+  return core::DisplayBackendKind::kX11;
+}
+
+}  // namespace
+
+FleetHarness::FleetHarness(FleetConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+ShardId FleetHarness::boot_shard() {
+  const ShardId id = static_cast<ShardId>(seats_.size());
+  core::OverhaulConfig shard_cfg = config_.base;
+  shard_cfg.fleet_shards = 1;  // each shard is exactly one seat
+  shard_cfg.display_backend = backend_for(config_.mix, id);
+  shard_cfg.metrics_prefix = "fleet.shard" + std::to_string(id) + ".";
+  // Epoch = the fleet instant of this boot; the shard's clock starts at 0.
+  const sim::Duration epoch{clock_.now().ns};
+  Seat seat;
+  seat.shard = std::make_unique<Shard>(id, epoch, std::move(shard_cfg));
+  seat.state = ShardState::kRunning;
+  seats_.push_back(std::move(seat));
+  return id;
+}
+
+void FleetHarness::boot_fleet() {
+  for (int i = 0; i < config_.shards; ++i) (void)boot_shard();
+}
+
+void FleetHarness::schedule_boot_storm(int count, sim::Duration stagger) {
+  const sim::Timestamp now = clock_.now();
+  for (int i = 0; i < count; ++i) {
+    scheduler_.at(now + sim::Duration{stagger.ns * i},
+                  [this] { (void)boot_shard(); });
+  }
+}
+
+Status FleetHarness::drain_shard(ShardId id) {
+  if (id < 0 || id >= shard_count() || seats_[id].state == ShardState::kEmpty)
+    return Status(Code::kNotFound, "no shard " + std::to_string(id));
+  Seat& seat = seats_[id];
+  if (seat.state == ShardState::kReaped)
+    return Status(Code::kNotFound,
+                  "shard " + std::to_string(id) + " already reaped");
+  seat.shard->drain();
+  seat.state = ShardState::kDraining;
+  return Status::ok();
+}
+
+Status FleetHarness::reap_shard(ShardId id) {
+  if (id < 0 || id >= shard_count() || seats_[id].state == ShardState::kEmpty)
+    return Status(Code::kNotFound, "no shard " + std::to_string(id));
+  Seat& seat = seats_[id];
+  if (seat.state == ShardState::kReaped)
+    return Status(Code::kNotFound,
+                  "shard " + std::to_string(id) + " already reaped");
+  if (seat.state != ShardState::kDraining)
+    return Status(Code::kBusy,
+                  "shard " + std::to_string(id) + " must drain before reap");
+  // Sever cross-shard links bound to the dying shard first — their End
+  // bindings point into its kernel.
+  std::erase_if(links_, [id](const std::unique_ptr<XShardLink>& l) {
+    return l->binds(id);
+  });
+  seat.shard.reset();
+  seat.state = ShardState::kReaped;
+  return Status::ok();
+}
+
+ShardState FleetHarness::shard_state(ShardId id) const {
+  if (id < 0 || id >= shard_count()) return ShardState::kEmpty;
+  return seats_[id].state;
+}
+
+int FleetHarness::live_count() const {
+  int n = 0;
+  for (const Seat& s : seats_)
+    if (s.shard != nullptr) ++n;
+  return n;
+}
+
+void FleetHarness::begin_step() {
+  scheduler_.run_until(clock_.now() + config_.step_quantum);
+  ++steps_;
+  // Rotated round-robin: ascending ids starting from a seeded offset. The
+  // draw happens every step (even over an empty fleet) so the schedule for
+  // step k depends only on (seed, k), never on fleet size history.
+  const std::uint64_t offset = rng_.next_u64();
+  order_.clear();
+  const int n = shard_count();
+  if (n == 0) return;
+  const int start = static_cast<int>(offset % static_cast<std::uint64_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const ShardId id = static_cast<ShardId>((start + i) % n);
+    if (seats_[id].shard != nullptr) order_.push_back(id);
+  }
+}
+
+void FleetHarness::step_shard(ShardId id) {
+  if (id < 0 || id >= shard_count()) return;
+  Seat& seat = seats_[id];
+  if (seat.shard != nullptr) seat.shard->step_to(clock_.now());
+}
+
+void FleetHarness::step() {
+  begin_step();
+  for (const ShardId id : order_) step_shard(id);
+}
+
+void FleetHarness::advance(sim::Duration d) {
+  const sim::Timestamp target = clock_.now() + d;
+  while (clock_.now() < target) step();
+}
+
+XShardLink& FleetHarness::connect_xshard(ShardId a, kern::Pid pid_a, ShardId b,
+                                         kern::Pid pid_b) {
+  links_.push_back(std::make_unique<XShardLink>(
+      XShardLink::EndBinding{seats_[a].shard.get(), pid_a},
+      XShardLink::EndBinding{seats_[b].shard.get(), pid_b}));
+  return *links_.back();
+}
+
+std::uint64_t FleetHarness::aggregate_counter(const std::string& name) {
+  std::uint64_t total = 0;
+  for (Seat& s : seats_) {
+    if (s.shard == nullptr) continue;
+    // Each shard registry qualifies the name with its own prefix.
+    total += s.shard->kernel().obs().metrics.counter_value(name);
+  }
+  return total;
+}
+
+std::size_t FleetHarness::rss_proxy_bytes() {
+  std::size_t total = 0;
+  for (Seat& s : seats_) {
+    if (s.shard != nullptr) total += s.shard->rss_proxy_bytes();
+  }
+  return total;
+}
+
+}  // namespace overhaul::fleet

@@ -1,0 +1,33 @@
+#include "fleet/xshard_link.h"
+
+namespace overhaul::fleet {
+
+using util::Code;
+using util::Result;
+using util::Status;
+
+Status XShardLink::send(int side, std::string payload) {
+  const EndBinding& from = ends_[side];
+  kern::TaskStruct* sender =
+      from.shard->kernel().processes().lookup_live(from.pid);
+  if (sender == nullptr)
+    return Status(Code::kNotFound, "xshard send: no live task for pid " +
+                                       std::to_string(from.pid));
+  pair_.send(side, *sender, std::move(payload));
+  return Status::ok();
+}
+
+Result<std::string> XShardLink::receive(int side) {
+  const EndBinding& at = ends_[side];
+  kern::TaskStruct* receiver =
+      at.shard->kernel().processes().lookup_live(at.pid);
+  if (receiver == nullptr)
+    return Status(Code::kNotFound, "xshard receive: no live task for pid " +
+                                       std::to_string(at.pid));
+  auto msg = pair_.receive(side, *receiver);
+  if (!msg.has_value())
+    return Status(Code::kWouldBlock, "xshard receive: empty");
+  return std::move(*msg);
+}
+
+}  // namespace overhaul::fleet

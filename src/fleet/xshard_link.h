@@ -1,0 +1,60 @@
+// XShardLink: a kern::XShardSocketPair bound to two live shards.
+//
+// The kern-layer pair knows clock domains and policies but not processes;
+// this binding adds the per-end (shard, pid) pair and resolves the pid to a
+// TaskStruct per call — never caching the raw pointer (R7: reap() recycles
+// slots, so long-lived TaskStruct* go stale without warning).
+//
+// send()/receive() are the fleet's cross-shard delivery path and are R5
+// mediation-reachability seeds (tools/lint/overhaul_lint.rules): severing
+// either call into the XShardStamp interposition points is a lint finding.
+#pragma once
+
+#include <string>
+
+#include "fleet/shard.h"
+#include "kern/ipc/xshard.h"
+#include "util/annotations.h"
+#include "util/status.h"
+
+namespace overhaul::fleet {
+
+class XShardLink {
+ public:
+  struct EndBinding {
+    Shard* shard = nullptr;
+    kern::Pid pid = kern::kNoPid;
+  };
+
+  XShardLink(EndBinding side0, EndBinding side1)
+      : ends_{side0, side1},
+        pair_(kern::XShardSocketPair::End{&side0.shard->kernel().ipc_policy(),
+                                          side0.shard->epoch()},
+              kern::XShardSocketPair::End{&side1.shard->kernel().ipc_policy(),
+                                          side1.shard->epoch()}) {}
+
+  // P2-interposed cross-shard send from `side`'s bound process.
+  util::Status send(int side, std::string payload);
+
+  // P2-interposed receive at `side`'s bound process; kWouldBlock when the
+  // inbox is empty (no message, no adoption).
+  util::Result<std::string> receive(int side);
+
+  [[nodiscard]] const kern::XShardSocketPair& pair() const noexcept {
+    return pair_;
+  }
+  [[nodiscard]] const EndBinding& end(int side) const noexcept {
+    return ends_[side];
+  }
+  [[nodiscard]] bool binds(ShardId id) const noexcept {
+    return ends_[0].shard->id() == id || ends_[1].shard->id() == id;
+  }
+
+ private:
+  const EndBinding ends_[2];
+  // The one object both shards touch; mutations stay inside the two
+  // interposition-point wrappers above.
+  OVERHAUL_SHARED(send|receive) kern::XShardSocketPair pair_;
+};
+
+}  // namespace overhaul::fleet

@@ -33,10 +33,11 @@ enum class IpcFamily : std::uint8_t {
   kSocket,
   kShm,
   kPty,
-  kOther,  // bare IpcObject (tests); never wired to counters
+  kXShard,  // shard-crossing socket pair (src/kern/ipc/xshard.h)
+  kOther,   // bare IpcObject (tests); never wired to counters
 };
 
-inline constexpr std::size_t kIpcFamilyCount = 7;
+inline constexpr std::size_t kIpcFamilyCount = 8;
 
 [[nodiscard]] constexpr const char* ipc_family_name(IpcFamily f) noexcept {
   switch (f) {
@@ -46,6 +47,7 @@ inline constexpr std::size_t kIpcFamilyCount = 7;
     case IpcFamily::kSocket: return "socket";
     case IpcFamily::kShm: return "shm";
     case IpcFamily::kPty: return "pty";
+    case IpcFamily::kXShard: return "xshard";
     case IpcFamily::kOther: return "other";
   }
   return "other";

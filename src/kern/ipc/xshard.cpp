@@ -1,0 +1,27 @@
+#include "kern/ipc/xshard.h"
+
+namespace overhaul::kern {
+
+void XShardSocketPair::send(int side, const TaskStruct& sender,
+                            std::string payload) {
+  const int peer = 1 - side;
+  // Stamp with the *sending* shard's policy and epoch: freshness enters the
+  // channel in the fleet domain before the payload becomes visible.
+  dir_[side].stamp_on_send(*ends_[side].policy, sender, ends_[side].epoch);
+  inbox_[peer].push_back(std::move(payload));
+}
+
+std::optional<std::string> XShardSocketPair::receive(int side,
+                                                     TaskStruct& receiver) {
+  auto& inbox = inbox_[side];
+  if (inbox.empty()) return std::nullopt;
+  // Adopt from the *incoming* direction (stamped by the peer shard's
+  // sender), translated into the receiving shard's clock domain.
+  dir_[1 - side].propagate_on_recv(*ends_[side].policy, receiver,
+                                   ends_[side].epoch);
+  std::string out = std::move(inbox.front());
+  inbox.pop_front();
+  return out;
+}
+
+}  // namespace overhaul::kern

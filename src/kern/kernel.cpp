@@ -28,6 +28,10 @@ Kernel::Kernel(sim::Clock& clock, KernelConfig config)
       posix_shms_(ipc_policy_),
       sysv_shms_(ipc_policy_),
       unix_sockets_(ipc_policy_) {
+  // Must precede every instrument registration (all of which happen below in
+  // wire_observability or later at attach time): the prefix is applied when
+  // a name is first resolved, never re-applied to live handles.
+  obs_.metrics.set_prefix(config_.metrics_prefix);
   monitor_.set_threshold(config.delta);
   monitor_.set_grant_policy(config.grant_policy);
   monitor_.set_ptrace_protect(config.ptrace_protect);
@@ -72,9 +76,10 @@ void Kernel::wire_observability() {
   // Per-family P2 stamp counters. The policy struct is shared by const
   // reference with every IPC object, so filling it here hands pre-resolved
   // handles to all current and future channels at once.
-  constexpr IpcFamily kFamilies[] = {IpcFamily::kPipe,     IpcFamily::kFifo,
-                                     IpcFamily::kMsgQueue, IpcFamily::kSocket,
-                                     IpcFamily::kShm,      IpcFamily::kPty};
+  constexpr IpcFamily kFamilies[] = {
+      IpcFamily::kPipe, IpcFamily::kFifo, IpcFamily::kMsgQueue,
+      IpcFamily::kSocket, IpcFamily::kShm, IpcFamily::kPty,
+      IpcFamily::kXShard};
   for (const IpcFamily family : kFamilies) {
     const std::string prefix = std::string("ipc.") + ipc_family_name(family);
     auto& slot = ipc_policy_.counters[static_cast<std::size_t>(family)];

@@ -49,6 +49,11 @@ struct KernelConfig {
   // the same pid collapse into one kernel crossing, bounded by max_skew.
   bool netlink_coalesce = true;
   sim::Duration netlink_coalesce_skew = sim::Duration::millis(10);
+  // Prepended to every metric name this kernel registers (DESIGN.md §14):
+  // the fleet harness boots shard k with "fleet.shard<k>." so N shards'
+  // instruments never collide when rolled up. Paid once at registration —
+  // resolved handles keep the hot path a single relaxed atomic add.
+  std::string metrics_prefix;
 };
 
 class UdevHelper;

@@ -105,6 +105,18 @@ class ProcessTable {
   [[nodiscard]] Pid last_pid() const noexcept { return last_pid_; }
   [[nodiscard]] Pid pid_max() const noexcept { return pid_max_; }
 
+  // --- capacity accounting ---------------------------------------------------
+  // Slots ever allocated (high-water mark; reaped slots still count — their
+  // chunk stays pinned) and chunks currently backing them. The fleet
+  // harness's RSS proxy is chunk_count() × sizeof(Chunk) per shard.
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slot_count_; }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+  [[nodiscard]] std::size_t slab_bytes() const noexcept {
+    return chunks_.size() * sizeof(Chunk);
+  }
+
  private:
   // 256 slots per chunk: big enough that chunk allocation is rare, small
   // enough that a mostly-reaped table does not pin much memory. Chunks are

@@ -22,43 +22,57 @@ std::string num(double v) {
 }  // namespace
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  auto& slot = counters_[name];
+  auto& slot = counters_[prefix_.empty() ? name : prefix_ + name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[prefix_.empty() ? name : prefix_ + name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 util::Histogram* MetricsRegistry::histogram(const std::string& name, double lo,
                                             double hi, std::size_t bins) {
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[prefix_.empty() ? name : prefix_ + name];
   if (slot == nullptr) slot = std::make_unique<util::Histogram>(lo, hi, bins);
   return slot.get();
 }
 
+// Lookups qualify the same way registration does, so a name that resolved an
+// instrument always finds it again — with or without a shard prefix.
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
-  const auto it = counters_.find(name);
+  const auto it =
+      counters_.find(prefix_.empty() ? name : prefix_ + name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
-  const auto it = gauges_.find(name);
+  const auto it = gauges_.find(prefix_.empty() ? name : prefix_ + name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const util::Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
-  const auto it = histograms_.find(name);
+  const auto it =
+      histograms_.find(prefix_.empty() ? name : prefix_ + name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   const Counter* c = find_counter(name);
   return c == nullptr ? 0 : c->value();
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  for (const auto& [name, c] : counters_) fn(name, *c);
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, g] : gauges_) fn(name, *g);
 }
 
 std::string MetricsRegistry::to_text() const {

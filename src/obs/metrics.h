@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -80,6 +81,15 @@ class Gauge {
 // makes pre-resolving them at attach time sound.
 class MetricsRegistry {
  public:
+  // Namespace prefix prepended to every name at registration time — the
+  // fleet harness sets "fleet.shard<N>." per shard so aggregated registries
+  // never collide (DESIGN.md §14). One string concatenation when an
+  // instrument is first resolved; handles are pre-resolved at boot, so the
+  // hot path never sees the prefix. Set before the first registration:
+  // already-registered instruments keep their original names.
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+  [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
+
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   // Histograms reuse util::Histogram (uniform bins over [lo, hi)). Repeated
@@ -95,6 +105,13 @@ class MetricsRegistry {
 
   // Convenience for assertions and /proc rendering: 0 when absent.
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  // Read-only visitation in name order — the aggregate-on-read view the
+  // fleet harness sums across shard registries. Full (prefixed) names.
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
 
   // One `name value` line per instrument, sorted by name — the
   // /proc/overhaul/metrics snapshot format.
@@ -118,6 +135,7 @@ class MetricsRegistry {
   OVERHAUL_SHARD_LOCAL std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   OVERHAUL_SHARD_LOCAL std::map<std::string, std::unique_ptr<util::Histogram>>
       histograms_;
+  OVERHAUL_SHARD_LOCAL std::string prefix_;
 };
 
 }  // namespace overhaul::obs

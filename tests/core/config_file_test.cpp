@@ -29,6 +29,7 @@ prompt_mode = on
 grant_policy = acg
 shared_secret = my-parrot
 alert_duration_ms = 6000
+fleet_shards = 64
 screen = 1920x1080
 )";
   auto cfg = parse_config(text);
@@ -43,6 +44,7 @@ screen = 1920x1080
   EXPECT_EQ(c.grant_policy, kern::GrantPolicy::kAcg);
   EXPECT_EQ(c.shared_secret, "my-parrot");
   EXPECT_EQ(c.alert_duration, sim::Duration::millis(6000));
+  EXPECT_EQ(c.fleet_shards, 64);
   EXPECT_EQ(c.screen_width, 1920);
   EXPECT_EQ(c.screen_height, 1080);
 }
@@ -60,6 +62,8 @@ TEST(ConfigFile, MalformedValuesRejectedWithLineNumbers) {
   EXPECT_FALSE(parse_config("delta_ms = -5\n").is_ok());
   EXPECT_FALSE(parse_config("delta_ms = 0\n").is_ok());
   EXPECT_FALSE(parse_config("screen = huge\n").is_ok());
+  EXPECT_FALSE(parse_config("fleet_shards = 0\n").is_ok());
+  EXPECT_FALSE(parse_config("fleet_shards = many\n").is_ok());
   EXPECT_FALSE(parse_config("grant_policy = maybe\n").is_ok());
   EXPECT_FALSE(parse_config("shared_secret =\n").is_ok());
   EXPECT_FALSE(parse_config("justakey\n").is_ok());
@@ -89,6 +93,7 @@ TEST(ConfigFile, RenderRoundTrips) {
   original.prompt_mode = true;
   original.grant_policy = kern::GrantPolicy::kAcg;
   original.shared_secret = "round-trip";
+  original.fleet_shards = 16;
   original.screen_width = 800;
   original.screen_height = 600;
 
@@ -100,6 +105,7 @@ TEST(ConfigFile, RenderRoundTrips) {
   EXPECT_EQ(c.prompt_mode, original.prompt_mode);
   EXPECT_EQ(c.grant_policy, original.grant_policy);
   EXPECT_EQ(c.shared_secret, original.shared_secret);
+  EXPECT_EQ(c.fleet_shards, original.fleet_shards);
   EXPECT_EQ(c.screen_width, original.screen_width);
 }
 

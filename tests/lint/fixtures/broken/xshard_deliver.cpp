@@ -1,0 +1,21 @@
+// Fixture: fleet cross-shard delivery path whose stamp interposition
+// survives only as dead code — stamp_outbound still exists (so a grep for
+// stamp_on_send finds it), but the delivery path no longer calls it, so
+// interaction freshness silently stops crossing the shard boundary (R5).
+#include "fake.h"
+
+namespace fixture {
+
+void XShardChannel::stamp_outbound(const Sender& sender) {
+  cell_.stamp_on_send(sender);
+}
+
+Status XShardChannel::deliver_cross_shard(const Sender& sender, Msg m) {
+  if (peer_gone()) return Status(Code::kNotFound, "peer shard reaped");
+  // BUG: the stamp was dropped when the zero-copy fast path landed;
+  // stamp_outbound is now dead code on the delivery path.
+  // stamp_outbound(sender);
+  return enqueue_peer(m);
+}
+
+}  // namespace fixture

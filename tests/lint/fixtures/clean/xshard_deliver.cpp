@@ -1,0 +1,18 @@
+// Fixture: fleet cross-shard delivery path that runs the P2 stamp
+// interposition on the way into the peer shard's inbox (R5: seed
+// deliver_cross_shard must transitively reach the stamp cell).
+#include "fake.h"
+
+namespace fixture {
+
+void XShardChannel::stamp_outbound(const Sender& sender) {
+  cell_.stamp_on_send(sender);
+}
+
+Status XShardChannel::deliver_cross_shard(const Sender& sender, Msg m) {
+  if (peer_gone()) return Status(Code::kNotFound, "peer shard reaped");
+  stamp_outbound(sender);
+  return enqueue_peer(m);
+}
+
+}  // namespace fixture

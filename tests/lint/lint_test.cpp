@@ -545,10 +545,11 @@ TEST(CallGraph, DeclaredEdgesSpliceHandlerIndirection) {
 TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   const auto cfg = fixture_rules();
   const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
-  ASSERT_EQ(findings.size(), 13u);
+  ASSERT_EQ(findings.size(), 14u);
 
   // Sorted by file: clock_use, device_open, handle, interaction, lock_order,
-  // nondet_order, pipe_like, shared_state, taint, wl_capture, wl_receive.
+  // nondet_order, pipe_like, shared_state, taint, wl_capture, wl_receive,
+  // xshard_deliver.
   EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/clock_use.cpp"));
   EXPECT_EQ(findings[0].rule, "R4");
   EXPECT_EQ(findings[0].line, 7);
@@ -614,13 +615,20 @@ TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   EXPECT_EQ(findings[12].rule, "R2");
   EXPECT_EQ(findings[12].line, 6);
   EXPECT_NE(findings[12].message.find("request_receive"), std::string::npos);
+
+  // The cross-shard delivery path whose P2 stamp survives only as dead code.
+  EXPECT_TRUE(
+      lint::path_matches(findings[13].file, "broken/xshard_deliver.cpp"));
+  EXPECT_EQ(findings[13].rule, "R5");
+  EXPECT_NE(findings[13].message.find("deliver_cross_shard"),
+            std::string::npos);
 }
 
 TEST(Fixtures, CleanTreePasses) {
   const auto cfg = fixture_rules();
   std::size_t scanned = 0;
   const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
-  EXPECT_EQ(scanned, 11u);
+  EXPECT_EQ(scanned, 12u);
   EXPECT_TRUE(findings.empty())
       << findings[0].file << ":" << findings[0].line << " "
       << findings[0].message;
@@ -660,9 +668,14 @@ TEST(Fixtures, AllowlistSilencesAndExemptsWork) {
 
 TEST(FlowRules, R5FailsWhenTheMediationCallIsRemoved) {
   const auto cfg = fixture_rules();
+  // Both R5 seed files must be in the tree: a missing seed file is itself a
+  // finding, which would mask the one this test is about.
+  const std::string xshard =
+      read_file(fixture_dir("clean") + "/xshard_deliver.cpp");
   // The shipped clean fixture passes...
   std::string src = read_file(fixture_dir("clean") + "/wl_capture.cpp");
-  auto ok = lint::run_tree_mem({{"wl_capture.cpp", src}}, cfg);
+  auto ok = lint::run_tree_mem(
+      {{"wl_capture.cpp", src}, {"xshard_deliver.cpp", xshard}}, cfg);
   EXPECT_EQ(count_rule(ok.findings, "R5"), 0);
 
   // ...and removing the one mediation line makes the same seed fail.
@@ -670,8 +683,31 @@ TEST(FlowRules, R5FailsWhenTheMediationCallIsRemoved) {
   ASSERT_NE(pos, std::string::npos);
   std::string cut = src;
   cut.erase(pos, src.find('\n', pos) - pos);
-  auto bad = lint::run_tree_mem({{"wl_capture.cpp", cut}}, cfg);
+  auto bad = lint::run_tree_mem(
+      {{"wl_capture.cpp", cut}, {"xshard_deliver.cpp", xshard}}, cfg);
   EXPECT_EQ(count_rule(bad.findings, "R5"), 1);
+}
+
+TEST(FlowRules, R5FailsWhenTheCrossShardStampIsRemoved) {
+  const auto cfg = fixture_rules();
+  const std::string capture =
+      read_file(fixture_dir("clean") + "/wl_capture.cpp");
+  std::string src = read_file(fixture_dir("clean") + "/xshard_deliver.cpp");
+  auto ok = lint::run_tree_mem(
+      {{"wl_capture.cpp", capture}, {"xshard_deliver.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R5"), 0);
+
+  // Severing the delivery path's call into the stamp interposition leaves
+  // stamp_outbound as dead code — exactly the broken/ fixture's shape.
+  const auto pos = src.find("stamp_outbound(sender);");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem(
+      {{"wl_capture.cpp", capture}, {"xshard_deliver.cpp", cut}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R5"), 1);
+  EXPECT_NE(first_rule(bad.findings, "R5").message.find("deliver_cross_shard"),
+            std::string::npos);
 }
 
 TEST(FlowRules, R6FailsWhenAMintEscapesTheInputPath) {

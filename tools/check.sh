@@ -70,6 +70,11 @@ step "ctest lint concurrency battery (R8-R10)"
   ctest -R '^lint\.(concurrency|DataflowRules|ExtractMembers|ExtractFlow|Explain|Cache)' \
     --output-on-failure -j "$JOBS")
 
+# The multi-seat fleet battery gates as its own stage: shard lifecycle and
+# isolation plus the cross-shard P2 oracle property test (DESIGN.md §14).
+step "ctest -R fleet (multi-seat fleet battery)"
+(cd "$BUILD_DIR" && ctest -R '^fleet' --output-on-failure -j "$JOBS")
+
 if [ "$METRICS" = 1 ]; then
   step "metrics smoke (bench_table1 --quick + strict JSON validation)"
   (cd "$BUILD_DIR" && ./bench/bench_table1 --quick >/dev/null &&
@@ -77,14 +82,28 @@ if [ "$METRICS" = 1 ]; then
 fi
 
 if [ "$BENCH" = 1 ]; then
-  step "bench smoke (bench_hotpath + bench_table1 on both backends, --quick)"
+  step "bench smoke (bench_hotpath + bench_table1 wl, --quick)"
   (cd "$BUILD_DIR" &&
     ./bench/bench_hotpath --quick >/dev/null &&
     ./tools/obs/json_check BENCH_hotpath.json &&
-    ./bench/bench_table1 --quick >/dev/null &&
-    ./tools/obs/json_check BENCH_table1.json &&
     ./bench/bench_table1 --quick --backend=wl >/dev/null &&
     ./tools/obs/json_check BENCH_table1_wl.json)
+
+  # Gated Table-I run: --ci keeps 5 repetitions + warmup so each row's
+  # ratio_min/ratio_max interval is real, then bench_gate passes rows whose
+  # interval straddles 1.0 (noise) or sits below it (improvement) and fails
+  # only when a whole interval exceeds the threshold — a CI-bounds verdict,
+  # not a point-estimate one.
+  step "bench_table1 --ci + bench_gate (interval gate on ratio CI bounds)"
+  (cd "$BUILD_DIR" &&
+    ./bench/bench_table1 --ci >/dev/null &&
+    ./tools/obs/json_check BENCH_table1.json &&
+    ./tools/obs/bench_gate --threshold=1.25 --min-reps=5 BENCH_table1.json)
+
+  step "bench_fleet --quick (multi-seat fleet smoke + BENCH_fleet.json)"
+  (cd "$BUILD_DIR" &&
+    ./bench/bench_fleet --quick &&
+    ./tools/obs/json_check BENCH_fleet.json)
 
   step "bench_lint (analyzer cold/warm cache gate, --quick)"
   (cd "$BUILD_DIR" &&

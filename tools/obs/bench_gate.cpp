@@ -1,0 +1,168 @@
+// bench_gate: CI gate over BENCH_table1.json that reasons about the ratio
+// *interval*, not the point estimate.
+//
+// bench_table1 emits, per row, the per-repetition overhead-ratio spread
+// (ratio_min / ratio_median / ratio_max, n repetitions). A single median is
+// a coin flip on a noisy box; the interval is what supports a verdict:
+//   - ratio_min > 1        → the whole spread sits above parity: a measured
+//                            overhead. Gate: ratio_min must stay <= the
+//                            threshold (default 1.25).
+//   - ratio_max < 1        → a measured improvement; never gated.
+//   - interval straddles 1 → a noise-floor reading. Reported as "noise",
+//                            never gated (the paper's expected shape — its
+//                            overheads are low single digits on hardware,
+//                            below this substrate's noise floor).
+// Rows with n < --min-reps fail outright: an interval from one repetition
+// is degenerate and proves nothing.
+//
+// Usage: bench_gate [--threshold=X] [--min-reps=N] BENCH_table1.json...
+// Exit 0 iff every file validates, has >= min-reps per row, and no row's
+// whole interval exceeds the threshold.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+struct Row {
+  std::string name;
+  double n = 0;
+  double ratio_min = 0;
+  double ratio_median = 0;
+  double ratio_max = 0;
+};
+
+// Minimal field scraper for the flat row objects bench_table1 emits. The
+// document is validated with the strict parser first, so after that simple
+// string scanning inside each row object is sound.
+bool find_number(const std::string& obj, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(obj.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+bool find_string(const std::string& obj, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = obj.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = obj.substr(start, end - start);
+  return true;
+}
+
+// Split the "rows":[{...},{...}] array into per-row object strings. Row
+// objects are flat (no nested objects), so matching braces need no stack.
+std::vector<std::string> extract_rows(const std::string& text) {
+  std::vector<std::string> rows;
+  const std::size_t arr = text.find("\"rows\":[");
+  if (arr == std::string::npos) return rows;
+  std::size_t pos = arr;
+  while (true) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    rows.push_back(text.substr(open, close - open + 1));
+    pos = close + 1;
+    if (pos >= text.size() || text[pos] != ',') break;  // end of the array
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 1.25;
+  double min_reps = 5;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::strtod(argv[i] + 12, nullptr);
+    } else if (std::strncmp(argv[i], "--min-reps=", 11) == 0) {
+      min_reps = std::strtod(argv[i] + 11, nullptr);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: bench_gate [--threshold=X] [--min-reps=N] "
+                   "BENCH_table1.json...\n");
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "bench_gate: no input files\n");
+    return 2;
+  }
+
+  int rc = 0;
+  for (const char* path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", path);
+      rc = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::string error;
+    if (!overhaul::obs::json::validate(text, &error)) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", path, error.c_str());
+      rc = 1;
+      continue;
+    }
+    const std::vector<std::string> row_objs = extract_rows(text);
+    if (row_objs.empty()) {
+      std::fprintf(stderr, "%s: no \"rows\" array — not a table1 report?\n",
+                   path);
+      rc = 1;
+      continue;
+    }
+    std::printf("%s: %zu rows (gate: whole interval > %.2f fails, "
+                "n >= %.0f required)\n",
+                path, row_objs.size(), threshold, min_reps);
+    for (const std::string& obj : row_objs) {
+      Row row;
+      if (!find_string(obj, "name", &row.name) ||
+          !find_number(obj, "n", &row.n) ||
+          !find_number(obj, "ratio_min", &row.ratio_min) ||
+          !find_number(obj, "ratio_median", &row.ratio_median) ||
+          !find_number(obj, "ratio_max", &row.ratio_max)) {
+        std::fprintf(stderr, "%s: row missing honesty fields: %s\n", path,
+                     obj.c_str());
+        rc = 1;
+        continue;
+      }
+      const char* verdict;
+      bool fail = false;
+      if (row.n < min_reps) {
+        verdict = "FAIL (too few repetitions)";
+        fail = true;
+      } else if (row.ratio_min > 1.0) {
+        // The whole interval sits above parity: real overhead. Gate it.
+        fail = row.ratio_min > threshold;
+        verdict = fail ? "FAIL (overhead above threshold)" : "overhead";
+      } else if (row.ratio_max < 1.0) {
+        verdict = "improvement";
+      } else {
+        verdict = "noise (interval straddles 1.0)";
+      }
+      std::printf("  %-18s n=%-3.0f ratio [%.4f, %.4f] median %.4f — %s\n",
+                  row.name.c_str(), row.n, row.ratio_min, row.ratio_max,
+                  row.ratio_median, verdict);
+      if (fail) rc = 1;
+    }
+  }
+  return rc;
+}
