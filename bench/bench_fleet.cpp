@@ -24,6 +24,7 @@
 
 #include "bench_report.h"
 #include "fleet/harness.h"
+#include "sim/parallel.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -40,10 +41,100 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 struct Options {
   int shards = 1024;
   int rounds = 32;
+  int threads = 1;
   fleet::BackendMix mix = fleet::BackendMix::kMixed;
   std::uint64_t seed = 1;
   bool quick = false;
 };
+
+// --- worker-scaling sweep ----------------------------------------------------
+// Fresh fleet per thread count, identical deterministic workload: every seat
+// runs a self-re-arming beat inside its own scheduler issuing 16 permission
+// checks (plus periodic clicks and cross-shard ring traffic) per quantum, so
+// stepping the fleet IS the decision workload and decisions/sec measures the
+// engine, not the driver loop. The determinism contract doubles as the
+// sweep's self-check: every point must produce the identical decision total.
+struct SweepBeat {
+  fleet::FleetHarness* f = nullptr;
+  fleet::ShardId id = 0;
+  kern::Pid pid = kern::kNoPid;
+  fleet::XShardLink* link = nullptr;
+  int side = 0;
+  int ticks_left = 0;
+  int tick = 0;
+
+  void arm() {
+    f->shard(id).system().scheduler().after(sim::Duration::millis(10),
+                                            [this] { run(); });
+  }
+
+  void run() {
+    auto& shard = f->shard(id);
+    if (tick % 3 == 0) shard.system().input().click(60, 60);
+    for (int c = 0; c < 16; ++c)
+      (void)shard.kernel().monitor().check_now(
+          pid, c % 2 == 0 ? util::Op::kMicrophone : util::Op::kScreenCapture,
+          "sweep");
+    if (link != nullptr) {
+      if (tick % 2 == 0)
+        (void)link->send(side, "beat");
+      else
+        (void)link->receive(side);
+    }
+    ++tick;
+    if (--ticks_left > 0) arm();
+  }
+};
+
+struct SweepPoint {
+  int threads = 0;
+  double wall_s = 0;
+  std::uint64_t decisions = 0;
+  double decisions_per_sec = 0;
+};
+
+SweepPoint run_sweep_point(int threads, int shards, int quanta,
+                           std::uint64_t seed, fleet::BackendMix mix) {
+  fleet::FleetConfig fc;
+  fc.shards = shards;
+  fc.mix = mix;
+  fc.seed = seed;
+  fc.threads = threads;
+  // Pure-throughput posture: no tracing, no audit ring — the sweep compares
+  // the engine against itself, not against the RSS story of the main phases.
+  fc.base.trace = false;
+  fc.base.audit = false;
+  fleet::FleetHarness f(fc);
+  f.boot_fleet();
+  for (fleet::ShardId id = 0; id < f.shard_count(); ++id)
+    (void)f.shard(id).launch_session("/usr/bin/seat-app", "seat-app");
+  f.advance(sim::Duration::millis(600));
+  for (fleet::ShardId id = 0; id + 1 < f.shard_count(); id += 2)
+    f.connect_xshard(id, f.shard(id).session_pids()[0], id + 1,
+                     f.shard(id + 1).session_pids()[0]);
+  std::vector<SweepBeat> beats(static_cast<std::size_t>(f.shard_count()));
+  for (fleet::ShardId id = 0; id < f.shard_count(); ++id) {
+    SweepBeat& b = beats[static_cast<std::size_t>(id)];
+    b.f = &f;
+    b.id = id;
+    b.pid = f.shard(id).session_pids()[0];
+    if (static_cast<std::size_t>(id / 2) < f.link_count()) {
+      b.link = &f.link(static_cast<std::size_t>(id / 2));
+      b.side = id % 2;
+    }
+    b.ticks_left = quanta;
+    b.arm();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int q = 0; q < quanta + 2; ++q) f.step();
+  SweepPoint p;
+  p.threads = f.threads();
+  p.wall_s = seconds_since(t0);
+  p.decisions = f.aggregate_counter("monitor.decisions.granted") +
+                f.aggregate_counter("monitor.decisions.denied");
+  p.decisions_per_sec = p.decisions / p.wall_s;
+  return p;
+}
 
 }  // namespace
 
@@ -57,6 +148,12 @@ int main(int argc, char** argv) {
       opt.rounds = 8;
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       opt.shards = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opt.threads = std::atoi(arg + 10);
+      if (opt.threads < 1) {
+        std::fprintf(stderr, "bench_fleet: --threads must be >= 1\n");
+        return 2;
+      }
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
     } else if (std::strcmp(arg, "--backend=x11") == 0) {
@@ -68,8 +165,8 @@ int main(int argc, char** argv) {
       opt.mix = fleet::BackendMix::kMixed;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_fleet [--quick] [--shards=N] [--seed=N] "
-                   "[--backend=x11|wl|mixed]\n");
+                   "usage: bench_fleet [--quick] [--shards=N] [--threads=N] "
+                   "[--seed=N] [--backend=x11|wl|mixed]\n");
       return 2;
     }
   }
@@ -82,6 +179,7 @@ int main(int argc, char** argv) {
   fc.shards = opt.shards;
   fc.mix = opt.mix;
   fc.seed = opt.seed;
+  fc.threads = opt.threads;
   // Benchmark posture, as in bench_table1: counters stay on (relaxed atomic
   // adds), the allocating observability goes off. Audit rings stay ON here —
   // they are part of the per-seat RSS story this bench exists to measure —
@@ -89,9 +187,11 @@ int main(int argc, char** argv) {
   fc.base.trace = false;
   fc.base.audit = true;
 
-  std::printf("fleet bench: %d shards (%s), seed %llu, %d mix rounds\n",
+  std::printf("fleet bench: %d shards (%s), seed %llu, %d mix rounds, "
+              "%d worker lane%s\n",
               opt.shards, fleet::backend_mix_name(opt.mix),
-              static_cast<unsigned long long>(opt.seed), opt.rounds);
+              static_cast<unsigned long long>(opt.seed), opt.rounds,
+              opt.threads, opt.threads == 1 ? "" : "s");
 
   fleet::FleetHarness f(fc);
 
@@ -132,9 +232,11 @@ int main(int argc, char** argv) {
   // stale — the dt draw straddles δ), pump every cross-shard link once in a
   // seeded direction, and step the whole fleet with per-shard step timing.
   util::Rng rng(opt.seed * 7919 + 1);
-  // Per-shard step latency in ns: 100 ns bins up to 50 µs (slower steps
-  // clamp into the top bin and are visible as overflow in the percentiles).
-  util::Histogram step_ns(0, 5e4, 500);
+  // Serial runs time every per-shard step (100 ns bins up to 50 µs; slower
+  // steps clamp into the top bin). Parallel runs cannot time individual
+  // shards from the coordinator, so they time whole engine quanta instead —
+  // wider bins, and the JSON labels which shape the percentiles describe.
+  util::Histogram step_ns(0, opt.threads == 1 ? 5e4 : 5e7, 500);
   std::uint64_t checks = 0;
   const auto run_start = std::chrono::steady_clock::now();
   for (int round = 0; round < opt.rounds; ++round) {
@@ -162,12 +264,20 @@ int main(int argc, char** argv) {
       (void)link.send(side, "beat");
       (void)link.receive(1 - side);
     }
-    // Advance 100 ms of fleet time per round, timing every shard step.
+    // Advance 100 ms of fleet time per round. Serial: manual per-shard loop
+    // with per-step timing (immediate link delivery — the pre-engine shape).
+    // Parallel: the engine quantum, timed whole.
     for (int q = 0; q < 10; ++q) {
-      f.begin_step();
-      for (const fleet::ShardId id : f.step_order()) {
+      if (opt.threads == 1) {
+        f.begin_step();
+        for (const fleet::ShardId id : f.step_order()) {
+          const auto t0 = std::chrono::steady_clock::now();
+          f.step_shard(id);
+          step_ns.add(seconds_since(t0) * 1e9);
+        }
+      } else {
         const auto t0 = std::chrono::steady_clock::now();
-        f.step_shard(id);
+        f.step();
         step_ns.add(seconds_since(t0) * 1e9);
       }
     }
@@ -191,7 +301,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(notifications),
               notifications / run_s,
               static_cast<unsigned long long>(xshard_sends));
-  std::printf("per-shard step latency: p50 %.0f ns, p99 %.0f ns (n=%llu)\n",
+  std::printf("%s latency: p50 %.0f ns, p99 %.0f ns (n=%llu)\n",
+              opt.threads == 1 ? "per-shard step" : "per-quantum",
               step_ns.percentile(50), step_ns.percentile(99),
               static_cast<unsigned long long>(step_ns.count()));
   std::printf("RSS proxy (slab chunks + audit rings): %.2f MiB across %d "
@@ -207,12 +318,66 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- phase 4: worker-scaling sweep -----------------------------------------
+  // 1/2/4/8 lanes over an identical beat-driven fleet. Two gates ride on it:
+  // every point must produce the identical decision total (the determinism
+  // contract, cheap to hold here), and on machines with >= 4 hardware lanes
+  // the 4-worker point must clear 2x the serial decisions/sec.
+  const int sweep_shards = opt.quick ? 64 : 256;
+  const int sweep_quanta = opt.quick ? 40 : 160;
+  const int hw_lanes = sim::ParallelExecutor::hardware_lanes();
+  std::printf("scaling sweep: %d shards x %d quanta, hardware lanes %d\n",
+              sweep_shards, sweep_quanta, hw_lanes);
+  std::vector<SweepPoint> sweep;
+  for (const int t : {1, 2, 4, 8}) {
+    sweep.push_back(
+        run_sweep_point(t, sweep_shards, sweep_quanta, opt.seed, opt.mix));
+    const SweepPoint& p = sweep.back();
+    std::printf("  threads=%d: %.3f s, %llu decisions, %.0f/s (%.2fx)\n",
+                p.threads, p.wall_s,
+                static_cast<unsigned long long>(p.decisions),
+                p.decisions_per_sec,
+                p.decisions_per_sec / sweep.front().decisions_per_sec);
+  }
+  for (const SweepPoint& p : sweep) {
+    if (p.decisions != sweep.front().decisions) {
+      std::fprintf(stderr,
+                   "bench_fleet: FAIL — sweep point threads=%d produced "
+                   "%llu decisions, serial produced %llu (determinism "
+                   "violation)\n",
+                   p.threads, static_cast<unsigned long long>(p.decisions),
+                   static_cast<unsigned long long>(sweep.front().decisions));
+      return 1;
+    }
+  }
+  const double speedup2 = sweep[1].decisions_per_sec / sweep[0].decisions_per_sec;
+  const double speedup4 = sweep[2].decisions_per_sec / sweep[0].decisions_per_sec;
+  const double speedup8 = sweep[3].decisions_per_sec / sweep[0].decisions_per_sec;
+  std::string sweep_gate;
+  if (hw_lanes >= 4) {
+    if (speedup4 < 2.0) {
+      std::fprintf(stderr,
+                   "bench_fleet: FAIL — 4-worker speedup %.2fx is below the "
+                   "2x floor on a %d-lane machine\n",
+                   speedup4, hw_lanes);
+      return 1;
+    }
+    sweep_gate = "pass";
+  } else {
+    sweep_gate = "skipped: hardware lanes < 4";
+    std::printf("  speedup floor skipped (%d hardware lane%s; the 2x-at-4-"
+                "workers gate arms on >= 4)\n",
+                hw_lanes, hw_lanes == 1 ? "" : "s");
+  }
+
   bench::JsonReport report("fleet");
   report.add_raw("quick", opt.quick ? "true" : "false");
   report.add("shards", opt.shards);
   report.add("backend", fleet::backend_mix_name(opt.mix));
   report.add("seed", static_cast<std::uint64_t>(opt.seed));
   report.add("rounds", opt.rounds);
+  report.add("threads", opt.threads);
+  report.add("hardware_threads", hw_lanes);
   report.add("sessions", sessions);
   report.add("links", static_cast<std::uint64_t>(f.link_count()));
   report.add("boot_s", boot_s);
@@ -227,8 +392,27 @@ int main(int argc, char** argv) {
   report.add("xshard_recv_adoptions",
              f.aggregate_counter("ipc.xshard.recv_adoptions"));
   report.add("rss_proxy_bytes", static_cast<std::uint64_t>(rss_proxy));
+  report.add("step_timing", opt.threads == 1 ? "per_shard" : "per_quantum");
   report.add("step_p50_ns", step_ns.percentile(50));
   report.add("step_p99_ns", step_ns.percentile(99));
+  report.add("sweep_shards", sweep_shards);
+  report.add("sweep_quanta", sweep_quanta);
+  std::string sweep_json = "[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    if (i > 0) sweep_json += ",";
+    sweep_json += "{\"threads\":" + std::to_string(p.threads) +
+                  ",\"wall_s\":" + bench::JsonReport::number(p.wall_s) +
+                  ",\"decisions\":" + std::to_string(p.decisions) +
+                  ",\"decisions_per_sec\":" +
+                  bench::JsonReport::number(p.decisions_per_sec) + "}";
+  }
+  sweep_json += "]";
+  report.add_raw("sweep", sweep_json);
+  report.add("sweep_speedup_2", speedup2);
+  report.add("sweep_speedup_4", speedup4);
+  report.add("sweep_speedup_8", speedup8);
+  report.add("sweep_gate", sweep_gate);
   if (!report.write("BENCH_fleet.json")) return 1;
   return 0;
 }

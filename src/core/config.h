@@ -71,6 +71,13 @@ struct OverhaulConfig {
   // OverhaulConfig. Kept here so config files can say `fleet_shards 64`.
   int fleet_shards = 1;
 
+  // Worker lanes for the fleet's parallel stepping engine (DESIGN.md §15).
+  // 1 = serial; N > 1 steps shards on N lanes with a barrier per fleet
+  // quantum. Bit-identical results either way (the equivalence property
+  // test holds this), so config files can size it to the machine freely:
+  // `fleet_threads 4`.
+  int fleet_threads = 1;
+
   // Prepended to every metric this system's kernel registers — the fleet
   // harness boots shard k with "fleet.shard<k>." so shard registries roll
   // up without name collisions. Empty (no prefix) for single-seat boots.

@@ -117,9 +117,24 @@ void FleetHarness::step_shard(ShardId id) {
   if (seat.shard != nullptr) seat.shard->step_to(clock_.now());
 }
 
+void FleetHarness::begin_exchange() {
+  for (const std::unique_ptr<XShardLink>& l : links_) l->set_defer(true);
+}
+
+void FleetHarness::end_exchange() {
+  // Barrier drain, deterministically ordered: link-table order, side 0 then
+  // side 1, each outbox FIFO. The stamps are max-of-monotone so this order
+  // cannot change results — it is fixed anyway so replay is bit-exact.
+  for (const std::unique_ptr<XShardLink>& l : links_) l->drain_deferred();
+  for (const std::unique_ptr<XShardLink>& l : links_) l->set_defer(false);
+}
+
 void FleetHarness::step() {
   begin_step();
-  for (const ShardId id : order_) step_shard(id);
+  begin_exchange();
+  exec_.run_quantum(order_.size(),
+                    [this](std::size_t i) { step_shard(order_[i]); });
+  end_exchange();
 }
 
 void FleetHarness::advance(sim::Duration d) {

@@ -29,6 +29,7 @@
 #include "fleet/shard.h"
 #include "fleet/xshard_link.h"
 #include "sim/clock.h"
+#include "sim/parallel.h"
 #include "sim/scheduler.h"
 #include "util/annotations.h"
 #include "util/rng.h"
@@ -53,6 +54,11 @@ struct FleetConfig {
   int shards = 1;
   BackendMix mix = BackendMix::kMixed;
   std::uint64_t seed = 1;
+  // Worker lanes for the parallel stepping engine (sim::ParallelExecutor).
+  // 1 = serial (everything inline on the calling thread); N steps shards on
+  // N lanes with a barrier per quantum. The determinism contract makes this
+  // a pure throughput knob: same seed ⇒ bit-identical streams at any value.
+  int threads = 1;
   // One fleet step advances this much virtual time.
   sim::Duration step_quantum = sim::Duration::millis(10);
   // Default inter-boot spacing for boot storms.
@@ -67,6 +73,7 @@ struct FleetConfig {
   [[nodiscard]] static FleetConfig from(const core::OverhaulConfig& cfg) {
     FleetConfig fc;
     fc.shards = cfg.fleet_shards;
+    fc.threads = cfg.fleet_threads;
     fc.mix = cfg.display_backend == core::DisplayBackendKind::kWayland
                  ? BackendMix::kWayland
                  : BackendMix::kX11;
@@ -125,8 +132,19 @@ class FleetHarness {
   // Bring one shard up to the current fleet instant.
   void step_shard(ShardId id);
 
-  // begin_step() + step_shard() over the whole rotation.
+  // One full fleet quantum on the parallel engine: begin_step() (fleet
+  // events + rotation draw, coordinator-only), then the rotation stepped
+  // across the executor's lanes with cross-shard link sends deferred, then
+  // the barrier drain of every link's outboxes in link-table order. With
+  // threads == 1 every lane runs inline on the caller's thread — that *is*
+  // the serial path, so parallel-vs-serial equivalence is a property of the
+  // deferral semantics, not of a separate code path. Callers driving
+  // begin_step()/step_shard() by hand (per-shard timing in bench_fleet,
+  // single-shard tests) keep immediate link delivery: deferral is armed
+  // only inside step().
   void step();
+
+  [[nodiscard]] int threads() const noexcept { return exec_.workers(); }
 
   // Whole steps until at least `d` of fleet time has elapsed.
   void advance(sim::Duration d);
@@ -155,10 +173,18 @@ class FleetHarness {
   [[nodiscard]] std::uint64_t steps_taken() const noexcept { return steps_; }
 
  private:
+  // Arm/disarm link deferral and drain outboxes around a parallel quantum.
+  void begin_exchange();
+  void end_exchange();
+
   OVERHAUL_SHARD_LOCAL FleetConfig config_;
   OVERHAUL_SHARD_LOCAL sim::Clock clock_;
   OVERHAUL_SHARD_LOCAL sim::Scheduler scheduler_{clock_};
   OVERHAUL_SHARD_LOCAL util::Rng rng_;
+  // The worker pool is coordinator-owned; shard state crossing lanes is
+  // governed by the shards' own OVERHAUL_SHARD_LOCAL contracts and the
+  // links' barrier deferral, not by executor-level sharing.
+  OVERHAUL_SHARD_LOCAL sim::ParallelExecutor exec_{config_.threads};
 
   struct Seat {
     std::unique_ptr<Shard> shard;

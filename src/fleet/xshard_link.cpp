@@ -13,8 +13,23 @@ Status XShardLink::send(int side, std::string payload) {
   if (sender == nullptr)
     return Status(Code::kNotFound, "xshard send: no live task for pid " +
                                        std::to_string(from.pid));
+  if (defer_) {
+    // Parallel quantum in flight: capture the stamp now (sender-shard state
+    // is lane-local), deliver into the shared pair at the barrier.
+    outbox_[side].push_back(PendingSend{
+        pair_.capture_send_stamp(side, *sender), std::move(payload)});
+    return Status::ok();
+  }
   pair_.send(side, *sender, std::move(payload));
   return Status::ok();
+}
+
+void XShardLink::drain_deferred() {
+  for (int side = 0; side < 2; ++side) {
+    for (PendingSend& p : outbox_[side])
+      pair_.deliver_deferred(side, p.fleet_stamp, std::move(p.payload));
+    outbox_[side].clear();
+  }
 }
 
 Result<std::string> XShardLink::receive(int side) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "fleet/shard.h"
 #include "kern/ipc/xshard.h"
@@ -40,6 +41,22 @@ class XShardLink {
   // inbox is empty (no message, no adoption).
   util::Result<std::string> receive(int side);
 
+  // --- quantum-barrier deferral (parallel engine, DESIGN.md §15) -----------
+  // While armed, send() captures the P2 stamp in the fleet domain (counting
+  // it into the sender's registry) and buffers the message in the sending
+  // side's outbox instead of touching the shared pair; the harness drains
+  // every link at the quantum barrier, in link-table order. receive() is
+  // unchanged: the pair inbox it reads is then only mutated at barriers, so
+  // in-quantum cross-shard effects are order-free by construction — a
+  // message sent in quantum k is visible to the peer from quantum k+1
+  // regardless of which lane stepped first. The harness arms/disarms only
+  // on the coordinator, outside the parallel phase.
+  void set_defer(bool on) { defer_ = on; }
+  [[nodiscard]] bool defer() const noexcept { return defer_; }
+  // Coordinator-only barrier drain: side 0's outbox then side 1's, each
+  // FIFO, through the pair's deliver_deferred half.
+  void drain_deferred();
+
   [[nodiscard]] const kern::XShardSocketPair& pair() const noexcept {
     return pair_;
   }
@@ -51,10 +68,21 @@ class XShardLink {
   }
 
  private:
+  struct PendingSend {
+    sim::Timestamp fleet_stamp;
+    std::string payload;
+  };
+
   const EndBinding ends_[2];
   // The one object both shards touch; mutations stay inside the two
-  // interposition-point wrappers above.
-  OVERHAUL_SHARED(send|receive) kern::XShardSocketPair pair_;
+  // interposition-point wrappers above (plus the barrier drain).
+  OVERHAUL_SHARED(send|receive|drain_deferred) kern::XShardSocketPair pair_;
+  // Armed by the harness on the coordinator between quanta; lanes only read
+  // it during the parallel phase.
+  OVERHAUL_SHARED(set_defer) bool defer_ = false;
+  // outbox_[side] is written only from `side`'s shard while its lane steps,
+  // and drained by the coordinator at the barrier — never both at once.
+  OVERHAUL_SHARED(send|drain_deferred) std::vector<PendingSend> outbox_[2];
 };
 
 }  // namespace overhaul::fleet

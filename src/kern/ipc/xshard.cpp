@@ -11,6 +11,26 @@ void XShardSocketPair::send(int side, const TaskStruct& sender,
   inbox_[peer].push_back(std::move(payload));
 }
 
+sim::Timestamp XShardSocketPair::capture_send_stamp(
+    int side, const TaskStruct& sender) const {
+  const End& end = ends_[side];
+  // Mirrors stamp_on_send's gate exactly: no propagation means no stamp and
+  // no count — but the payload still travels (deliver_deferred merges
+  // never() as a no-op).
+  if (!end.policy->propagate) return sim::Timestamp::never();
+  if (obs::Counter* c =
+          end.policy->family_counters(IpcFamily::kXShard).send_stamps;
+      c != nullptr)
+    c->add();
+  return XShardStamp::to_fleet(sender.interaction_ts, end.epoch);
+}
+
+void XShardSocketPair::deliver_deferred(int side, sim::Timestamp fleet_stamp,
+                                        std::string payload) {
+  dir_[side].merge_fleet(fleet_stamp);
+  inbox_[1 - side].push_back(std::move(payload));
+}
+
 std::optional<std::string> XShardSocketPair::receive(int side,
                                                      TaskStruct& receiver) {
   auto& inbox = inbox_[side];

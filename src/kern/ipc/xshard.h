@@ -83,6 +83,14 @@ class XShardStamp {
       c->add();
   }
 
+  // Barrier-drain half of stamp_on_send, for the parallel fleet engine
+  // (DESIGN.md §15): merge a fleet-domain stamp that was captured (and
+  // counted) at send time inside the sending shard's lane. Max-of-monotone,
+  // so the coordinator's drain order cannot matter.
+  void merge_fleet(sim::Timestamp fleet) noexcept {
+    if (fleet > stamp_) stamp_ = fleet;
+  }
+
   [[nodiscard]] sim::Timestamp fleet_stamp() const noexcept { return stamp_; }
 
   // P2 step 1: channel (re)creation embeds an expired timestamp.
@@ -91,7 +99,7 @@ class XShardStamp {
  private:
   // Written on both shards' send paths — the one genuinely cross-shard cell
   // in the fleet. Mutations are confined to the interposition points.
-  OVERHAUL_SHARED(stamp_on_send|reset_stamp)
+  OVERHAUL_SHARED(stamp_on_send|reset_stamp|merge_fleet)
   sim::Timestamp stamp_ = sim::Timestamp::never();
 };
 
@@ -120,6 +128,20 @@ class XShardSocketPair {
   // WouldBlock case).
   std::optional<std::string> receive(int side, TaskStruct& receiver);
 
+  // Deferred-delivery halves for the fleet's parallel engine (DESIGN.md
+  // §15). During a parallel quantum the two ends step concurrently, so a
+  // send must not touch the shared direction cell or the peer inbox:
+  // capture_send_stamp() reads only sender-shard state (translating the
+  // sender's freshness into the fleet domain and counting the send into the
+  // sender's own registry), and the coordinator replays the result through
+  // deliver_deferred() at the quantum barrier. Equivalent to send() being
+  // split across the quantum boundary; receive() is unchanged because the
+  // inbox it reads is then only mutated at barriers.
+  [[nodiscard]] sim::Timestamp capture_send_stamp(
+      int side, const TaskStruct& sender) const;
+  void deliver_deferred(int side, sim::Timestamp fleet_stamp,
+                        std::string payload);
+
   [[nodiscard]] std::size_t pending(int side) const {
     return inbox_[side].size();
   }
@@ -134,8 +156,9 @@ class XShardSocketPair {
   // dir_[i] stamps messages flowing *from* side i; inbox_[i] holds messages
   // destined *for* side i. Both are touched from two shards, through the
   // send/receive interposition points only.
-  OVERHAUL_SHARED(send|reset_stamp) XShardStamp dir_[2];
-  OVERHAUL_SHARED(send|receive) std::deque<std::string> inbox_[2];
+  OVERHAUL_SHARED(send|reset_stamp|deliver_deferred) XShardStamp dir_[2];
+  OVERHAUL_SHARED(send|receive|deliver_deferred)
+  std::deque<std::string> inbox_[2];
 };
 
 }  // namespace overhaul::kern

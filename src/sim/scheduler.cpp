@@ -1,6 +1,5 @@
 #include "sim/scheduler.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace overhaul::sim {
@@ -9,20 +8,20 @@ Scheduler::EventId Scheduler::at(Timestamp when, Callback fn) {
   assert(when >= clock_.now() && "cannot schedule into the past");
   const EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
   ++live_count_;
   note_depth();
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
-  // Lazy cancellation: remember the id; skip it when popped. The cancelled
-  // list stays tiny in practice (re-arm timers).
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end())
-    return false;
-  // We cannot cheaply check membership in the priority queue; callers only
-  // cancel ids they know are pending, and double-cancel returns false above.
-  cancelled_.push_back(id);
-  if (live_count_ > 0) --live_count_;
+  // Lazy cancellation, O(1): only ids still in the queue are cancellable,
+  // so an id that already ran — or was already cancelled — returns false
+  // here without any scan. The event body stays queued as a tombstone and
+  // is pruned when it pops.
+  if (pending_ids_.erase(id) == 0) return false;
+  tombstones_.insert(id);
+  --live_count_;
   note_depth();
   return true;
 }
@@ -35,11 +34,8 @@ bool Scheduler::pop_next(Event& out) {
     Event& top = const_cast<Event&>(queue_.top());
     Event ev{top.when, top.seq, top.id, std::move(top.fn)};
     queue_.pop();
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    if (tombstones_.erase(ev.id) != 0) continue;  // pruned at pop time
+    pending_ids_.erase(ev.id);
     out = std::move(ev);
     return true;
   }

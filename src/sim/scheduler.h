@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/clock.h"
@@ -45,6 +46,12 @@ class Scheduler {
 
   [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
   [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
+  // Cancelled events still sitting in the queue awaiting their pop-time
+  // prune. Bounded by pending()+backlog = queue size; drops to 0 once the
+  // queue drains past every cancelled timestamp.
+  [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
+    return tombstones_.size();
+  }
   [[nodiscard]] Clock& clock() noexcept { return clock_; }
 
   // Observer called with the live event count whenever it changes. The sim
@@ -80,7 +87,12 @@ class Scheduler {
   OVERHAUL_SHARD_LOCAL std::function<void(std::size_t)> depth_observer_;
   OVERHAUL_SHARD_LOCAL std::priority_queue<Event, std::vector<Event>, Later>
       queue_;
-  OVERHAUL_SHARD_LOCAL std::vector<EventId> cancelled_;
+  // O(1) lazy-cancel bookkeeping. pending_ids_ mirrors the queue's live ids
+  // so cancel() can reject already-run (or already-cancelled) ids without a
+  // scan; tombstones_ marks cancelled ids and is pruned as they pop. Never
+  // iterated (R9): membership tests and erases only.
+  OVERHAUL_SHARD_LOCAL std::unordered_set<EventId> pending_ids_;
+  OVERHAUL_SHARD_LOCAL std::unordered_set<EventId> tombstones_;
   OVERHAUL_SHARD_LOCAL std::uint64_t next_seq_ = 0;
   OVERHAUL_SHARD_LOCAL EventId next_id_ = 1;
   OVERHAUL_SHARD_LOCAL std::size_t live_count_ = 0;

@@ -30,6 +30,7 @@ grant_policy = acg
 shared_secret = my-parrot
 alert_duration_ms = 6000
 fleet_shards = 64
+fleet_threads = 4
 screen = 1920x1080
 )";
   auto cfg = parse_config(text);
@@ -45,6 +46,7 @@ screen = 1920x1080
   EXPECT_EQ(c.shared_secret, "my-parrot");
   EXPECT_EQ(c.alert_duration, sim::Duration::millis(6000));
   EXPECT_EQ(c.fleet_shards, 64);
+  EXPECT_EQ(c.fleet_threads, 4);
   EXPECT_EQ(c.screen_width, 1920);
   EXPECT_EQ(c.screen_height, 1080);
 }
@@ -64,6 +66,8 @@ TEST(ConfigFile, MalformedValuesRejectedWithLineNumbers) {
   EXPECT_FALSE(parse_config("screen = huge\n").is_ok());
   EXPECT_FALSE(parse_config("fleet_shards = 0\n").is_ok());
   EXPECT_FALSE(parse_config("fleet_shards = many\n").is_ok());
+  EXPECT_FALSE(parse_config("fleet_threads = 0\n").is_ok());
+  EXPECT_FALSE(parse_config("fleet_threads = many\n").is_ok());
   EXPECT_FALSE(parse_config("grant_policy = maybe\n").is_ok());
   EXPECT_FALSE(parse_config("shared_secret =\n").is_ok());
   EXPECT_FALSE(parse_config("justakey\n").is_ok());
@@ -94,6 +98,7 @@ TEST(ConfigFile, RenderRoundTrips) {
   original.grant_policy = kern::GrantPolicy::kAcg;
   original.shared_secret = "round-trip";
   original.fleet_shards = 16;
+  original.fleet_threads = 8;
   original.screen_width = 800;
   original.screen_height = 600;
 
@@ -106,6 +111,7 @@ TEST(ConfigFile, RenderRoundTrips) {
   EXPECT_EQ(c.grant_policy, original.grant_policy);
   EXPECT_EQ(c.shared_secret, original.shared_secret);
   EXPECT_EQ(c.fleet_shards, original.fleet_shards);
+  EXPECT_EQ(c.fleet_threads, original.fleet_threads);
   EXPECT_EQ(c.screen_width, original.screen_width);
 }
 

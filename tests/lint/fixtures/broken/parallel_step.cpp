@@ -1,0 +1,26 @@
+// Fixture: parallel dispatch lock-order inversion (R10) — dispatch()
+// acquires the pool lifecycle lock while already holding the quantum
+// handoff lock, inverting the declared rank. A stop() path taking the
+// declared order deadlocks against this dispatch.
+#include "fake.h"
+
+namespace fixture {
+
+class LanePool {
+ public:
+  void dispatch() {
+    std::lock_guard<std::mutex> g1(quantum_mu_);
+    // BUG: acquires the lower-ranked pool mutex second.
+    std::lock_guard<std::mutex> g2(pool_mu_);
+    ++quantum_seq_;
+    item_count_ = 8;
+  }
+
+ private:
+  OVERHAUL_SHARED(dispatch) std::mutex pool_mu_;
+  OVERHAUL_SHARED(dispatch) std::mutex quantum_mu_;
+  OVERHAUL_GUARDED_BY(quantum_mu_) int quantum_seq_ = 0;
+  OVERHAUL_GUARDED_BY(quantum_mu_) int item_count_ = 0;
+};
+
+}  // namespace fixture

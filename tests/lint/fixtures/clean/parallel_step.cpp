@@ -1,0 +1,24 @@
+// Fixture: parallel quantum dispatch (R10/R8) — the stepping-engine idiom:
+// the pool lifecycle lock ranks before the quantum handoff lock, and the
+// handoff state is written only with its declared mutex held.
+#include "fake.h"
+
+namespace fixture {
+
+class LanePool {
+ public:
+  void dispatch() {
+    std::lock_guard<std::mutex> g1(pool_mu_);
+    std::lock_guard<std::mutex> g2(quantum_mu_);
+    ++quantum_seq_;
+    item_count_ = 8;
+  }
+
+ private:
+  OVERHAUL_SHARED(dispatch) std::mutex pool_mu_;
+  OVERHAUL_SHARED(dispatch) std::mutex quantum_mu_;
+  OVERHAUL_GUARDED_BY(quantum_mu_) int quantum_seq_ = 0;
+  OVERHAUL_GUARDED_BY(quantum_mu_) int item_count_ = 0;
+};
+
+}  // namespace fixture

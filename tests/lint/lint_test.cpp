@@ -545,11 +545,11 @@ TEST(CallGraph, DeclaredEdgesSpliceHandlerIndirection) {
 TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   const auto cfg = fixture_rules();
   const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
-  ASSERT_EQ(findings.size(), 14u);
+  ASSERT_EQ(findings.size(), 15u);
 
   // Sorted by file: clock_use, device_open, handle, interaction, lock_order,
-  // nondet_order, pipe_like, shared_state, taint, wl_capture, wl_receive,
-  // xshard_deliver.
+  // nondet_order, parallel_step, pipe_like, shared_state, taint, wl_capture,
+  // wl_receive, xshard_deliver.
   EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/clock_use.cpp"));
   EXPECT_EQ(findings[0].rule, "R4");
   EXPECT_EQ(findings[0].line, 7);
@@ -587,40 +587,48 @@ TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   EXPECT_NE(findings[7].message.find("append"), std::string::npos);
   EXPECT_NE(findings[7].message.find("pending_"), std::string::npos);
 
-  EXPECT_TRUE(lint::path_matches(findings[8].file, "broken/pipe_like.cpp"));
-  EXPECT_EQ(findings[8].rule, "R1");
-  EXPECT_EQ(findings[8].line, 8);
-  EXPECT_NE(findings[8].message.find("Pipe::write"), std::string::npos);
+  // The engine-idiom inversion (pool_mu_ taken while quantum_mu_ is held).
+  EXPECT_TRUE(
+      lint::path_matches(findings[8].file, "broken/parallel_step.cpp"));
+  EXPECT_EQ(findings[8].rule, "R10");
+  EXPECT_EQ(findings[8].line, 14);
+  EXPECT_NE(findings[8].message.find("pool_mu_"), std::string::npos);
+  EXPECT_NE(findings[8].message.find("quantum_mu_"), std::string::npos);
+
+  EXPECT_TRUE(lint::path_matches(findings[9].file, "broken/pipe_like.cpp"));
+  EXPECT_EQ(findings[9].rule, "R1");
+  EXPECT_EQ(findings[9].line, 8);
+  EXPECT_NE(findings[9].message.find("Pipe::write"), std::string::npos);
 
   // The shared-state write outside the declared accessor tree.
-  EXPECT_TRUE(lint::path_matches(findings[9].file, "broken/shared_state.cpp"));
-  EXPECT_EQ(findings[9].rule, "R8");
-  EXPECT_EQ(findings[9].line, 14);
-  EXPECT_NE(findings[9].message.find("channels_"), std::string::npos);
-  EXPECT_NE(findings[9].message.find("reset"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[10].file, "broken/shared_state.cpp"));
+  EXPECT_EQ(findings[10].rule, "R8");
+  EXPECT_EQ(findings[10].line, 14);
+  EXPECT_NE(findings[10].message.find("channels_"), std::string::npos);
+  EXPECT_NE(findings[10].message.find("reset"), std::string::npos);
 
   // The background-replay mint, unreachable from deliver_input.
-  EXPECT_TRUE(lint::path_matches(findings[10].file, "broken/taint.cpp"));
-  EXPECT_EQ(findings[10].rule, "R6");
-  EXPECT_NE(findings[10].message.find("background_replay"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[11].file, "broken/taint.cpp"));
+  EXPECT_EQ(findings[11].rule, "R6");
+  EXPECT_NE(findings[11].message.find("background_replay"), std::string::npos);
 
   // The capture path whose mediation survives only as dead code.
-  EXPECT_TRUE(lint::path_matches(findings[11].file, "broken/wl_capture.cpp"));
-  EXPECT_EQ(findings[11].rule, "R5");
-  EXPECT_NE(findings[11].message.find("capture_surface"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[12].file, "broken/wl_capture.cpp"));
+  EXPECT_EQ(findings[12].rule, "R5");
+  EXPECT_NE(findings[12].message.find("capture_surface"), std::string::npos);
 
   // The un-mediated Wayland receive handler — proof the analyzer covers the
   // second backend's interposition points too.
-  EXPECT_TRUE(lint::path_matches(findings[12].file, "broken/wl_receive.cpp"));
-  EXPECT_EQ(findings[12].rule, "R2");
-  EXPECT_EQ(findings[12].line, 6);
-  EXPECT_NE(findings[12].message.find("request_receive"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[13].file, "broken/wl_receive.cpp"));
+  EXPECT_EQ(findings[13].rule, "R2");
+  EXPECT_EQ(findings[13].line, 6);
+  EXPECT_NE(findings[13].message.find("request_receive"), std::string::npos);
 
   // The cross-shard delivery path whose P2 stamp survives only as dead code.
   EXPECT_TRUE(
-      lint::path_matches(findings[13].file, "broken/xshard_deliver.cpp"));
-  EXPECT_EQ(findings[13].rule, "R5");
-  EXPECT_NE(findings[13].message.find("deliver_cross_shard"),
+      lint::path_matches(findings[14].file, "broken/xshard_deliver.cpp"));
+  EXPECT_EQ(findings[14].rule, "R5");
+  EXPECT_NE(findings[14].message.find("deliver_cross_shard"),
             std::string::npos);
 }
 
@@ -628,7 +636,7 @@ TEST(Fixtures, CleanTreePasses) {
   const auto cfg = fixture_rules();
   std::size_t scanned = 0;
   const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
-  EXPECT_EQ(scanned, 12u);
+  EXPECT_EQ(scanned, 13u);
   EXPECT_TRUE(findings.empty())
       << findings[0].file << ":" << findings[0].line << " "
       << findings[0].message;
@@ -708,6 +716,22 @@ TEST(FlowRules, R5FailsWhenTheCrossShardStampIsRemoved) {
   ASSERT_EQ(count_rule(bad.findings, "R5"), 1);
   EXPECT_NE(first_rule(bad.findings, "R5").message.find("deliver_cross_shard"),
             std::string::npos);
+}
+
+TEST(FlowRules, R10FailsWhenTheParallelStepGuardIsRemoved) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/parallel_step.cpp");
+  auto ok = lint::run_tree_mem({{"parallel_step.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R10"), 0);
+
+  // Dropping the quantum-lock acquisition leaves both guarded handoff
+  // writes (quantum_seq_, item_count_) outside their declared mutex.
+  const auto pos = src.find("std::lock_guard<std::mutex> g2(quantum_mu_);");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem({{"parallel_step.cpp", cut}}, cfg);
+  EXPECT_EQ(count_rule(bad.findings, "R10"), 2);
 }
 
 TEST(FlowRules, R6FailsWhenAMintEscapesTheInputPath) {

@@ -1,0 +1,146 @@
+// ParallelExecutor unit tests: partition shape, barrier correctness, pool
+// lifecycle. The fleet-level determinism claim lives in
+// tests/fleet/parallel_equivalence_test.cpp; this file pins the executor's
+// own contract — every index exactly once, lane assignment a pure function
+// of the index, reusable across quanta, inline when serial or stopped.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel.h"
+
+namespace overhaul::sim {
+namespace {
+
+TEST(ParallelExecutorTest, ClampsWorkerCountToAtLeastOne) {
+  ParallelExecutor zero(0);
+  EXPECT_EQ(zero.workers(), 1);
+  ParallelExecutor negative(-3);
+  EXPECT_EQ(negative.workers(), 1);
+  ParallelExecutor four(4);
+  EXPECT_EQ(four.workers(), 4);
+}
+
+TEST(ParallelExecutorTest, SingleWorkerRunsInlineInAscendingOrder) {
+  ParallelExecutor exec(1);
+  std::vector<std::size_t> seen;
+  const std::thread::id caller = std::this_thread::get_id();
+  exec.run_quantum(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    seen.push_back(i);
+  });
+  ASSERT_EQ(seen.size(), 16u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ParallelExecutorTest, CoversEveryIndexExactlyOnce) {
+  ParallelExecutor exec(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  exec.run_quantum(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelExecutorTest, LaneAssignmentIsStrided) {
+  ParallelExecutor exec(4);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(exec.lane_of(i), static_cast<int>(i % 4));
+}
+
+// The partition promise behind the determinism contract: item i always runs
+// on lane i % W, so two items on the same lane share a thread and two items
+// on different lanes never do (within one quantum).
+TEST(ParallelExecutorTest, ItemsRunOnTheirAssignedLane) {
+  ParallelExecutor exec(4);
+  constexpr std::size_t kCount = 97;  // deliberately not a multiple of W
+  std::vector<std::thread::id> ran_on(kCount);
+  exec.run_quantum(kCount, [&](std::size_t i) {
+    ran_on[i] = std::this_thread::get_id();
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(ran_on[i], ran_on[i % 4])
+        << "item " << i << " not on its lane's thread";
+  }
+  std::map<std::thread::id, int> lanes;
+  for (std::size_t l = 0; l < 4; ++l) lanes[ran_on[l]] = 1;
+  EXPECT_EQ(lanes.size(), 4u) << "four lanes should use four threads";
+}
+
+TEST(ParallelExecutorTest, ReusableAcrossManyQuanta) {
+  ParallelExecutor exec(4);
+  std::atomic<std::size_t> total{0};
+  for (int q = 0; q < 200; ++q)
+    exec.run_quantum(31, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 200u * 31u);
+}
+
+TEST(ParallelExecutorTest, ZeroCountIsANoop) {
+  ParallelExecutor exec(4);
+  bool called = false;
+  exec.run_quantum(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelExecutorTest, MoreWorkersThanItemsStillCoversAll) {
+  ParallelExecutor exec(8);
+  std::vector<std::atomic<int>> hits(3);
+  exec.run_quantum(3, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelExecutorTest, StopIsIdempotentAndFallsBackToInline) {
+  ParallelExecutor exec(4);
+  exec.run_quantum(8, [](std::size_t) {});
+  exec.stop();
+  exec.stop();  // second join must be a no-op
+  // A stopped pool still accepts quanta, inline on the caller.
+  std::vector<std::size_t> seen;
+  const std::thread::id caller = std::this_thread::get_id();
+  exec.run_quantum(8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    seen.push_back(i);
+  });
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ParallelExecutorTest, DestructorJoinsWithoutStop) {
+  // Scope exit with live workers must not hang or leak threads.
+  for (int round = 0; round < 8; ++round) {
+    ParallelExecutor exec(3);
+    std::atomic<int> n{0};
+    exec.run_quantum(10, [&](std::size_t) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(n.load(), 10);
+  }
+}
+
+// Lanes may mutate disjoint slots of one container concurrently (that is
+// exactly how the fleet steps its shard table); the barrier must publish
+// every lane's writes to the coordinator.
+TEST(ParallelExecutorTest, BarrierPublishesLaneWritesToCoordinator) {
+  ParallelExecutor exec(4);
+  std::vector<std::size_t> out(256, 0);
+  exec.run_quantum(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelExecutorTest, HardwareLanesIsPositive) {
+  EXPECT_GE(ParallelExecutor::hardware_lanes(), 1);
+}
+
+}  // namespace
+}  // namespace overhaul::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 namespace overhaul::sim {
@@ -136,6 +137,76 @@ TEST(Scheduler, EventAtCurrentTimeRuns) {
   sched.at(clock.now(), [&] { ran = true; });
   sched.run();
   EXPECT_TRUE(ran);
+}
+
+// Cancelling an event whose turn already came and went must be a clean
+// `false` — not a phantom tombstone that corrupts pending() bookkeeping.
+TEST(Scheduler, CancelAfterRunReturnsFalse) {
+  Clock clock;
+  Scheduler sched(clock);
+  Scheduler::EventId id = sched.at(Timestamp{100}, [] {});
+  sched.run();
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_FALSE(sched.cancel(id));
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.cancelled_backlog(), 0u);
+}
+
+// Mass-cancellation must be O(1) per cancel (hash tombstones, not a linear
+// scan of every previously cancelled id). With the old vector bookkeeping,
+// 10k cancels were ~50M comparisons; here the wall-clock ceiling is generous
+// enough to never flake yet far below what a quadratic blowup would cost.
+TEST(Scheduler, TenThousandCancelsStayLinear) {
+  Clock clock;
+  Scheduler sched(clock);
+  constexpr int kEvents = 10'000;
+  std::vector<Scheduler::EventId> ids;
+  ids.reserve(kEvents);
+  int ran = 0;
+  for (int i = 0; i < kEvents; ++i)
+    ids.push_back(sched.at(Timestamp{100 + i}, [&ran] { ++ran; }));
+  EXPECT_EQ(sched.pending(), static_cast<std::size_t>(kEvents));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_TRUE(sched.cancel(ids[i]));
+    // pending() must stay exact after every single cancel, not just settle
+    // at the end — the fleet sizes its work off this counter.
+    ASSERT_EQ(sched.pending(), static_cast<std::size_t>(kEvents - i - 1));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000)
+      << "10k cancels should be milliseconds; a linear re-scan per cancel "
+         "would blow far past this";
+
+  EXPECT_EQ(sched.cancelled_backlog(), static_cast<std::size_t>(kEvents));
+  sched.run();  // pops prune every tombstone; nothing fires
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.cancelled_backlog(), 0u);
+}
+
+// Mixed population: cancel every other event, run, and check both the
+// survivors' order and that the tombstone set fully drains.
+TEST(Scheduler, InterleavedCancelKeepsSurvivorsExact) {
+  Clock clock;
+  Scheduler sched(clock);
+  std::vector<Scheduler::EventId> ids;
+  std::vector<int> fired;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(sched.at(Timestamp{10 * (i + 1)}, [&fired, i] {
+      fired.push_back(i);
+    }));
+  for (int i = 0; i < 1000; i += 2) EXPECT_TRUE(sched.cancel(ids[i]));
+  EXPECT_EQ(sched.pending(), 500u);
+  EXPECT_EQ(sched.cancelled_backlog(), 500u);
+  sched.run();
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t k = 0; k < fired.size(); ++k)
+    EXPECT_EQ(fired[k], static_cast<int>(2 * k + 1));
+  EXPECT_EQ(sched.cancelled_backlog(), 0u);
 }
 
 }  // namespace

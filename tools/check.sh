@@ -7,7 +7,8 @@
 #   tools/check.sh tsan
 #   tools/check.sh --metrics       # additionally smoke the BENCH_*.json path
 #   tools/check.sh --bench         # additionally smoke the perf benches
-#                                  # (bench_hotpath, bench_table1, bench_lint)
+#                                  # (bench_hotpath, bench_table1, bench_lint,
+#                                  # bench_fleet + the trajectory diff gate)
 #   JOBS=4 tools/check.sh          # override parallelism
 #
 # --metrics and --bench combine, in any order, before the preset name.
@@ -71,9 +72,20 @@ step "ctest lint concurrency battery (R8-R10)"
     --output-on-failure -j "$JOBS")
 
 # The multi-seat fleet battery gates as its own stage: shard lifecycle and
-# isolation plus the cross-shard P2 oracle property test (DESIGN.md §14).
+# isolation plus the cross-shard P2 oracle property test (DESIGN.md §14),
+# and the parallel-vs-serial engine equivalence test (DESIGN.md §15).
 step "ctest -R fleet (multi-seat fleet battery)"
 (cd "$BUILD_DIR" && ctest -R '^fleet' --output-on-failure -j "$JOBS")
+
+# The parallel engine's race gate: the fleet + simulation-core batteries
+# (whose tests spawn up to 8-lane worker pools) rebuilt and re-run under
+# ThreadSanitizer. Skipped when this whole run already uses the tsan preset.
+if [ "$PRESET" != "tsan" ]; then
+  step "tsan engine battery (fleet.* + sim.* under ThreadSanitizer)"
+  cmake --preset tsan >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target fleet_test sim_test
+  (cd build-tsan && ctest -R '^(fleet|sim)\.' --output-on-failure -j "$JOBS")
+fi
 
 if [ "$METRICS" = 1 ]; then
   step "metrics smoke (bench_table1 --quick + strict JSON validation)"
@@ -104,6 +116,15 @@ if [ "$BENCH" = 1 ]; then
   (cd "$BUILD_DIR" &&
     ./bench/bench_fleet --quick &&
     ./tools/obs/json_check BENCH_fleet.json)
+
+  # Trajectory gate: this run's headline metrics (fleet decisions/sec, the
+  # hot-path ns/op family) against the committed previous values. Catches
+  # order-of-magnitude mistakes; refresh with bench_diff --update when a
+  # change legitimately moves a metric.
+  step "bench trajectory diff (vs tools/bench_baseline.json)"
+  (cd "$BUILD_DIR" &&
+    ./tools/obs/bench_diff --baseline=../tools/bench_baseline.json \
+      --threshold=25 BENCH_fleet.json BENCH_hotpath.json)
 
   step "bench_lint (analyzer cold/warm cache gate, --quick)"
   (cd "$BUILD_DIR" &&

@@ -1,0 +1,233 @@
+// bench_diff: perf-trajectory gate over the BENCH_*.json reports.
+//
+// bench_gate reasons about one run's internal honesty (ratio intervals);
+// this tool reasons about the *trajectory*: it compares headline metrics
+// from the current run against the committed previous values in
+// tools/bench_baseline.json and fails when any metric regresses by more
+// than the threshold (default 25%). Direction is per metric — throughput
+// ("higher" is better: decisions/sec) regresses downward, latency ("lower"
+// is better: ns/op) regresses upward. Improvements and small drifts print
+// in the delta table but never gate.
+//
+// Usage:
+//   bench_diff --baseline=tools/bench_baseline.json [--threshold=25]
+//              BENCH_fleet.json BENCH_hotpath.json...
+//   bench_diff --baseline=... --update BENCH_...json...
+//
+// --update rewrites the baseline's values from the current reports (same
+// files/keys/directions) — run it on the reference machine after a change
+// that legitimately moves a metric, and commit the result. Quick-shape
+// numbers on one box are only comparable to quick-shape numbers on the same
+// box; the gate exists to catch order-of-magnitude mistakes (an accidental
+// O(n^2), a debug build sneaking in), hence the loose default threshold.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+struct Metric {
+  std::string file;       // basename of the report the value lives in
+  std::string key;        // flat key inside that report
+  std::string direction;  // "higher" or "lower" (which way is better)
+  double value = 0;       // baseline value
+};
+
+// Same minimal scraping idiom as bench_gate: every document is validated
+// with the strict parser first, after which substring scanning is sound for
+// the flat objects the benches emit.
+bool find_number(const std::string& obj, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(obj.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+bool find_string(const std::string& obj, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = obj.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = obj.substr(start, end - start);
+  return true;
+}
+
+std::vector<std::string> extract_objects(const std::string& text,
+                                         const std::string& array_key) {
+  std::vector<std::string> rows;
+  const std::size_t arr = text.find("\"" + array_key + "\":[");
+  if (arr == std::string::npos) return rows;
+  std::size_t pos = arr;
+  while (true) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    rows.push_back(text.substr(open, close - open + 1));
+    pos = close + 1;
+    if (pos >= text.size() || text[pos] != ',') break;
+  }
+  return rows;
+}
+
+bool read_validated(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  std::string error;
+  if (!overhaul::obs::json::validate(*out, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: invalid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string render_baseline(const std::vector<Metric>& metrics) {
+  std::string out = "{\"baseline\":\"bench-trajectory\",\"metrics\":[";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    if (i > 0) out += ",";
+    char num[32];
+    std::snprintf(num, sizeof(num), "%.6g", m.value);
+    out += "{\"file\":\"" + m.file + "\",\"key\":\"" + m.key +
+           "\",\"direction\":\"" + m.direction + "\",\"value\":" + num + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 25.0;
+  bool update = false;
+  std::string baseline_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::strtod(argv[i] + 12, nullptr);
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: bench_diff --baseline=PATH [--threshold=PCT] "
+                   "[--update] BENCH_*.json...\n");
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (baseline_path.empty() || files.empty()) {
+    std::fprintf(stderr,
+                 "bench_diff: need --baseline=PATH and at least one "
+                 "BENCH_*.json\n");
+    return 2;
+  }
+
+  std::string baseline_text;
+  if (!read_validated(baseline_path, &baseline_text)) return 1;
+  std::vector<Metric> metrics;
+  for (const std::string& obj : extract_objects(baseline_text, "metrics")) {
+    Metric m;
+    if (!find_string(obj, "file", &m.file) ||
+        !find_string(obj, "key", &m.key) ||
+        !find_string(obj, "direction", &m.direction) ||
+        !find_number(obj, "value", &m.value)) {
+      std::fprintf(stderr, "bench_diff: malformed baseline row: %s\n",
+                   obj.c_str());
+      return 1;
+    }
+    if (m.direction != "higher" && m.direction != "lower") {
+      std::fprintf(stderr,
+                   "bench_diff: %s/%s: direction must be higher or lower\n",
+                   m.file.c_str(), m.key.c_str());
+      return 1;
+    }
+    metrics.push_back(std::move(m));
+  }
+  if (metrics.empty()) {
+    std::fprintf(stderr, "bench_diff: baseline has no metrics array\n");
+    return 1;
+  }
+
+  // Load every provided report once, keyed by basename.
+  std::map<std::string, std::string> reports;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_validated(path, &text)) return 1;
+    reports[basename_of(path)] = std::move(text);
+  }
+
+  std::printf("bench trajectory vs %s (gate: >%.0f%% regression fails)\n",
+              baseline_path.c_str(), threshold);
+  std::printf("  %-18s %-26s %12s %12s %8s  %s\n", "file", "metric",
+              "previous", "current", "delta", "verdict");
+  int rc = 0;
+  for (Metric& m : metrics) {
+    const auto it = reports.find(m.file);
+    if (it == reports.end()) {
+      std::fprintf(stderr, "bench_diff: baseline expects %s but it was not "
+                   "provided\n", m.file.c_str());
+      rc = 1;
+      continue;
+    }
+    double current = 0;
+    if (!find_number(it->second, m.key, &current)) {
+      std::fprintf(stderr, "bench_diff: %s has no key \"%s\"\n",
+                   m.file.c_str(), m.key.c_str());
+      rc = 1;
+      continue;
+    }
+    const double delta_pct =
+        m.value == 0 ? 0 : (current - m.value) / m.value * 100.0;
+    const bool regressed = m.direction == "higher" ? delta_pct < -threshold
+                                                   : delta_pct > threshold;
+    const bool improved = m.direction == "higher" ? delta_pct > threshold
+                                                  : delta_pct < -threshold;
+    const char* verdict = update      ? "updated"
+                          : regressed ? "REGRESSION"
+                          : improved  ? "improved"
+                                      : "ok";
+    std::printf("  %-18s %-26s %12.6g %12.6g %+7.1f%%  %s\n", m.file.c_str(),
+                m.key.c_str(), m.value, current, delta_pct, verdict);
+    if (regressed && !update) rc = 1;
+    if (update) m.value = current;
+  }
+
+  if (update && rc == 0) {
+    std::ofstream out(baseline_path, std::ios::binary);
+    const std::string body = render_baseline(metrics);
+    if (!out || !out.write(body.data(),
+                           static_cast<std::streamsize>(body.size()))) {
+      std::fprintf(stderr, "bench_diff: cannot rewrite %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::printf("rewrote %s\n", baseline_path.c_str());
+  }
+  return rc;
+}
