@@ -293,6 +293,16 @@ int main(int argc, char** argv) {
   const std::uint64_t xshard_sends =
       f.aggregate_counter("ipc.xshard.send_stamps");
   const std::size_t rss_proxy = f.rss_proxy_bytes();
+  // Audit-memory delta: bytes the binary rings actually hold vs what the
+  // same live records would cost as text-log entries (AuditRecord + two
+  // heap strings each) — the per-seat RSS saving DESIGN.md §16 claims.
+  std::size_t audit_bytes_binary = 0;
+  std::size_t audit_bytes_text_equiv = 0;
+  for (fleet::ShardId id = 0; id < f.shard_count(); ++id) {
+    const auto& sink = f.shard(id).kernel().audit();
+    audit_bytes_binary += sink.memory_bytes();
+    audit_bytes_text_equiv += sink.text_equiv_bytes();
+  }
 
   std::printf("mix: %.3f s wall for %llu steps — %llu decisions (%.0f/s), "
               "%llu notifications (%.0f/s), %llu xshard sends\n",
@@ -308,6 +318,14 @@ int main(int argc, char** argv) {
   std::printf("RSS proxy (slab chunks + audit rings): %.2f MiB across %d "
               "live shards\n",
               rss_proxy / (1024.0 * 1024.0), f.live_count());
+  std::printf("audit rings: %.2f MiB binary vs %.2f MiB text-equivalent "
+              "(%.2fx)\n",
+              audit_bytes_binary / (1024.0 * 1024.0),
+              audit_bytes_text_equiv / (1024.0 * 1024.0),
+              audit_bytes_binary > 0
+                  ? static_cast<double>(audit_bytes_text_equiv) /
+                        static_cast<double>(audit_bytes_binary)
+                  : 0.0);
 
   if (decisions != checks) {
     std::fprintf(stderr,
@@ -392,6 +410,15 @@ int main(int argc, char** argv) {
   report.add("xshard_recv_adoptions",
              f.aggregate_counter("ipc.xshard.recv_adoptions"));
   report.add("rss_proxy_bytes", static_cast<std::uint64_t>(rss_proxy));
+  report.add("audit_bytes_binary",
+             static_cast<std::uint64_t>(audit_bytes_binary));
+  report.add("audit_bytes_text_equiv",
+             static_cast<std::uint64_t>(audit_bytes_text_equiv));
+  report.add("audit_mem_ratio",
+             audit_bytes_binary > 0
+                 ? static_cast<double>(audit_bytes_text_equiv) /
+                       static_cast<double>(audit_bytes_binary)
+                 : 0.0);
   report.add("step_timing", opt.threads == 1 ? "per_shard" : "per_quantum");
   report.add("step_p50_ns", step_ns.percentile(50));
   report.add("step_p99_ns", step_ns.percentile(99));

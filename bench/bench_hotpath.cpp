@@ -95,7 +95,7 @@ double run_lookup(double* handle_get_ns) {
 double run_check() {
   sim::Clock clock;
   kern::ProcessTable table;
-  util::AuditLog audit;
+  audit::Sink audit;
   kern::PermissionMonitor monitor(table, clock, audit);
   monitor.set_audit_enabled(false);  // Table-I bench config: no log, no trace
   const kern::Pid app = table.fork(1).value();

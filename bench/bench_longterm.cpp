@@ -121,7 +121,7 @@ MachineResult run_machine(bool protected_machine, std::uint64_t seed) {
   result.blocked_logged = sys.audit().count(util::Decision::kDeny);
   result.audit_appended = sys.audit().total_appended();
   result.audit_dropped = sys.audit().dropped();
-  result.report = util::build_report(sys.audit());
+  result.report = util::build_report(sys.audit().records());
   result.metrics_json = sys.obs().metrics.to_json();
   return result;
 }

@@ -39,6 +39,11 @@ int g_scale = 1;
 // kernel-side rows are backend-independent and are skipped in that mode.
 core::DisplayBackendKind g_backend = core::DisplayBackendKind::kX11;
 
+// --quick rows are single-repetition smoke readings: they are emitted for
+// the trajectory record but marked non-gating so bench_gate / bench_diff
+// never fail CI on a number with no spread behind it.
+bool g_gating = true;
+
 const char* backend_tag() {
   return g_backend == core::DisplayBackendKind::kWayland ? "wl" : "x11";
 }
@@ -325,6 +330,8 @@ std::string row_json(const char* name, const Agg& agg, double ops) {
   j += ",\"ratio_median\":" + JsonReport::number(agg.ratio_median());
   j += ",\"ratio_min\":" + JsonReport::number(agg.ratio_min());
   j += ",\"ratio_max\":" + JsonReport::number(agg.ratio_max());
+  j += ",\"gating\":";
+  j += g_gating ? "true" : "false";
   j += "}";
   return j;
 }
@@ -371,6 +378,7 @@ int main(int argc, char** argv) {
                 g_scale);
   }
   if (quick) {
+    g_gating = false;
     g_scale = 200;
     kDeviceOpens /= g_scale;
     kPastes /= g_scale;

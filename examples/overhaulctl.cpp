@@ -74,6 +74,6 @@ int main() {
 
   // The §V-D-style audit investigation.
   std::printf("\n# overhaulctl report\n%s",
-              util::build_report(sys.audit()).to_string().c_str());
+              util::build_report(sys.audit().records()).to_string().c_str());
   return 0;
 }

@@ -49,7 +49,7 @@ class OverhaulSystem {
   [[nodiscard]] x11::XServer& xserver() noexcept { return *xserver_; }
   [[nodiscard]] wl::WlCompositor& compositor() noexcept { return *compositor_; }
   [[nodiscard]] HardwareInputDriver& input() noexcept { return *input_; }
-  [[nodiscard]] util::AuditLog& audit() noexcept { return kernel_->audit(); }
+  [[nodiscard]] audit::Sink& audit() noexcept { return kernel_->audit(); }
   [[nodiscard]] obs::Observability& obs() noexcept { return kernel_->obs(); }
 
   // --- standard devices ------------------------------------------------------

@@ -50,15 +50,16 @@ void Shard::account() {
   kern::Kernel& k = system_.kernel();
   g_task_slots_->record(static_cast<std::int64_t>(k.processes().slot_count()));
   g_audit_ring_bytes_->record(
-      static_cast<std::int64_t>(k.audit().size() * sizeof(util::AuditRecord)));
+      static_cast<std::int64_t>(k.audit().memory_bytes()));
   g_netlink_pending_->record(
       static_cast<std::int64_t>(k.netlink().pending_coalesced()));
 }
 
 std::size_t Shard::rss_proxy_bytes() {
   kern::Kernel& k = system_.kernel();
-  return k.processes().slab_bytes() +
-         k.audit().size() * sizeof(util::AuditRecord);
+  // Binary ring accounting: 64-byte records + intern payload, not the text
+  // log's record-struct-plus-two-heap-strings footprint (DESIGN.md §16).
+  return k.processes().slab_bytes() + k.audit().memory_bytes();
 }
 
 }  // namespace overhaul::fleet

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "audit/sink.h"
 #include "kern/devices.h"
 #include "kern/ipc/fifo.h"
 #include "kern/ipc/msg_queue.h"
@@ -83,7 +84,7 @@ class Kernel {
   [[nodiscard]] SignalManager& signals() noexcept { return signals_; }
   [[nodiscard]] PtyDriver& ptys() noexcept { return ptys_; }
   [[nodiscard]] PageFaultEngine& page_faults() noexcept { return page_faults_; }
-  [[nodiscard]] util::AuditLog& audit() noexcept { return audit_; }
+  [[nodiscard]] audit::Sink& audit() noexcept { return audit_; }
   [[nodiscard]] IpcPolicy& ipc_policy() noexcept { return ipc_policy_; }
   // The kernel-wide observability bundle: every subsystem above records into
   // it, /proc/overhaul/metrics renders it, benches export it as JSON.
@@ -195,7 +196,9 @@ class Kernel {
   // it during construction/attachment.
   obs::Observability obs_{clock_};
 
-  util::AuditLog audit_;
+  // The per-shard binary decision ring behind the AuditLog-compatible
+  // facade (DESIGN.md §16).
+  audit::Sink audit_;
   ProcessTable processes_;
   Vfs vfs_;
   DeviceRegistry devices_;

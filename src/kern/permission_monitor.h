@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "audit/sink.h"
 #include "kern/process_table.h"
 #include "obs/obs.h"
 #include "sim/clock.h"
@@ -40,7 +41,7 @@ enum class GrantPolicy : std::uint8_t { kInputDriven, kAcg };
 class PermissionMonitor {
  public:
   PermissionMonitor(ProcessTable& processes, sim::Clock& clock,
-                    util::AuditLog& audit)
+                    audit::Sink& audit)
       : processes_(processes), clock_(clock), audit_(audit) {}
 
   // --- configuration -------------------------------------------------------
@@ -145,7 +146,7 @@ class PermissionMonitor {
 
   ProcessTable& processes_;
   sim::Clock& clock_;
-  util::AuditLog& audit_;
+  audit::Sink& audit_;
 
   // The monitor is per-shard state in the parallel sim (one monitor per
   // kernel instance); nothing here is touched across shards.

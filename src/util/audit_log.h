@@ -59,8 +59,15 @@ class AuditLog {
   static constexpr std::size_t kDefaultCapacity = 1'000'000;
 
   void append(AuditRecord record) {
-    records_.push_back(std::move(record));
     ++total_appended_;
+    if (capacity_ == 0) {
+      // Zero-capacity log: count the drop without touching storage — the
+      // push-then-trim loop below would otherwise allocate and free a deque
+      // node per append just to throw the record away.
+      ++dropped_;
+      return;
+    }
+    records_.push_back(std::move(record));
     while (records_.size() > capacity_) {
       records_.pop_front();
       ++dropped_;

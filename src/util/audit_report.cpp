@@ -69,9 +69,12 @@ std::string AuditReport::to_string() const {
   return out;
 }
 
-AuditReport build_report(const AuditLog& log) {
+namespace {
+
+template <typename Records>
+AuditReport build_report_impl(const Records& records) {
   std::map<std::string, AppUsage> by_comm;
-  for (const auto& rec : log.records()) {
+  for (const auto& rec : records) {
     AppUsage& usage = by_comm[rec.comm];
     usage.comm = rec.comm;
     if (rec.decision == Decision::kGrant) {
@@ -87,6 +90,16 @@ AuditReport build_report(const AuditLog& log) {
     report.apps.push_back(std::move(usage));
   }
   return report;  // std::map iteration already sorted by comm
+}
+
+}  // namespace
+
+AuditReport build_report(const std::vector<AuditRecord>& records) {
+  return build_report_impl(records);
+}
+
+AuditReport build_report(const AuditLog& log) {
+  return build_report_impl(log.records());
 }
 
 }  // namespace overhaul::util

@@ -40,7 +40,11 @@ struct AuditReport {
   [[nodiscard]] std::string to_string() const;
 };
 
-// Build the report from a log.
+// Build the report from a record stream — works for the text log's deque,
+// the binary facade's decoded vector (audit::Sink::records()), and decoded
+// snapshot streams alike.
+AuditReport build_report(const std::vector<AuditRecord>& records);
+// Build the report from a text log.
 AuditReport build_report(const AuditLog& log);
 
 }  // namespace overhaul::util

@@ -1,0 +1,192 @@
+// The compatibility facade contract: audit::Sink must be observably
+// equivalent to the text util::AuditLog it replaced — same counts, same
+// record round-trip, byte-identical formatted lines — and the audit_dump
+// CLI (run as a subprocess) must render a snapshot line-for-line equal to
+// AuditLog::format over the same records.
+#include "audit/sink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audit/snapshot.h"
+#include "util/audit_log.h"
+#include "util/rng.h"
+
+namespace overhaul::audit {
+namespace {
+
+util::AuditRecord make(util::Op op, util::Decision d, int pid = 100) {
+  util::AuditRecord r;
+  r.time_ns = 1'500'000'000;
+  r.pid = pid;
+  r.comm = "testapp";
+  r.op = op;
+  r.decision = d;
+  r.interaction_age_ns = 250'000'000;
+  r.detail = "/dev/snd/mic0";
+  return r;
+}
+
+// Drives the same seeded stream into both implementations.
+void fill_both(Sink* sink, util::AuditLog* log, std::uint64_t seed, int n) {
+  static const char* kComms[] = {"videoconf", "browser", "spyware"};
+  static const char* kDetails[] = {"/dev/video0", "selection:CLIPBOARD", ""};
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    util::AuditRecord r;
+    r.time_ns = static_cast<std::int64_t>(rng.next_below(1u << 30));
+    r.pid = static_cast<int>(rng.next_below(30000));
+    r.comm = kComms[rng.next_below(3)];
+    r.op = static_cast<util::Op>(
+        rng.next_below(static_cast<std::uint64_t>(util::kOpCount)));
+    r.decision = rng.next_below(2) == 0 ? util::Decision::kGrant
+                                        : util::Decision::kDeny;
+    r.interaction_age_ns =
+        rng.next_below(2) == 0
+            ? -1
+            : static_cast<std::int64_t>(rng.next_below(1u << 20));
+    r.detail = kDetails[rng.next_below(3)];
+    sink->append(r);
+    log->append(std::move(r));
+  }
+}
+
+TEST(SinkCompat, MirrorsTextLogUnderSharedStream) {
+  Sink sink(32);
+  util::AuditLog log;
+  log.set_capacity(32);
+  fill_both(&sink, &log, 1234, 500);
+
+  ASSERT_EQ(sink.size(), log.size());
+  EXPECT_EQ(sink.total_appended(), log.total_appended());
+  EXPECT_EQ(sink.dropped(), log.dropped());
+  EXPECT_EQ(sink.count(util::Decision::kGrant),
+            log.count(util::Decision::kGrant));
+  EXPECT_EQ(sink.count(util::Decision::kDeny),
+            log.count(util::Decision::kDeny));
+  for (int op = 0; op < static_cast<int>(util::kOpCount); ++op) {
+    EXPECT_EQ(sink.count(static_cast<util::Op>(op), util::Decision::kDeny),
+              log.count(static_cast<util::Op>(op), util::Decision::kDeny));
+  }
+  const auto decoded = sink.records();
+  ASSERT_EQ(decoded.size(), log.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    // Byte-identical rendered lines — the differential-oracle contract.
+    EXPECT_EQ(util::AuditLog::format(decoded[i]),
+              util::AuditLog::format(log.records()[i]))
+        << "record " << i;
+  }
+}
+
+TEST(SinkCompat, DecodeRoundTripsEveryField) {
+  Sink sink(8);
+  const util::AuditRecord in = make(util::Op::kCamera, util::Decision::kDeny);
+  sink.append(in);
+  const util::AuditRecord out = sink.decode(0);
+  EXPECT_EQ(out.time_ns, in.time_ns);
+  EXPECT_EQ(out.pid, in.pid);
+  EXPECT_EQ(out.comm, in.comm);
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.decision, in.decision);
+  EXPECT_EQ(out.interaction_age_ns, in.interaction_age_ns);
+  EXPECT_EQ(out.detail, in.detail);
+}
+
+TEST(SinkCompat, FilterMatchesTextSemantics) {
+  Sink sink(16);
+  sink.append(make(util::Op::kMicrophone, util::Decision::kGrant, 1));
+  sink.append(make(util::Op::kCamera, util::Decision::kDeny, 2));
+  sink.append(make(util::Op::kCamera, util::Decision::kDeny, 3));
+  const auto denied = sink.filter([](const util::AuditRecord& r) {
+    return r.decision == util::Decision::kDeny;
+  });
+  ASSERT_EQ(denied.size(), 2u);
+  EXPECT_EQ(denied[0].pid, 2);
+  EXPECT_EQ(denied[1].pid, 3);
+}
+
+TEST(SinkCompat, ZeroCapacityCountsDrops) {
+  Sink sink(0);
+  sink.append(make(util::Op::kPaste, util::Decision::kGrant));
+  sink.append(make(util::Op::kPaste, util::Decision::kDeny));
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_appended(), 2u);
+  EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(SinkCompat, TextEquivBytesExceedsBinaryForStringHeavyStreams) {
+  // A full ring of repeated comm/detail strings: the binary side holds one
+  // interned copy plus fixed records, the text side would hold an
+  // AuditRecord with two heap strings per entry.
+  Sink sink(1024);
+  for (int i = 0; i < 2048; ++i)
+    sink.append(make(util::Op::kScreenCapture, util::Decision::kGrant));
+  EXPECT_GT(sink.text_equiv_bytes(), sink.memory_bytes());
+}
+
+#ifdef AUDIT_DUMP_BIN
+// Runs the real decoder binary over a snapshot file and captures stdout.
+std::string run_audit_dump(const std::string& args) {
+  const std::string cmd = std::string(AUDIT_DUMP_BIN) + " " + args;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  pclose(pipe);
+  return out;
+}
+
+TEST(AuditDump, OutputMatchesAuditLogFormatLineForLine) {
+  Sink sink(64);
+  util::AuditLog log;
+  log.set_capacity(64);
+  fill_both(&sink, &log, 99, 200);
+
+  const std::string path = ::testing::TempDir() + "/audit_dump_test.bin";
+  std::string error;
+  ASSERT_TRUE(write_snapshot_file(sink.ring(), path, &error)) << error;
+
+  std::string expected;
+  for (const util::AuditRecord& rec : log.records())
+    expected += util::AuditLog::format(rec) + "\n";
+  EXPECT_EQ(run_audit_dump(path), expected);
+  std::remove(path.c_str());
+}
+
+TEST(AuditDump, RejectsCorruptSnapshotNonzeroExit) {
+  const std::string path = ::testing::TempDir() + "/audit_dump_corrupt.bin";
+  Sink sink(8);
+  sink.append(make(util::Op::kCamera, util::Decision::kGrant));
+  std::string error;
+  ASSERT_TRUE(write_snapshot_file(sink.ring(), path, &error)) << error;
+  // Flip one payload byte on disk.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -1, SEEK_END);
+    const int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_END);
+    std::fputc(c ^ 1, f);
+    std::fclose(f);
+  }
+  const std::string cmd =
+      std::string(AUDIT_DUMP_BIN) + " " + path + " 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buf[256];
+  while (std::fread(buf, 1, sizeof(buf), pipe) > 0) {
+  }
+  const int status = pclose(pipe);
+  EXPECT_NE(status, 0);
+  std::remove(path.c_str());
+}
+#endif  // AUDIT_DUMP_BIN
+
+}  // namespace
+}  // namespace overhaul::audit

@@ -19,7 +19,7 @@ class PermissionMonitorTest : public ::testing::Test {
 
   ProcessTable processes_;
   sim::Clock clock_;
-  util::AuditLog audit_;
+  audit::Sink audit_;
   PermissionMonitor monitor_;
   Pid app_ = kNoPid;
 };

@@ -1,0 +1,19 @@
+// Fixture: binary audit facade that builds the decision record but never
+// stores it — the ring append path is silently bypassed.
+#include "fake.h"
+
+namespace fixture {
+
+void AuditSink::append_decision(std::int64_t time_ns, Pid pid, Op op,
+                                Decision decision) {
+  BinRecord rec;
+  rec.time_ns = time_ns;
+  rec.pid = pid;
+  rec.op = op_code(op);
+  rec.decision = decision_code(decision);
+  rec.comm_id = intern(comm_for(pid));
+  // BUG: the record goes to the debug console; the ring never sees it.
+  console_log(format_line(rec));
+}
+
+}  // namespace fixture

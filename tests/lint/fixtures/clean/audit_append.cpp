@@ -1,0 +1,18 @@
+// Fixture: binary audit facade whose hot-path append stores one fixed-size
+// record into the decision ring (the R2 interposition point).
+#include "fake.h"
+
+namespace fixture {
+
+void AuditSink::append_decision(std::int64_t time_ns, Pid pid, Op op,
+                                Decision decision) {
+  BinRecord rec;
+  rec.time_ns = time_ns;
+  rec.pid = pid;
+  rec.op = op_code(op);
+  rec.decision = decision_code(decision);
+  rec.comm_id = intern(comm_for(pid));
+  ring_.append(rec);
+}
+
+}  // namespace fixture

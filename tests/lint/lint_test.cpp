@@ -545,90 +545,97 @@ TEST(CallGraph, DeclaredEdgesSpliceHandlerIndirection) {
 TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   const auto cfg = fixture_rules();
   const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
-  ASSERT_EQ(findings.size(), 15u);
+  ASSERT_EQ(findings.size(), 16u);
 
-  // Sorted by file: clock_use, device_open, handle, interaction, lock_order,
-  // nondet_order, parallel_step, pipe_like, shared_state, taint, wl_capture,
-  // wl_receive, xshard_deliver.
-  EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/clock_use.cpp"));
-  EXPECT_EQ(findings[0].rule, "R4");
+  // Sorted by file: audit_append, clock_use, device_open, handle, interaction,
+  // lock_order, nondet_order, parallel_step, pipe_like, shared_state, taint,
+  // wl_capture, wl_receive, xshard_deliver.
+
+  // The binary-audit facade that builds a record but never reaches the ring.
+  EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/audit_append.cpp"));
+  EXPECT_EQ(findings[0].rule, "R2");
   EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("append_decision"), std::string::npos);
+
+  EXPECT_TRUE(lint::path_matches(findings[1].file, "broken/clock_use.cpp"));
   EXPECT_EQ(findings[1].rule, "R4");
   EXPECT_EQ(findings[1].line, 7);
+  EXPECT_EQ(findings[2].rule, "R4");
+  EXPECT_EQ(findings[2].line, 7);
 
-  EXPECT_TRUE(lint::path_matches(findings[2].file, "broken/device_open.cpp"));
-  EXPECT_EQ(findings[2].rule, "R2");
-  EXPECT_EQ(findings[2].line, 6);
-  EXPECT_NE(findings[2].message.find("sys_open"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[3].file, "broken/device_open.cpp"));
+  EXPECT_EQ(findings[3].rule, "R2");
+  EXPECT_EQ(findings[3].line, 6);
+  EXPECT_NE(findings[3].message.find("sys_open"), std::string::npos);
 
   // R7 pair: the returned raw pointer, then the cached member.
-  EXPECT_TRUE(lint::path_matches(findings[3].file, "broken/handle.cpp"));
-  EXPECT_EQ(findings[3].rule, "R7");
-  EXPECT_NE(findings[3].message.find("resolve"), std::string::npos);
   EXPECT_TRUE(lint::path_matches(findings[4].file, "broken/handle.cpp"));
   EXPECT_EQ(findings[4].rule, "R7");
-  EXPECT_NE(findings[4].message.find("cached_task_"), std::string::npos);
+  EXPECT_NE(findings[4].message.find("resolve"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[5].file, "broken/handle.cpp"));
+  EXPECT_EQ(findings[5].rule, "R7");
+  EXPECT_NE(findings[5].message.find("cached_task_"), std::string::npos);
 
-  EXPECT_TRUE(lint::path_matches(findings[5].file, "broken/interaction.cpp"));
-  EXPECT_EQ(findings[5].rule, "R3");
-  EXPECT_EQ(findings[5].line, 8);
+  EXPECT_TRUE(lint::path_matches(findings[6].file, "broken/interaction.cpp"));
+  EXPECT_EQ(findings[6].rule, "R3");
+  EXPECT_EQ(findings[6].line, 8);
 
   // The inverted acquisition (mu_a_ taken while mu_b_ is held).
-  EXPECT_TRUE(lint::path_matches(findings[6].file, "broken/lock_order.cpp"));
-  EXPECT_EQ(findings[6].rule, "R10");
-  EXPECT_EQ(findings[6].line, 13);
-  EXPECT_NE(findings[6].message.find("mu_a_"), std::string::npos);
-  EXPECT_NE(findings[6].message.find("mu_b_"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[7].file, "broken/lock_order.cpp"));
+  EXPECT_EQ(findings[7].rule, "R10");
+  EXPECT_EQ(findings[7].line, 13);
+  EXPECT_NE(findings[7].message.find("mu_a_"), std::string::npos);
+  EXPECT_NE(findings[7].message.find("mu_b_"), std::string::npos);
 
   // The unordered_map drain into the audit sink.
-  EXPECT_TRUE(lint::path_matches(findings[7].file, "broken/nondet_order.cpp"));
-  EXPECT_EQ(findings[7].rule, "R9");
-  EXPECT_EQ(findings[7].line, 15);
-  EXPECT_NE(findings[7].message.find("append"), std::string::npos);
-  EXPECT_NE(findings[7].message.find("pending_"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[8].file, "broken/nondet_order.cpp"));
+  EXPECT_EQ(findings[8].rule, "R9");
+  EXPECT_EQ(findings[8].line, 15);
+  EXPECT_NE(findings[8].message.find("append"), std::string::npos);
+  EXPECT_NE(findings[8].message.find("pending_"), std::string::npos);
 
   // The engine-idiom inversion (pool_mu_ taken while quantum_mu_ is held).
   EXPECT_TRUE(
-      lint::path_matches(findings[8].file, "broken/parallel_step.cpp"));
-  EXPECT_EQ(findings[8].rule, "R10");
-  EXPECT_EQ(findings[8].line, 14);
-  EXPECT_NE(findings[8].message.find("pool_mu_"), std::string::npos);
-  EXPECT_NE(findings[8].message.find("quantum_mu_"), std::string::npos);
+      lint::path_matches(findings[9].file, "broken/parallel_step.cpp"));
+  EXPECT_EQ(findings[9].rule, "R10");
+  EXPECT_EQ(findings[9].line, 14);
+  EXPECT_NE(findings[9].message.find("pool_mu_"), std::string::npos);
+  EXPECT_NE(findings[9].message.find("quantum_mu_"), std::string::npos);
 
-  EXPECT_TRUE(lint::path_matches(findings[9].file, "broken/pipe_like.cpp"));
-  EXPECT_EQ(findings[9].rule, "R1");
-  EXPECT_EQ(findings[9].line, 8);
-  EXPECT_NE(findings[9].message.find("Pipe::write"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[10].file, "broken/pipe_like.cpp"));
+  EXPECT_EQ(findings[10].rule, "R1");
+  EXPECT_EQ(findings[10].line, 8);
+  EXPECT_NE(findings[10].message.find("Pipe::write"), std::string::npos);
 
   // The shared-state write outside the declared accessor tree.
-  EXPECT_TRUE(lint::path_matches(findings[10].file, "broken/shared_state.cpp"));
-  EXPECT_EQ(findings[10].rule, "R8");
-  EXPECT_EQ(findings[10].line, 14);
-  EXPECT_NE(findings[10].message.find("channels_"), std::string::npos);
-  EXPECT_NE(findings[10].message.find("reset"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[11].file, "broken/shared_state.cpp"));
+  EXPECT_EQ(findings[11].rule, "R8");
+  EXPECT_EQ(findings[11].line, 14);
+  EXPECT_NE(findings[11].message.find("channels_"), std::string::npos);
+  EXPECT_NE(findings[11].message.find("reset"), std::string::npos);
 
   // The background-replay mint, unreachable from deliver_input.
-  EXPECT_TRUE(lint::path_matches(findings[11].file, "broken/taint.cpp"));
-  EXPECT_EQ(findings[11].rule, "R6");
-  EXPECT_NE(findings[11].message.find("background_replay"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[12].file, "broken/taint.cpp"));
+  EXPECT_EQ(findings[12].rule, "R6");
+  EXPECT_NE(findings[12].message.find("background_replay"), std::string::npos);
 
   // The capture path whose mediation survives only as dead code.
-  EXPECT_TRUE(lint::path_matches(findings[12].file, "broken/wl_capture.cpp"));
-  EXPECT_EQ(findings[12].rule, "R5");
-  EXPECT_NE(findings[12].message.find("capture_surface"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[13].file, "broken/wl_capture.cpp"));
+  EXPECT_EQ(findings[13].rule, "R5");
+  EXPECT_NE(findings[13].message.find("capture_surface"), std::string::npos);
 
   // The un-mediated Wayland receive handler — proof the analyzer covers the
   // second backend's interposition points too.
-  EXPECT_TRUE(lint::path_matches(findings[13].file, "broken/wl_receive.cpp"));
-  EXPECT_EQ(findings[13].rule, "R2");
-  EXPECT_EQ(findings[13].line, 6);
-  EXPECT_NE(findings[13].message.find("request_receive"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[14].file, "broken/wl_receive.cpp"));
+  EXPECT_EQ(findings[14].rule, "R2");
+  EXPECT_EQ(findings[14].line, 6);
+  EXPECT_NE(findings[14].message.find("request_receive"), std::string::npos);
 
   // The cross-shard delivery path whose P2 stamp survives only as dead code.
   EXPECT_TRUE(
-      lint::path_matches(findings[14].file, "broken/xshard_deliver.cpp"));
-  EXPECT_EQ(findings[14].rule, "R5");
-  EXPECT_NE(findings[14].message.find("deliver_cross_shard"),
+      lint::path_matches(findings[15].file, "broken/xshard_deliver.cpp"));
+  EXPECT_EQ(findings[15].rule, "R5");
+  EXPECT_NE(findings[15].message.find("deliver_cross_shard"),
             std::string::npos);
 }
 
@@ -636,7 +643,7 @@ TEST(Fixtures, CleanTreePasses) {
   const auto cfg = fixture_rules();
   std::size_t scanned = 0;
   const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
-  EXPECT_EQ(scanned, 13u);
+  EXPECT_EQ(scanned, 14u);
   EXPECT_TRUE(findings.empty())
       << findings[0].file << ":" << findings[0].line << " "
       << findings[0].message;
@@ -716,6 +723,33 @@ TEST(FlowRules, R5FailsWhenTheCrossShardStampIsRemoved) {
   ASSERT_EQ(count_rule(bad.findings, "R5"), 1);
   EXPECT_NE(first_rule(bad.findings, "R5").message.find("deliver_cross_shard"),
             std::string::npos);
+}
+
+TEST(FlowRules, R2FailsWhenTheRingAppendIsRemoved) {
+  const auto cfg = fixture_rules();
+  // Single-file tree: the other r2.points and the R5 seeds report their own
+  // missing-file findings, so count only R2 findings naming this facade.
+  const auto audit_findings = [](const std::vector<lint::Finding>& fs) {
+    int n = 0;
+    for (const auto& f : fs)
+      if (f.rule == "R2" &&
+          f.message.find("append_decision") != std::string::npos)
+        ++n;
+    return n;
+  };
+
+  std::string src = read_file(fixture_dir("clean") + "/audit_append.cpp");
+  auto ok = lint::run_tree_mem({{"audit_append.cpp", src}}, cfg);
+  EXPECT_EQ(audit_findings(ok.findings), 0);
+
+  // Severing the one ring_.append call leaves the facade building records
+  // that never reach the ring — exactly the broken/ fixture's shape.
+  const auto pos = src.find("ring_.append(rec);");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem({{"audit_append.cpp", cut}}, cfg);
+  EXPECT_EQ(audit_findings(bad.findings), 1);
 }
 
 TEST(FlowRules, R10FailsWhenTheParallelStepGuardIsRemoved) {

@@ -88,6 +88,33 @@ TEST(AuditLog, ShrinkingCapacityEvictsImmediately) {
   EXPECT_EQ(log.count(Decision::kDeny), 2u);
 }
 
+TEST(AuditLog, ZeroCapacityDropsEveryAppendWithoutStoring) {
+  // The set_capacity(0) edge: appends must neither store nor grow the log,
+  // but every one is still counted in the lifetime totals.
+  AuditLog log;
+  log.set_capacity(0);
+  EXPECT_EQ(log.capacity(), 0u);
+  for (int pid = 1; pid <= 50; ++pid)
+    log.append(make(Op::kMicrophone, Decision::kGrant, pid));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_appended(), 50u);
+  EXPECT_EQ(log.dropped(), 50u);
+  EXPECT_EQ(log.count(Decision::kGrant), 0u);
+}
+
+TEST(AuditLog, ShrinkToZeroEvictsEverythingThenKeepsCounting) {
+  AuditLog log;
+  for (int pid = 1; pid <= 3; ++pid)
+    log.append(make(Op::kCamera, Decision::kDeny, pid));
+  log.set_capacity(0);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 3u);
+  log.append(make(Op::kCamera, Decision::kDeny, 4));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_appended(), 4u);
+  EXPECT_EQ(log.dropped(), 4u);
+}
+
 TEST(AuditLog, ClearResetsLifetimeTotals) {
   AuditLog log;
   log.set_capacity(1);

@@ -8,7 +8,8 @@
 #   tools/check.sh --metrics       # additionally smoke the BENCH_*.json path
 #   tools/check.sh --bench         # additionally smoke the perf benches
 #                                  # (bench_hotpath, bench_table1, bench_lint,
-#                                  # bench_fleet + the trajectory diff gate)
+#                                  # bench_fleet, bench_audit + the
+#                                  # trajectory diff gate)
 #   JOBS=4 tools/check.sh          # override parallelism
 #
 # --metrics and --bench combine, in any order, before the preset name.
@@ -71,6 +72,13 @@ step "ctest lint concurrency battery (R8-R10)"
   ctest -R '^lint\.(concurrency|DataflowRules|ExtractMembers|ExtractFlow|Explain|Cache)' \
     --output-on-failure -j "$JOBS")
 
+# The binary audit pipeline gates as its own stage: ring/intern semantics,
+# snapshot round-trip + corrupt-stream rejection, and the facade's
+# line-for-line equivalence with the text log (incl. the audit_dump CLI run
+# as a subprocess) — DESIGN.md §16.
+step "ctest -R audit (binary audit pipeline battery)"
+(cd "$BUILD_DIR" && ctest -R '^audit\.' --output-on-failure -j "$JOBS")
+
 # The multi-seat fleet battery gates as its own stage: shard lifecycle and
 # isolation plus the cross-shard P2 oracle property test (DESIGN.md §14),
 # and the parallel-vs-serial engine equivalence test (DESIGN.md §15).
@@ -117,14 +125,22 @@ if [ "$BENCH" = 1 ]; then
     ./bench/bench_fleet --quick &&
     ./tools/obs/json_check BENCH_fleet.json)
 
+  # Binary audit append vs the text log path: the ratio is the reproduced
+  # quantity (gated >= 3x inside the bench in optimized builds), and the
+  # JSON feeds the trajectory diff below.
+  step "bench_audit --quick (binary vs text append gate + BENCH_audit.json)"
+  (cd "$BUILD_DIR" &&
+    ./bench/bench_audit --quick &&
+    ./tools/obs/json_check BENCH_audit.json)
+
   # Trajectory gate: this run's headline metrics (fleet decisions/sec, the
-  # hot-path ns/op family) against the committed previous values. Catches
-  # order-of-magnitude mistakes; refresh with bench_diff --update when a
-  # change legitimately moves a metric.
+  # hot-path ns/op family, the binary audit speedup) against the committed
+  # previous values. Catches order-of-magnitude mistakes; refresh with
+  # bench_diff --update when a change legitimately moves a metric.
   step "bench trajectory diff (vs tools/bench_baseline.json)"
   (cd "$BUILD_DIR" &&
     ./tools/obs/bench_diff --baseline=../tools/bench_baseline.json \
-      --threshold=25 BENCH_fleet.json BENCH_hotpath.json)
+      --threshold=25 BENCH_fleet.json BENCH_hotpath.json BENCH_audit.json)
 
   step "bench_lint (analyzer cold/warm cache gate, --quick)"
   (cd "$BUILD_DIR" &&

@@ -99,6 +99,40 @@ bool read_validated(const std::string& path, std::string* out) {
   return true;
 }
 
+// Removes row objects marked "gating":false from a report's "rows" array so
+// the flat substring key lookup below can never land on a quick-shape row's
+// value. The result is only scraped, never re-validated, but stays valid
+// JSON anyway (the array is rebuilt with correct commas).
+std::string strip_non_gating_rows(const std::string& text) {
+  const std::size_t arr = text.find("\"rows\":[");
+  if (arr == std::string::npos) return text;
+  const std::size_t open_bracket = arr + 7;  // index of '['
+  // Row objects are flat (no nested brackets), so the first ']' after the
+  // '[' closes the array.
+  const std::size_t close_bracket = text.find(']', open_bracket);
+  if (close_bracket == std::string::npos) return text;
+  std::vector<std::string> kept;
+  std::size_t pos = open_bracket;
+  while (true) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos || open > close_bracket) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos || close > close_bracket) break;
+    const std::string obj = text.substr(open, close - open + 1);
+    if (obj.find("\"gating\":false") == std::string::npos)
+      kept.push_back(obj);
+    pos = close + 1;
+  }
+  std::string rebuilt = "[";
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (i > 0) rebuilt += ",";
+    rebuilt += kept[i];
+  }
+  rebuilt += "]";
+  return text.substr(0, open_bracket) + rebuilt +
+         text.substr(close_bracket + 1);
+}
+
 std::string basename_of(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
@@ -179,7 +213,7 @@ int main(int argc, char** argv) {
   for (const std::string& path : files) {
     std::string text;
     if (!read_validated(path, &text)) return 1;
-    reports[basename_of(path)] = std::move(text);
+    reports[basename_of(path)] = strip_non_gating_rows(text);
   }
 
   std::printf("bench trajectory vs %s (gate: >%.0f%% regression fails)\n",

@@ -133,6 +133,15 @@ int main(int argc, char** argv) {
                 "n >= %.0f required)\n",
                 path, row_objs.size(), threshold, min_reps);
     for (const std::string& obj : row_objs) {
+      // --quick rows carry "gating":false — single-repetition smoke numbers
+      // with no spread to reason about. Report them, never gate on them.
+      if (obj.find("\"gating\":false") != std::string::npos) {
+        std::string name;
+        (void)find_string(obj, "name", &name);
+        std::printf("  %-18s skipped (marked non-gating: quick-shape row)\n",
+                    name.c_str());
+        continue;
+      }
       Row row;
       if (!find_string(obj, "name", &row.name) ||
           !find_number(obj, "n", &row.n) ||
