@@ -15,6 +15,7 @@
 // columns is the reproduced quantity, not the absolute seconds.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -43,6 +44,13 @@ core::DisplayBackendKind g_backend = core::DisplayBackendKind::kX11;
 // the trajectory record but marked non-gating so bench_gate / bench_diff
 // never fail CI on a number with no spread behind it.
 bool g_gating = true;
+
+// --ci enables MAD-based outlier rejection: a shared CI box takes scheduling
+// hiccups that land a single repetition far outside the others, and one such
+// ratio can drag the reported interval across the gate threshold. Off for
+// full runs (enough repetitions to absorb a hiccup) and for --quick (one
+// repetition — nothing to reject from).
+bool g_mad = false;
 
 const char* backend_tag() {
   return g_backend == core::DisplayBackendKind::kWayland ? "wl" : "x11";
@@ -292,16 +300,58 @@ struct Agg {
     over = std::min(over, o);
     ratios.push_back(o / b);
   }
-  [[nodiscard]] double ratio_median() const {
+
+  // The ratios that survive outlier rejection. Under --ci a repetition whose
+  // ratio sits more than 3.5 sigma-equivalents (sigma ~ 1.4826 * MAD for a
+  // normal population) from the median is treated as a scheduling artifact,
+  // not a measurement. The guard rails: fewer than 5 repetitions cannot
+  // support a robust scale estimate, and a zero MAD (most ratios identical)
+  // would reject every deviation — both cases keep everything.
+  [[nodiscard]] std::vector<double> kept() const {
+    if (!g_mad || ratios.size() < 5) return ratios;
     std::vector<double> r = ratios;
+    std::sort(r.begin(), r.end());
+    const double m = r[r.size() / 2];
+    std::vector<double> dev;
+    dev.reserve(r.size());
+    for (double v : r) dev.push_back(std::fabs(v - m));
+    std::sort(dev.begin(), dev.end());
+    const double mad = dev[dev.size() / 2];
+    if (mad == 0.0) return ratios;
+    const double cut = 3.5 * 1.4826 * mad;
+    std::vector<double> keep;
+    keep.reserve(ratios.size());
+    for (double v : ratios)
+      if (std::fabs(v - m) <= cut) keep.push_back(v);
+    return keep;
+  }
+  [[nodiscard]] std::size_t rejected_outliers() const {
+    return ratios.size() - kept().size();
+  }
+  [[nodiscard]] double ratio_median() const {
+    std::vector<double> r = kept();
     std::sort(r.begin(), r.end());
     return r[r.size() / 2];
   }
   [[nodiscard]] double ratio_min() const {
-    return *std::min_element(ratios.begin(), ratios.end());
+    const std::vector<double> k = kept();
+    return *std::min_element(k.begin(), k.end());
   }
   [[nodiscard]] double ratio_max() const {
-    return *std::max_element(ratios.begin(), ratios.end());
+    const std::vector<double> k = kept();
+    return *std::max_element(k.begin(), k.end());
+  }
+  // Sample variance of the surviving ratios: the spread the interval verdict
+  // rests on, in comparable units across rows (ratios are dimensionless).
+  [[nodiscard]] double variance() const {
+    const std::vector<double> k = kept();
+    if (k.size() < 2) return 0.0;
+    double mean = 0.0;
+    for (double v : k) mean += v;
+    mean /= static_cast<double>(k.size());
+    double ss = 0.0;
+    for (double v : k) ss += (v - mean) * (v - mean);
+    return ss / static_cast<double>(k.size() - 1);
   }
   [[nodiscard]] double overhead_pct() const {
     return (ratio_median() - 1.0) * 100.0;
@@ -330,6 +380,9 @@ std::string row_json(const char* name, const Agg& agg, double ops) {
   j += ",\"ratio_median\":" + JsonReport::number(agg.ratio_median());
   j += ",\"ratio_min\":" + JsonReport::number(agg.ratio_min());
   j += ",\"ratio_max\":" + JsonReport::number(agg.ratio_max());
+  j += ",\"variance\":" + JsonReport::number(agg.variance());
+  j += ",\"rejected_outliers\":" +
+       JsonReport::number(static_cast<double>(agg.rejected_outliers()));
   j += ",\"gating\":";
   j += g_gating ? "true" : "false";
   j += "}";
@@ -368,13 +421,14 @@ int main(int argc, char** argv) {
     // real spread the bench gate can reason about — unlike --quick, whose
     // single repetition yields a degenerate [r, r] interval.
     g_scale = 20;
+    g_mad = true;
     kDeviceOpens /= g_scale;
     kPastes /= g_scale;
     kCaptures /= 5;
     kShmWrites /= g_scale;
     kBonnieFiles /= g_scale;
     std::printf("(--ci: iteration counts divided by %d, 5 repetitions + "
-                "warmup — CI gating shape)\n",
+                "warmup, MAD outlier rejection — CI gating shape)\n",
                 g_scale);
   }
   if (quick) {

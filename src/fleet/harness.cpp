@@ -23,6 +23,7 @@ core::DisplayBackendKind backend_for(BackendMix mix, ShardId id) {
 FleetHarness::FleetHarness(FleetConfig config)
     : config_(std::move(config)), rng_(config_.seed) {}
 
+OVERHAUL_COORDINATOR_ONLY
 ShardId FleetHarness::boot_shard() {
   const ShardId id = static_cast<ShardId>(seats_.size());
   core::OverhaulConfig shard_cfg = config_.base;
@@ -38,10 +39,12 @@ ShardId FleetHarness::boot_shard() {
   return id;
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void FleetHarness::boot_fleet() {
   for (int i = 0; i < config_.shards; ++i) (void)boot_shard();
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void FleetHarness::schedule_boot_storm(int count, sim::Duration stagger) {
   const sim::Timestamp now = clock_.now();
   for (int i = 0; i < count; ++i) {
@@ -50,6 +53,7 @@ void FleetHarness::schedule_boot_storm(int count, sim::Duration stagger) {
   }
 }
 
+OVERHAUL_COORDINATOR_ONLY
 Status FleetHarness::drain_shard(ShardId id) {
   if (id < 0 || id >= shard_count() || seats_[id].state == ShardState::kEmpty)
     return Status(Code::kNotFound, "no shard " + std::to_string(id));
@@ -62,6 +66,7 @@ Status FleetHarness::drain_shard(ShardId id) {
   return Status::ok();
 }
 
+OVERHAUL_COORDINATOR_ONLY
 Status FleetHarness::reap_shard(ShardId id) {
   if (id < 0 || id >= shard_count() || seats_[id].state == ShardState::kEmpty)
     return Status(Code::kNotFound, "no shard " + std::to_string(id));
@@ -94,6 +99,7 @@ int FleetHarness::live_count() const {
   return n;
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void FleetHarness::begin_step() {
   scheduler_.run_until(clock_.now() + config_.step_quantum);
   ++steps_;
@@ -117,10 +123,12 @@ void FleetHarness::step_shard(ShardId id) {
   if (seat.shard != nullptr) seat.shard->step_to(clock_.now());
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void FleetHarness::begin_exchange() {
   for (const std::unique_ptr<XShardLink>& l : links_) l->set_defer(true);
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void FleetHarness::end_exchange() {
   // Barrier drain, deterministically ordered: link-table order, side 0 then
   // side 1, each outbox FIFO. The stamps are max-of-monotone so this order
@@ -129,6 +137,7 @@ void FleetHarness::end_exchange() {
   for (const std::unique_ptr<XShardLink>& l : links_) l->set_defer(false);
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void FleetHarness::step() {
   begin_step();
   begin_exchange();
@@ -137,11 +146,13 @@ void FleetHarness::step() {
   end_exchange();
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void FleetHarness::advance(sim::Duration d) {
   const sim::Timestamp target = clock_.now() + d;
   while (clock_.now() < target) step();
 }
 
+OVERHAUL_COORDINATOR_ONLY
 XShardLink& FleetHarness::connect_xshard(ShardId a, kern::Pid pid_a, ShardId b,
                                          kern::Pid pid_b) {
   links_.push_back(std::make_unique<XShardLink>(
@@ -150,6 +161,7 @@ XShardLink& FleetHarness::connect_xshard(ShardId a, kern::Pid pid_a, ShardId b,
   return *links_.back();
 }
 
+OVERHAUL_COORDINATOR_ONLY
 std::uint64_t FleetHarness::aggregate_counter(const std::string& name) {
   std::uint64_t total = 0;
   for (Seat& s : seats_) {
@@ -160,6 +172,7 @@ std::uint64_t FleetHarness::aggregate_counter(const std::string& name) {
   return total;
 }
 
+OVERHAUL_COORDINATOR_ONLY
 std::size_t FleetHarness::rss_proxy_bytes() {
   std::size_t total = 0;
   for (Seat& s : seats_) {

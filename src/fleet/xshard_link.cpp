@@ -6,6 +6,7 @@ using util::Code;
 using util::Result;
 using util::Status;
 
+OVERHAUL_LANE_SAFE
 Status XShardLink::send(int side, std::string payload) {
   const EndBinding& from = ends_[side];
   kern::TaskStruct* sender =
@@ -24,6 +25,7 @@ Status XShardLink::send(int side, std::string payload) {
   return Status::ok();
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void XShardLink::drain_deferred() {
   for (int side = 0; side < 2; ++side) {
     for (PendingSend& p : outbox_[side])
@@ -32,6 +34,7 @@ void XShardLink::drain_deferred() {
   }
 }
 
+OVERHAUL_LANE_SAFE
 Result<std::string> XShardLink::receive(int side) {
   const EndBinding& at = ends_[side];
   kern::TaskStruct* receiver =

@@ -51,6 +51,7 @@ class XShardLink {
   // message sent in quantum k is visible to the peer from quantum k+1
   // regardless of which lane stepped first. The harness arms/disarms only
   // on the coordinator, outside the parallel phase.
+  OVERHAUL_COORDINATOR_ONLY
   void set_defer(bool on) { defer_ = on; }
   [[nodiscard]] bool defer() const noexcept { return defer_; }
   // Coordinator-only barrier drain: side 0's outbox then side 1's, each

@@ -11,6 +11,7 @@ void XShardSocketPair::send(int side, const TaskStruct& sender,
   inbox_[peer].push_back(std::move(payload));
 }
 
+OVERHAUL_LANE_SAFE
 sim::Timestamp XShardSocketPair::capture_send_stamp(
     int side, const TaskStruct& sender) const {
   const End& end = ends_[side];
@@ -25,6 +26,7 @@ sim::Timestamp XShardSocketPair::capture_send_stamp(
   return XShardStamp::to_fleet(sender.interaction_ts, end.epoch);
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void XShardSocketPair::deliver_deferred(int side, sim::Timestamp fleet_stamp,
                                         std::string payload) {
   dir_[side].merge_fleet(fleet_stamp);

@@ -64,7 +64,7 @@ class XShardStamp {
                      sim::Duration sender_epoch) noexcept {
     if (!policy.propagate) return;
     const sim::Timestamp fleet = to_fleet(sender.interaction_ts, sender_epoch);
-    if (fleet > stamp_) stamp_ = fleet;
+    if (fleet > fleet_stamp_) fleet_stamp_ = fleet;
     if (obs::Counter* c =
             policy.family_counters(IpcFamily::kXShard).send_stamps;
         c != nullptr)
@@ -76,7 +76,7 @@ class XShardStamp {
   void propagate_on_recv(const IpcPolicy& policy, TaskStruct& receiver,
                          sim::Duration receiver_epoch) noexcept {
     if (!policy.propagate) return;
-    receiver.adopt_interaction(to_local(stamp_, receiver_epoch));
+    receiver.adopt_interaction(to_local(fleet_stamp_, receiver_epoch));
     if (obs::Counter* c =
             policy.family_counters(IpcFamily::kXShard).recv_adoptions;
         c != nullptr)
@@ -88,19 +88,21 @@ class XShardStamp {
   // counted) at send time inside the sending shard's lane. Max-of-monotone,
   // so the coordinator's drain order cannot matter.
   void merge_fleet(sim::Timestamp fleet) noexcept {
-    if (fleet > stamp_) stamp_ = fleet;
+    if (fleet > fleet_stamp_) fleet_stamp_ = fleet;
   }
 
-  [[nodiscard]] sim::Timestamp fleet_stamp() const noexcept { return stamp_; }
+  [[nodiscard]] sim::Timestamp fleet_stamp() const noexcept {
+    return fleet_stamp_;
+  }
 
   // P2 step 1: channel (re)creation embeds an expired timestamp.
-  void reset_stamp() noexcept { stamp_ = sim::Timestamp::never(); }
+  void reset_stamp() noexcept { fleet_stamp_ = sim::Timestamp::never(); }
 
  private:
   // Written on both shards' send paths — the one genuinely cross-shard cell
   // in the fleet. Mutations are confined to the interposition points.
   OVERHAUL_SHARED(stamp_on_send|reset_stamp|merge_fleet)
-  sim::Timestamp stamp_ = sim::Timestamp::never();
+  sim::Timestamp fleet_stamp_ = sim::Timestamp::never();
 };
 
 // A connected pair whose two ends live in different shards. Mirrors

@@ -23,6 +23,7 @@ void ParallelExecutor::run_lane(int lane, std::size_t count,
     fn(i);
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void ParallelExecutor::run_quantum(std::size_t count, const LaneFn& fn) {
   if (workers_ == 1 || pool_.empty() || count == 0) {
     // One lane (or a stopped pool): the whole quantum runs inline. This is
@@ -72,6 +73,7 @@ void ParallelExecutor::worker_loop(int lane) {
   }
 }
 
+OVERHAUL_COORDINATOR_ONLY
 void ParallelExecutor::stop() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (joined_) return;

@@ -4,6 +4,7 @@
 
 namespace overhaul::sim {
 
+OVERHAUL_LANE_SAFE
 Scheduler::EventId Scheduler::at(Timestamp when, Callback fn) {
   assert(when >= clock_.now() && "cannot schedule into the past");
   const EventId id = next_id_++;
@@ -14,6 +15,7 @@ Scheduler::EventId Scheduler::at(Timestamp when, Callback fn) {
   return id;
 }
 
+OVERHAUL_LANE_SAFE
 bool Scheduler::cancel(EventId id) {
   // Lazy cancellation, O(1): only ids still in the queue are cancellable,
   // so an id that already ran — or was already cancelled — returns false
@@ -52,6 +54,7 @@ void Scheduler::run() {
   }
 }
 
+OVERHAUL_LANE_SAFE
 void Scheduler::run_until(Timestamp until) {
   Event ev;
   while (!queue_.empty()) {

@@ -31,6 +31,7 @@ class Scheduler {
   EventId at(Timestamp when, Callback fn);
 
   // Schedule `fn` after a relative delay from now.
+  OVERHAUL_LANE_SAFE
   EventId after(Duration delay, Callback fn) {
     return at(clock_.now() + delay, std::move(fn));
   }

@@ -45,3 +45,20 @@
 // exist for the analyzer (and the reader).
 #define OVERHAUL_SHARD_LOCAL
 #define OVERHAUL_SHARED(accessors)
+
+// Function-level lane-context vocabulary for the parallel engine (R13).
+// Both must be the FIRST token of a function *definition* — the analyzer
+// attaches the annotation to the definition that immediately follows it.
+//
+//   OVERHAUL_COORDINATOR_ONLY   this function mutates coordinator state
+//                               (lifecycle, barrier, link-table drains,
+//                               cross-shard rollups) and must only run
+//                               between quanta, on the coordinator thread.
+//                               R13 reports any call path from a worker-lane
+//                               entry point that reaches it.
+//   OVERHAUL_LANE_SAFE          this function is an audited lane-safe
+//                               boundary (e.g. the deferred outbox surface):
+//                               safe to call from lane context by contract,
+//                               so R13 does not search past it.
+#define OVERHAUL_COORDINATOR_ONLY
+#define OVERHAUL_LANE_SAFE

@@ -1,0 +1,25 @@
+// Verdict path that counts decisions but never audits them: no call path
+// from the verdict entry reaches an audit append, so a denied subject leaves
+// no record of who denied it or why (R12 broken).
+#include "fake.h"
+
+namespace fix {
+
+class AccessMonitor {
+ public:
+  bool decide_access(int pid, int op) {
+    const bool grant = fresh_interaction(pid);
+    // BUG: the verdict is counted but never audited — the deny especially
+    // is a silent accountability loss.
+    bump_counter(grant ? "granted" : "denied");
+    if (!grant) note_denied(pid);
+    return grant;
+  }
+
+ private:
+  void note_denied(int pid) { denied_.push_back(pid); }
+
+  IntList denied_;
+};
+
+}  // namespace fix

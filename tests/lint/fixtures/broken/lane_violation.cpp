@@ -1,0 +1,37 @@
+// Parallel quantum lane body that reaches a coordinator-only surface
+// mid-quantum: the rollup read races every other lane unless it runs at the
+// barrier (R13 broken).
+#include "fake.h"
+
+namespace fix {
+
+class LaneEngine {
+ public:
+  // Worker-lane entry: runs concurrently, once per shard in the quantum.
+  void step_lane(int shard) {
+    advance_local(shard);
+    // BUG: lane context calls into the coordinator-only rollup.
+    rollup_metrics(shard);
+  }
+
+  OVERHAUL_COORDINATOR_ONLY
+  void barrier_drain() {
+    for (int shard : pending_) reschedule(shard);
+    pending_.clear();
+  }
+
+ private:
+  void advance_local(int shard) { cursor_[shard] += 1; }
+
+  OVERHAUL_COORDINATOR_ONLY
+  void rollup_metrics(int shard) { totals_[shard] += cursor_[shard]; }
+
+  OVERHAUL_COORDINATOR_ONLY
+  void reschedule(int shard) { cursor_[shard] = 0; }
+
+  int cursor_[8] = {};
+  int totals_[8] = {};
+  IntList pending_;
+};
+
+}  // namespace fix

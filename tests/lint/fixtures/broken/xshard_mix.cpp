@@ -1,0 +1,26 @@
+// Cross-shard stamp arrival without the epoch translation: the fleet-domain
+// instant is compared against a shard-local one raw and then fed to the
+// local-typed adoption sink (R11 broken).
+#include "fake.h"
+
+namespace fix {
+
+// One direction of a cross-shard channel, owned by the receiving shard.
+class ShardChannel {
+ public:
+  void on_arrival() {
+    Timestamp arrival = fleet_now();
+    Timestamp seen = shard_now();
+    // BUG: raw fleet/local comparison — the same instant has a different
+    // numeric value on each side of the epoch.
+    if (seen > arrival) last_gap_ = seen;
+    // BUG: fleet-domain value adopted as if it were shard-local.
+    adopt_arrival(arrival);
+  }
+
+ private:
+  Duration epoch_{0};
+  Timestamp last_gap_{};
+};
+
+}  // namespace fix

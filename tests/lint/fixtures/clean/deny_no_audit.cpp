@@ -1,0 +1,25 @@
+// Verdict path with full accountability: every decision — grant and deny —
+// flows through one recording point that appends the audit record and bumps
+// the decision counter (R12 clean).
+#include "fake.h"
+
+namespace fix {
+
+class AccessMonitor {
+ public:
+  bool decide_access(int pid, int op) {
+    const bool grant = fresh_interaction(pid);
+    record_verdict(pid, op, grant);
+    return grant;
+  }
+
+ private:
+  void record_verdict(int pid, int op, bool grant) {
+    audit_.append_decision(pid, op, grant ? "grant" : "deny");
+    bump_counter(grant ? "granted" : "denied");
+  }
+
+  AuditSink audit_;
+};
+
+}  // namespace fix

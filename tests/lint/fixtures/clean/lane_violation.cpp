@@ -1,0 +1,45 @@
+// Parallel quantum lane body: lane work touches lane-local state and the
+// audited outbox boundary only; coordinator-only surfaces run at the
+// barrier (R13 clean).
+#include "fake.h"
+
+namespace fix {
+
+class LaneEngine {
+ public:
+  // Worker-lane entry: runs concurrently, once per shard in the quantum.
+  void step_lane(int shard) {
+    advance_local(shard);
+    queue_outbound(shard);
+  }
+
+  OVERHAUL_COORDINATOR_ONLY
+  void barrier_drain() {
+    for (int shard : pending_) reschedule(shard);
+    pending_.clear();
+  }
+
+ private:
+  void advance_local(int shard) { cursor_[shard] += 1; }
+
+  // Audited boundary: defers during a parallel quantum, delivers inline when
+  // the engine runs serially — the runtime defer flag guards the inline
+  // path, which is what makes the annotation a reviewed contract.
+  OVERHAUL_LANE_SAFE
+  void queue_outbound(int shard) {
+    if (defer_) {
+      pending_.push_back(shard);
+      return;
+    }
+    reschedule(shard);
+  }
+
+  OVERHAUL_COORDINATOR_ONLY
+  void reschedule(int shard) { cursor_[shard] = 0; }
+
+  int cursor_[8] = {};
+  bool defer_ = false;
+  IntList pending_;
+};
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// Cross-shard stamp arrival: a fleet-domain instant is translated into the
+// shard's clock domain before it meets shard-local state or the local-typed
+// adoption sink (R11 clean).
+#include "fake.h"
+
+namespace fix {
+
+// One direction of a cross-shard channel, owned by the receiving shard.
+class ShardChannel {
+ public:
+  void on_arrival() {
+    Timestamp arrival = fleet_now();
+    arrival = to_local(arrival, epoch_);
+    Timestamp seen = shard_now();
+    if (seen > arrival) last_gap_ = seen;
+    adopt_arrival(arrival);
+  }
+
+ private:
+  Duration epoch_{0};
+  Timestamp last_gap_{};
+};
+
+}  // namespace fix

@@ -1,8 +1,9 @@
 // Unit tests for overhaul-lint: tokenizer, function/member/flow extraction,
-// rules parsing, the whole-tree call graph, the ten invariants (mediation
-// R1-R7, concurrency/determinism R8-R10) over deliberately broken fixture
-// sources (tests/lint/fixtures/), suppressions, baselines, the incremental
-// cache (including eviction of deleted files), SARIF output, and --explain
+// rules parsing, the whole-tree call graph, the thirteen invariants
+// (mediation R1-R7, concurrency/determinism R8-R10, domain-aware R11-R13)
+// over deliberately broken fixture sources (tests/lint/fixtures/),
+// suppressions, baselines, the incremental cache (including eviction of
+// deleted files and config-hash invalidation), SARIF output, and --explain
 // witnesses.
 #include "lint.h"
 
@@ -449,6 +450,45 @@ TEST(Rules, ParsesInterproceduralConfig) {
   EXPECT_EQ(cfg->cg_edges[0].callee, "PermissionMonitor::check");
 }
 
+TEST(Rules, ParsesDomainConfig) {
+  std::string error;
+  const auto cfg = lint::parse_rules(
+      "r11.local to_local local_time\n"
+      "r11.fleet to_fleet\n"
+      "r11.fleet_var fleet_stamp_\n"
+      "r11.local_var local_stamp_\n"
+      "r11.sink_local adopt_interaction\n"
+      "r11.sink_fleet merge_fleet\n"
+      "r11.allow src/tools/\n"
+      "r12.seed src/kern/kernel.cpp:sys_open\n"
+      "r12.audit Sink::append_decision\n"
+      "r12.metrics Counter::add\n"
+      "r13.entry src/fleet/harness.cpp:step_shard\n"
+      "r13.allow src/bench/\n",
+      &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->r11_local,
+            (std::vector<std::string>{"to_local", "local_time"}));
+  EXPECT_EQ(cfg->r11_fleet, (std::vector<std::string>{"to_fleet"}));
+  EXPECT_EQ(cfg->r11_fleet_var, (std::vector<std::string>{"fleet_stamp_"}));
+  EXPECT_EQ(cfg->r11_local_var, (std::vector<std::string>{"local_stamp_"}));
+  EXPECT_EQ(cfg->r11_sink_local,
+            (std::vector<std::string>{"adopt_interaction"}));
+  EXPECT_EQ(cfg->r11_sink_fleet, (std::vector<std::string>{"merge_fleet"}));
+  ASSERT_EQ(cfg->r12_seeds.size(), 1u);
+  EXPECT_EQ(cfg->r12_seeds[0].file, "src/kern/kernel.cpp");
+  EXPECT_EQ(cfg->r12_seeds[0].function, "sys_open");
+  EXPECT_EQ(cfg->r12_audit,
+            (std::vector<std::string>{"Sink::append_decision"}));
+  EXPECT_EQ(cfg->r12_metrics, (std::vector<std::string>{"Counter::add"}));
+  ASSERT_EQ(cfg->r13_entries.size(), 1u);
+  EXPECT_EQ(cfg->r13_entries[0].function, "step_shard");
+
+  // Malformed seeds are rejected just like R5's.
+  EXPECT_FALSE(lint::parse_rules("r12.seed nocolon\n", &error).has_value());
+  EXPECT_FALSE(lint::parse_rules("r13.entry nocolon\n", &error).has_value());
+}
+
 TEST(Rules, UnknownKeyIsAnError) {
   std::string error;
   EXPECT_FALSE(lint::parse_rules("r9.bogus x\n", &error).has_value());
@@ -545,11 +585,12 @@ TEST(CallGraph, DeclaredEdgesSpliceHandlerIndirection) {
 TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   const auto cfg = fixture_rules();
   const auto findings = lint::run_lint({fixture_dir("broken")}, cfg);
-  ASSERT_EQ(findings.size(), 16u);
+  ASSERT_EQ(findings.size(), 20u);
 
-  // Sorted by file: audit_append, clock_use, device_open, handle, interaction,
-  // lock_order, nondet_order, parallel_step, pipe_like, shared_state, taint,
-  // wl_capture, wl_receive, xshard_deliver.
+  // Sorted by file: audit_append, clock_use, deny_no_audit, device_open,
+  // handle, interaction, lane_violation, lock_order, nondet_order,
+  // parallel_step, pipe_like, shared_state, taint, wl_capture, wl_receive,
+  // xshard_deliver, xshard_mix.
 
   // The binary-audit facade that builds a record but never reaches the ring.
   EXPECT_TRUE(lint::path_matches(findings[0].file, "broken/audit_append.cpp"));
@@ -563,87 +604,117 @@ TEST(Fixtures, BrokenTreeReportsEachViolationAtTheRightLine) {
   EXPECT_EQ(findings[2].rule, "R4");
   EXPECT_EQ(findings[2].line, 7);
 
-  EXPECT_TRUE(lint::path_matches(findings[3].file, "broken/device_open.cpp"));
-  EXPECT_EQ(findings[3].rule, "R2");
-  EXPECT_EQ(findings[3].line, 6);
-  EXPECT_NE(findings[3].message.find("sys_open"), std::string::npos);
+  // The verdict that is counted but never audited.
+  EXPECT_TRUE(
+      lint::path_matches(findings[3].file, "broken/deny_no_audit.cpp"));
+  EXPECT_EQ(findings[3].rule, "R12");
+  EXPECT_EQ(findings[3].line, 10);
+  EXPECT_NE(findings[3].message.find("decide_access"), std::string::npos);
+  EXPECT_NE(findings[3].message.find("audit"), std::string::npos);
+
+  EXPECT_TRUE(lint::path_matches(findings[4].file, "broken/device_open.cpp"));
+  EXPECT_EQ(findings[4].rule, "R2");
+  EXPECT_EQ(findings[4].line, 6);
+  EXPECT_NE(findings[4].message.find("sys_open"), std::string::npos);
 
   // R7 pair: the returned raw pointer, then the cached member.
-  EXPECT_TRUE(lint::path_matches(findings[4].file, "broken/handle.cpp"));
-  EXPECT_EQ(findings[4].rule, "R7");
-  EXPECT_NE(findings[4].message.find("resolve"), std::string::npos);
   EXPECT_TRUE(lint::path_matches(findings[5].file, "broken/handle.cpp"));
   EXPECT_EQ(findings[5].rule, "R7");
-  EXPECT_NE(findings[5].message.find("cached_task_"), std::string::npos);
+  EXPECT_NE(findings[5].message.find("resolve"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[6].file, "broken/handle.cpp"));
+  EXPECT_EQ(findings[6].rule, "R7");
+  EXPECT_NE(findings[6].message.find("cached_task_"), std::string::npos);
 
-  EXPECT_TRUE(lint::path_matches(findings[6].file, "broken/interaction.cpp"));
-  EXPECT_EQ(findings[6].rule, "R3");
-  EXPECT_EQ(findings[6].line, 8);
+  EXPECT_TRUE(lint::path_matches(findings[7].file, "broken/interaction.cpp"));
+  EXPECT_EQ(findings[7].rule, "R3");
+  EXPECT_EQ(findings[7].line, 8);
+
+  // The lane body that reaches a coordinator-only surface mid-quantum. The
+  // finding anchors at the lane entry and the message carries the call chain.
+  EXPECT_TRUE(
+      lint::path_matches(findings[8].file, "broken/lane_violation.cpp"));
+  EXPECT_EQ(findings[8].rule, "R13");
+  EXPECT_EQ(findings[8].line, 11);
+  EXPECT_NE(findings[8].message.find("step_lane"), std::string::npos);
+  EXPECT_NE(findings[8].message.find("rollup_metrics"), std::string::npos);
+  EXPECT_NE(findings[8].message.find("->"), std::string::npos);
 
   // The inverted acquisition (mu_a_ taken while mu_b_ is held).
-  EXPECT_TRUE(lint::path_matches(findings[7].file, "broken/lock_order.cpp"));
-  EXPECT_EQ(findings[7].rule, "R10");
-  EXPECT_EQ(findings[7].line, 13);
-  EXPECT_NE(findings[7].message.find("mu_a_"), std::string::npos);
-  EXPECT_NE(findings[7].message.find("mu_b_"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[9].file, "broken/lock_order.cpp"));
+  EXPECT_EQ(findings[9].rule, "R10");
+  EXPECT_EQ(findings[9].line, 13);
+  EXPECT_NE(findings[9].message.find("mu_a_"), std::string::npos);
+  EXPECT_NE(findings[9].message.find("mu_b_"), std::string::npos);
 
   // The unordered_map drain into the audit sink.
-  EXPECT_TRUE(lint::path_matches(findings[8].file, "broken/nondet_order.cpp"));
-  EXPECT_EQ(findings[8].rule, "R9");
-  EXPECT_EQ(findings[8].line, 15);
-  EXPECT_NE(findings[8].message.find("append"), std::string::npos);
-  EXPECT_NE(findings[8].message.find("pending_"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[10].file, "broken/nondet_order.cpp"));
+  EXPECT_EQ(findings[10].rule, "R9");
+  EXPECT_EQ(findings[10].line, 15);
+  EXPECT_NE(findings[10].message.find("append"), std::string::npos);
+  EXPECT_NE(findings[10].message.find("pending_"), std::string::npos);
 
   // The engine-idiom inversion (pool_mu_ taken while quantum_mu_ is held).
   EXPECT_TRUE(
-      lint::path_matches(findings[9].file, "broken/parallel_step.cpp"));
-  EXPECT_EQ(findings[9].rule, "R10");
-  EXPECT_EQ(findings[9].line, 14);
-  EXPECT_NE(findings[9].message.find("pool_mu_"), std::string::npos);
-  EXPECT_NE(findings[9].message.find("quantum_mu_"), std::string::npos);
+      lint::path_matches(findings[11].file, "broken/parallel_step.cpp"));
+  EXPECT_EQ(findings[11].rule, "R10");
+  EXPECT_EQ(findings[11].line, 14);
+  EXPECT_NE(findings[11].message.find("pool_mu_"), std::string::npos);
+  EXPECT_NE(findings[11].message.find("quantum_mu_"), std::string::npos);
 
-  EXPECT_TRUE(lint::path_matches(findings[10].file, "broken/pipe_like.cpp"));
-  EXPECT_EQ(findings[10].rule, "R1");
-  EXPECT_EQ(findings[10].line, 8);
-  EXPECT_NE(findings[10].message.find("Pipe::write"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[12].file, "broken/pipe_like.cpp"));
+  EXPECT_EQ(findings[12].rule, "R1");
+  EXPECT_EQ(findings[12].line, 8);
+  EXPECT_NE(findings[12].message.find("Pipe::write"), std::string::npos);
 
   // The shared-state write outside the declared accessor tree.
-  EXPECT_TRUE(lint::path_matches(findings[11].file, "broken/shared_state.cpp"));
-  EXPECT_EQ(findings[11].rule, "R8");
-  EXPECT_EQ(findings[11].line, 14);
-  EXPECT_NE(findings[11].message.find("channels_"), std::string::npos);
-  EXPECT_NE(findings[11].message.find("reset"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[13].file, "broken/shared_state.cpp"));
+  EXPECT_EQ(findings[13].rule, "R8");
+  EXPECT_EQ(findings[13].line, 14);
+  EXPECT_NE(findings[13].message.find("channels_"), std::string::npos);
+  EXPECT_NE(findings[13].message.find("reset"), std::string::npos);
 
   // The background-replay mint, unreachable from deliver_input.
-  EXPECT_TRUE(lint::path_matches(findings[12].file, "broken/taint.cpp"));
-  EXPECT_EQ(findings[12].rule, "R6");
-  EXPECT_NE(findings[12].message.find("background_replay"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[14].file, "broken/taint.cpp"));
+  EXPECT_EQ(findings[14].rule, "R6");
+  EXPECT_NE(findings[14].message.find("background_replay"), std::string::npos);
 
   // The capture path whose mediation survives only as dead code.
-  EXPECT_TRUE(lint::path_matches(findings[13].file, "broken/wl_capture.cpp"));
-  EXPECT_EQ(findings[13].rule, "R5");
-  EXPECT_NE(findings[13].message.find("capture_surface"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[15].file, "broken/wl_capture.cpp"));
+  EXPECT_EQ(findings[15].rule, "R5");
+  EXPECT_NE(findings[15].message.find("capture_surface"), std::string::npos);
 
   // The un-mediated Wayland receive handler — proof the analyzer covers the
   // second backend's interposition points too.
-  EXPECT_TRUE(lint::path_matches(findings[14].file, "broken/wl_receive.cpp"));
-  EXPECT_EQ(findings[14].rule, "R2");
-  EXPECT_EQ(findings[14].line, 6);
-  EXPECT_NE(findings[14].message.find("request_receive"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[16].file, "broken/wl_receive.cpp"));
+  EXPECT_EQ(findings[16].rule, "R2");
+  EXPECT_EQ(findings[16].line, 6);
+  EXPECT_NE(findings[16].message.find("request_receive"), std::string::npos);
 
   // The cross-shard delivery path whose P2 stamp survives only as dead code.
   EXPECT_TRUE(
-      lint::path_matches(findings[15].file, "broken/xshard_deliver.cpp"));
-  EXPECT_EQ(findings[15].rule, "R5");
-  EXPECT_NE(findings[15].message.find("deliver_cross_shard"),
+      lint::path_matches(findings[17].file, "broken/xshard_deliver.cpp"));
+  EXPECT_EQ(findings[17].rule, "R5");
+  EXPECT_NE(findings[17].message.find("deliver_cross_shard"),
             std::string::npos);
+
+  // R11 pair: the raw fleet/local comparison, then the fleet-domain value
+  // adopted through the shard-local sink.
+  EXPECT_TRUE(lint::path_matches(findings[18].file, "broken/xshard_mix.cpp"));
+  EXPECT_EQ(findings[18].rule, "R11");
+  EXPECT_EQ(findings[18].line, 16);
+  EXPECT_NE(findings[18].message.find("seen"), std::string::npos);
+  EXPECT_NE(findings[18].message.find("arrival"), std::string::npos);
+  EXPECT_TRUE(lint::path_matches(findings[19].file, "broken/xshard_mix.cpp"));
+  EXPECT_EQ(findings[19].rule, "R11");
+  EXPECT_EQ(findings[19].line, 18);
+  EXPECT_NE(findings[19].message.find("adopt_arrival"), std::string::npos);
 }
 
 TEST(Fixtures, CleanTreePasses) {
   const auto cfg = fixture_rules();
   std::size_t scanned = 0;
   const auto findings = lint::run_lint({fixture_dir("clean")}, cfg, &scanned);
-  EXPECT_EQ(scanned, 14u);
+  EXPECT_EQ(scanned, 17u);
   EXPECT_TRUE(findings.empty())
       << findings[0].file << ":" << findings[0].line << " "
       << findings[0].message;
@@ -984,6 +1055,182 @@ TEST(DataflowRules, R10HoldsContractChecksCallers) {
       0);
 }
 
+// --- domain-aware rules, fail-on-removal -------------------------------------
+
+TEST(DomainRules, R11FailsWhenTheEpochTranslationIsRemoved) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/xshard_mix.cpp");
+  auto ok = lint::run_tree_mem({{"xshard_mix.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R11"), 0);
+
+  // Dropping the one translation line leaves the fleet-domain arrival raw:
+  // it then meets the shard-local stamp AND reaches the local-typed sink.
+  const auto pos = src.find("arrival = to_local(arrival, epoch_);");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem({{"xshard_mix.cpp", cut}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R11"), 2);
+  const auto& f = first_rule(bad.findings, "R11");
+  EXPECT_NE(f.message.find("arrival"), std::string::npos);
+  EXPECT_NE(f.message.find("epoch translation"), std::string::npos);
+  EXPECT_NE(f.message.find("--explain R11"), std::string::npos);
+}
+
+TEST(DomainRules, R11TracksDomainsThroughAssignment) {
+  lint::RuleConfig cfg;
+  cfg.r11_local = {"local_now"};
+  cfg.r11_fleet = {"fleet_now"};
+  // fleet_now() -> a -> b: the fleet domain survives the copy, so the
+  // comparison against a fresh local mint two hops later still mixes.
+  const std::string src =
+      "void f() {\n"
+      "  Timestamp a = fleet_now();\n"
+      "  Timestamp b = a;\n"
+      "  Timestamp c = local_now();\n"
+      "  if (b > c) flag();\n"
+      "}\n";
+  auto res = lint::run_tree_mem({{"a.cpp", src}}, cfg);
+  ASSERT_EQ(count_rule(res.findings, "R11"), 1);
+  EXPECT_EQ(first_rule(res.findings, "R11").line, 5);
+
+  // Re-minting the copy into the local domain dissolves the mix.
+  const std::string fixed =
+      "void f() {\n"
+      "  Timestamp a = fleet_now();\n"
+      "  Timestamp b = local_now(a);\n"
+      "  Timestamp c = local_now();\n"
+      "  if (b > c) flag();\n"
+      "}\n";
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"a.cpp", fixed}}, cfg).findings, "R11"),
+      0);
+}
+
+TEST(DomainRules, R11AnnotatedIdentifiersCarryTheirDomain) {
+  lint::RuleConfig cfg;
+  cfg.r11_local = {"to_local"};
+  cfg.r11_fleet_var = {"fleet_stamp_"};
+  cfg.r11_sink_local = {"adopt_interaction"};
+  // The declared fleet-domain member hits the local-typed sink raw...
+  const std::string bad_src =
+      "void recv(T& t) { t.adopt_interaction(fleet_stamp_); }\n";
+  auto bad = lint::run_tree_mem({{"a.cpp", bad_src}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R11"), 1);
+  EXPECT_NE(first_rule(bad.findings, "R11").message.find("adopt_interaction"),
+            std::string::npos);
+
+  // ...and the same statement is sound once the translation wraps it.
+  const std::string ok_src =
+      "void recv(T& t) { t.adopt_interaction(to_local(fleet_stamp_, e_)); }\n";
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"a.cpp", ok_src}}, cfg).findings, "R11"),
+      0);
+}
+
+TEST(DomainRules, R11AllowExemptsAFunction) {
+  const auto base = fixture_rules();
+  std::string src = read_file(fixture_dir("broken") + "/xshard_mix.cpp");
+  auto cfg = base;
+  cfg.r11_allow.push_back("ShardChannel::on_arrival");
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"xshard_mix.cpp", src}}, cfg).findings,
+                 "R11"),
+      0);
+}
+
+TEST(DecisionAudit, R12FailsWhenTheAuditAppendIsRemoved) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/deny_no_audit.cpp");
+  auto ok = lint::run_tree_mem({{"deny_no_audit.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R12"), 0);
+
+  // Cutting the append orphans the whole verdict path from the audit trail —
+  // the metrics trace alone does not satisfy R12.
+  const auto pos = src.find("audit_.append_decision");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem({{"deny_no_audit.cpp", cut}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R12"), 1);
+  const auto& f = first_rule(bad.findings, "R12");
+  EXPECT_NE(f.message.find("decide_access"), std::string::npos);
+  EXPECT_NE(f.message.find("audit-append"), std::string::npos);
+}
+
+TEST(DecisionAudit, R12FailsWhenTheMetricsBumpIsRemoved) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/deny_no_audit.cpp");
+  // The dual obligation: audit alone is not enough either.
+  const auto pos = src.find("bump_counter(grant");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, src.find('\n', pos) - pos);
+  auto bad = lint::run_tree_mem({{"deny_no_audit.cpp", cut}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R12"), 1);
+  EXPECT_NE(first_rule(bad.findings, "R12").message.find("metrics"),
+            std::string::npos);
+}
+
+TEST(DecisionAudit, R12MissingSeedFunctionIsItselfAFinding) {
+  lint::RuleConfig cfg;
+  cfg.r12_seeds.push_back({"a.cpp", "renamed_away"});
+  cfg.r12_audit = {"append"};
+  cfg.r12_metrics = {"add"};
+  auto res = lint::run_tree_mem({{"a.cpp", "void f() { g(); }\n"}}, cfg);
+  ASSERT_EQ(count_rule(res.findings, "R12"), 1);
+  EXPECT_NE(first_rule(res.findings, "R12").message.find("not found"),
+            std::string::npos);
+}
+
+TEST(BarrierLanes, R13FailsWhenTheLaneSafeBoundaryIsRemoved) {
+  const auto cfg = fixture_rules();
+  std::string src = read_file(fixture_dir("clean") + "/lane_violation.cpp");
+  auto ok = lint::run_tree_mem({{"lane_violation.cpp", src}}, cfg);
+  EXPECT_EQ(count_rule(ok.findings, "R13"), 0);
+
+  // Stripping the audited-boundary annotation exposes the serial-path call
+  // into the coordinator-only reschedule: the lane entry now reaches it.
+  const auto pos = src.find("OVERHAUL_LANE_SAFE\n");
+  ASSERT_NE(pos, std::string::npos);
+  std::string cut = src;
+  cut.erase(pos, std::string("OVERHAUL_LANE_SAFE\n").size());
+  auto bad = lint::run_tree_mem({{"lane_violation.cpp", cut}}, cfg);
+  ASSERT_EQ(count_rule(bad.findings, "R13"), 1);
+  const auto& f = first_rule(bad.findings, "R13");
+  EXPECT_NE(f.message.find("step_lane"), std::string::npos);
+  EXPECT_NE(f.message.find("reschedule"), std::string::npos);
+  EXPECT_NE(f.message.find("queue_outbound"), std::string::npos);
+}
+
+TEST(BarrierLanes, R13AllowExemptsTheEntry) {
+  const auto base = fixture_rules();
+  std::string src = read_file(fixture_dir("broken") + "/lane_violation.cpp");
+  auto cfg = base;
+  cfg.r13_allow.push_back("LaneEngine::step_lane");
+  EXPECT_EQ(count_rule(
+                lint::run_tree_mem({{"lane_violation.cpp", src}}, cfg).findings,
+                "R13"),
+            0);
+}
+
+TEST(BarrierLanes, R13CoordinatorEntryMayDoCoordinatorWork) {
+  // A coordinator-only function reached FROM the barrier (not from a lane
+  // entry) is fine — only the declared lane entries are traversal roots,
+  // and the entry node itself is never flagged.
+  lint::RuleConfig cfg;
+  cfg.r13_entries.push_back({"a.cpp", "lane_body"});
+  const std::string src =
+      "void lane_body() { bump(); }\n"
+      "OVERHAUL_COORDINATOR_ONLY\n"
+      "void barrier() { rollup(); }\n"
+      "OVERHAUL_COORDINATOR_ONLY\n"
+      "void rollup() { }\n";
+  EXPECT_EQ(
+      count_rule(lint::run_tree_mem({{"a.cpp", src}}, cfg).findings, "R13"),
+      0);
+}
+
 // --- suppressions and baselines ----------------------------------------------
 
 TEST(Suppressions, InlineAllowSilencesTheFinding) {
@@ -1159,6 +1406,59 @@ TEST(Cache, WarmRunSkipsReparsing) {
   std::remove(cache.c_str());
 }
 
+TEST(Cache, ConfigChangeInvalidatesAndIsCounted) {
+  const auto cfg = fixture_rules();
+  const std::string cache =
+      testing::TempDir() + "/overhaul_lint_cache_config.txt";
+  std::remove(cache.c_str());
+
+  lint::TreeOptions opts;
+  opts.roots = {fixture_dir("clean")};
+  opts.config = cfg;
+  opts.rules_hash = 7;
+  opts.cache_path = cache;
+
+  const auto cold = lint::run_tree(opts);
+  EXPECT_EQ(cold.stats.invalidated_by_config, 0u);
+
+  // An edited rules file (new hash) forces a cold pass and the stats say so:
+  // every cached entry is counted as config-invalidated, none as evicted.
+  opts.rules_hash = 8;
+  const auto invalidated = lint::run_tree(opts);
+  EXPECT_EQ(invalidated.stats.reparsed, invalidated.stats.files);
+  EXPECT_EQ(invalidated.stats.invalidated_by_config, cold.stats.files);
+  EXPECT_EQ(invalidated.stats.evicted, 0u);
+
+  // The survivors are warm again under the new hash.
+  const auto warm = lint::run_tree(opts);
+  EXPECT_EQ(warm.stats.reparsed, 0u);
+  EXPECT_EQ(warm.stats.invalidated_by_config, 0u);
+  std::remove(cache.c_str());
+}
+
+TEST(Cache, LaneAnnotationsRoundTrip) {
+  lint::RuleConfig cfg;
+  const std::string src =
+      "OVERHAUL_COORDINATOR_ONLY\n"
+      "void drain() { }\n"
+      "OVERHAUL_LANE_SAFE\n"
+      "void send() { }\n"
+      "void plain() { }\n";
+  const lint::FileIR ir = lint::build_file_ir("a.cpp", src, cfg);
+  ASSERT_EQ(ir.functions.size(), 3u);
+  EXPECT_EQ(ir.functions[0].lane_anno, lint::FnAnno::kCoordinatorOnly);
+  EXPECT_EQ(ir.functions[1].lane_anno, lint::FnAnno::kLaneSafe);
+  EXPECT_EQ(ir.functions[2].lane_anno, lint::FnAnno::kNone);
+
+  std::vector<lint::FileIR> back;
+  ASSERT_TRUE(lint::parse_cache(lint::serialize_cache({ir}, 1), 1, &back));
+  ASSERT_EQ(back.size(), 1u);
+  ASSERT_EQ(back[0].functions.size(), 3u);
+  EXPECT_EQ(back[0].functions[0].lane_anno, lint::FnAnno::kCoordinatorOnly);
+  EXPECT_EQ(back[0].functions[1].lane_anno, lint::FnAnno::kLaneSafe);
+  EXPECT_EQ(back[0].functions[2].lane_anno, lint::FnAnno::kNone);
+}
+
 TEST(Cache, DeletedFilesAreEvictedAndTheRestStaysWarm) {
   // Copy the clean fixtures into a scratch root so one can be deleted.
   const std::string root = testing::TempDir() + "/overhaul_lint_evict";
@@ -1279,4 +1579,39 @@ TEST(Explain, R6ShowsTheSourceChainToAMint) {
   EXPECT_EQ(out.exit_code, 0);
   EXPECT_NE(out.text.find("deliver_input"), std::string::npos);
   EXPECT_EQ(lint::explain(res.program, cfg, "R8:nope").exit_code, 2);
+}
+
+TEST(Explain, R11PrintsTheDomainWitness) {
+  const auto cfg = fixture_rules();
+  lint::TreeOptions opts;
+  opts.roots = {fixture_dir("broken")};
+  opts.config = cfg;
+  const auto res = lint::run_tree(opts);
+  const auto out = lint::explain(res.program, cfg, "R11:on_arrival");
+  EXPECT_EQ(out.exit_code, 0);
+  // The witness names each value's domain and minting call, then the mix and
+  // sink sites with their provenance chains.
+  EXPECT_NE(out.text.find("fleet-domain 'arrival'"), std::string::npos);
+  EXPECT_NE(out.text.find("fleet_now"), std::string::npos);
+  EXPECT_NE(out.text.find("shard-local 'seen'"), std::string::npos);
+  EXPECT_NE(out.text.find("MIX at line 16"), std::string::npos);
+  EXPECT_NE(out.text.find("SINK at line 18"), std::string::npos);
+  EXPECT_NE(out.text.find("adopt_arrival"), std::string::npos);
+
+  // On the clean tree the same function carries domains but no violation.
+  lint::TreeOptions clean_opts;
+  clean_opts.roots = {fixture_dir("clean")};
+  clean_opts.config = cfg;
+  const auto clean_res = lint::run_tree(clean_opts);
+  const auto clean_out =
+      lint::explain(clean_res.program, cfg, "R11:on_arrival");
+  EXPECT_EQ(clean_out.exit_code, 0);
+  EXPECT_EQ(clean_out.text.find("MIX at"), std::string::npos);
+  EXPECT_EQ(clean_out.text.find("SINK at"), std::string::npos);
+
+  // Unknown function is an error; a bare R11 surveys the whole tree.
+  EXPECT_EQ(lint::explain(res.program, cfg, "R11:nosuchfn").exit_code, 2);
+  const auto all = lint::explain(res.program, cfg, "R11");
+  EXPECT_EQ(all.exit_code, 0);
+  EXPECT_NE(all.text.find("on_arrival"), std::string::npos);
 }

@@ -42,16 +42,17 @@ cmake --preset "$PRESET"
 step "build"
 cmake --build --preset "$PRESET" -j "$JOBS"
 
-step "overhaul-lint (mediation + concurrency invariants R1-R10, SARIF validated)"
+step "overhaul-lint (mediation + concurrency + domain invariants R1-R13, SARIF validated)"
 "./$BUILD_DIR/tools/lint/overhaul-lint" \
   --root src --rules tools/lint/overhaul_lint.rules \
   --baseline tools/lint/overhaul_lint.baseline \
   --cache "$BUILD_DIR/overhaul_lint.cache" \
   --sarif "$BUILD_DIR/overhaul_lint.sarif" --stats
 "./$BUILD_DIR/tools/obs/json_check" "$BUILD_DIR/overhaul_lint.sarif"
-# The SARIF must carry the concurrency rule metadata — a regression that
-# silently drops R8-R10 would otherwise pass the clean-tree run.
-for rule in R8 R9 R10; do
+# The SARIF must carry the concurrency and domain rule metadata — a
+# regression that silently drops R8-R13 would otherwise pass the
+# clean-tree run.
+for rule in R8 R9 R10 R11 R12 R13; do
   grep -q "\"id\":\"$rule\"" "$BUILD_DIR/overhaul_lint.sarif" || {
     echo "missing rule $rule in overhaul_lint.sarif" >&2; exit 1; }
 done
@@ -70,6 +71,14 @@ step "ctest -R wl (Wayland backend battery)"
 step "ctest lint concurrency battery (R8-R10)"
 (cd "$BUILD_DIR" &&
   ctest -R '^lint\.(concurrency|DataflowRules|ExtractMembers|ExtractFlow|Explain|Cache)' \
+    --output-on-failure -j "$JOBS")
+
+# And for the domain-aware battery: clock-domain soundness, decision/audit
+# completeness, and barrier discipline (R11-R13) gate as a named stage —
+# the domain-typed taint suites plus the whole-tree lint.domains run.
+step "ctest lint domain battery (R11-R13)"
+(cd "$BUILD_DIR" &&
+  ctest -R '^lint\.(domains|DomainRules|DecisionAudit|BarrierLanes)' \
     --output-on-failure -j "$JOBS")
 
 # The binary audit pipeline gates as its own stage: ring/intern semantics,

@@ -16,8 +16,8 @@ CallGraph CallGraph::build(const ProgramIR& program, const RuleConfig& config) {
   }
   g.edges_.assign(g.nodes_.size(), {});
 
-  // Index definitions by unqualified name.
-  std::unordered_map<std::string, std::vector<int>> by_name;
+  // Index definitions by unqualified name (kept for find_in_file).
+  std::unordered_map<std::string, std::vector<int>>& by_name = g.by_name_;
   for (std::size_t i = 0; i < g.nodes_.size(); ++i)
     by_name[g.nodes_[i].name].push_back(static_cast<int>(i));
 
@@ -80,12 +80,20 @@ std::vector<int> CallGraph::find_qname(const std::string& pattern) const {
 
 int CallGraph::find_in_file(const std::string& file_entry,
                             const std::string& function) const {
+  // Any node matching `function` — bare ("step_shard") or qualified-suffix
+  // ("Shard::step_to") — necessarily has the pattern's last component as its
+  // unqualified name, so the by-name bucket contains every candidate and the
+  // path filter runs over a handful of nodes, not the whole graph.
+  const auto sep = function.rfind("::");
+  const std::string tail =
+      sep == std::string::npos ? function : function.substr(sep + 2);
+  const auto it = by_name_.find(tail);
+  if (it == by_name_.end()) return -1;
   int fallback = -1;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  for (const int i : it->second) {
     if (!path_matches(nodes_[i].file, file_entry)) continue;
-    if (nodes_[i].name == function) return static_cast<int>(i);
-    if (fallback < 0 && qname_matches(nodes_[i].qname, function))
-      fallback = static_cast<int>(i);
+    if (nodes_[i].name == function) return i;
+    if (fallback < 0 && qname_matches(nodes_[i].qname, function)) fallback = i;
   }
   return fallback;
 }

@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir.h"
@@ -67,6 +68,10 @@ class CallGraph {
   std::vector<Node> nodes_;
   std::vector<std::vector<int>> edges_;
   std::size_t edge_count_ = 0;
+  // Unqualified name -> node ids, in node order. Kept after build so seed
+  // resolution (find_in_file, called once per configured seed per run) probes
+  // a bucket instead of scanning every node against a path pattern.
+  std::unordered_map<std::string, std::vector<int>> by_name_;
 };
 
 }  // namespace overhaul::lint

@@ -557,4 +557,301 @@ void run_r10(const ProgramIR& program, const RuleConfig& cfg,
   }
 }
 
+// --- R11: clock-domain soundness ---------------------------------------------
+
+namespace {
+
+// Domain lattice: a value is shard-local, fleet, or (after an unsound merge)
+// both. Bitmask so union-at-merge is a plain OR.
+constexpr int kDomLocal = 1;
+constexpr int kDomFleet = 2;
+
+const char* domain_name(int d) {
+  return d == kDomLocal ? "shard-local" : "fleet-domain";
+}
+
+// Provenance: how a variable first acquired its domain (mint call or
+// assignment chain), for --explain R11 witness chains.
+struct DomProv {
+  int line = 0;
+  int domain = 0;
+  std::string desc;
+  std::string parent;  // previous variable in the chain ("" at a mint)
+};
+
+struct R11Site {
+  int line = 0;
+  bool is_mix = false;  // false: wrong-domain value at a domain-typed sink
+  std::string sink;     // sink call name (sink sites only)
+  std::string local_var;
+  std::string fleet_var;
+};
+
+struct R11Result {
+  std::vector<R11Site> sites;
+  std::map<std::string, DomProv> prov;
+};
+
+// Always-domained identifiers (r11.local_var / r11.fleet_var): their domain
+// holds at every use site and cannot be killed by reassignment.
+int anno_domain(const std::string& v, const RuleConfig& cfg) {
+  int d = 0;
+  if (in_list(v, cfg.r11_local_var)) d |= kDomLocal;
+  if (in_list(v, cfg.r11_fleet_var)) d |= kDomFleet;
+  return d;
+}
+
+// One function's domain analysis: forward dataflow mapping var → domain mask,
+// union at merges, then mixing/sink detection against the converged states.
+R11Result r11_function(const FunctionInfo& fn, const RuleConfig& cfg) {
+  R11Result res;
+
+  // Precheck: skip functions with no domain vocabulary at all so a clean
+  // warm run stays inside the bench_lint gate.
+  bool relevant = false;
+  for (const FlowStmt& s : fn.flow) {
+    for (const std::string& c : s.calls)
+      if (in_list(c, cfg.r11_local) || in_list(c, cfg.r11_fleet) ||
+          in_list(c, cfg.r11_sink_local) || in_list(c, cfg.r11_sink_fleet))
+        relevant = true;
+    for (const std::string& u : s.uses)
+      if (anno_domain(u, cfg) != 0) relevant = true;
+    if (relevant) break;
+  }
+  if (!relevant) return res;
+
+  const std::size_t n = fn.flow.size();
+  const std::vector<std::vector<int>> preds = build_preds(fn.flow);
+  std::vector<std::map<std::string, int>> out(n);
+
+  auto stmt_in = [&](std::size_t i) {
+    std::map<std::string, int> in;
+    for (const int p : preds[i])
+      for (const auto& [v, d] : out[p]) in[v] |= d;
+    return in;
+  };
+
+  // Per-statement facts, shared by the transfer function and the detector.
+  struct StmtFacts {
+    std::string local_call, fleet_call;  // first mint/translator call each way
+    std::string local_var, fleet_var;    // first used value of each domain
+  };
+  auto facts_of = [&](const FlowStmt& s, const std::map<std::string, int>& in) {
+    StmtFacts f;
+    for (const std::string& c : s.calls) {
+      if (f.local_call.empty() && in_list(c, cfg.r11_local)) f.local_call = c;
+      if (f.fleet_call.empty() && in_list(c, cfg.r11_fleet)) f.fleet_call = c;
+    }
+    for (const std::string& u : s.uses) {
+      int d = anno_domain(u, cfg);
+      if (d == 0) {
+        const auto it = in.find(u);
+        if (it != in.end()) d = it->second;
+      }
+      if ((d & kDomLocal) != 0 && f.local_var.empty()) f.local_var = u;
+      if ((d & kDomFleet) != 0 && f.fleet_var.empty()) f.fleet_var = u;
+    }
+    return f;
+  };
+
+  bool changed = true;
+  std::size_t pass = 0;
+  while (changed && pass++ <= n + 4) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowStmt& s = fn.flow[i];
+      std::map<std::string, int> in = stmt_in(i);
+      const StmtFacts f = facts_of(s, in);
+
+      // Defs take the statement's produced domain. A local-mint call wins
+      // over a fleet one so `to_local(link.fleet_stamp(), e)` nests right:
+      // the outermost translator decides what the statement yields. With no
+      // mint, a single-domain use propagates; anything else kills the def.
+      int def_domain = 0;
+      std::string desc, parent;
+      if (!f.local_call.empty()) {
+        def_domain = kDomLocal;
+        desc = "minted shard-local by '" + f.local_call + "()'";
+      } else if (!f.fleet_call.empty()) {
+        def_domain = kDomFleet;
+        desc = "minted fleet-domain by '" + f.fleet_call + "()'";
+      } else if (f.local_var.empty() != f.fleet_var.empty()) {
+        def_domain = f.local_var.empty() ? kDomFleet : kDomLocal;
+        parent = f.local_var.empty() ? f.fleet_var : f.local_var;
+        desc = std::string("assigned from ") + domain_name(def_domain) +
+               " '" + parent + "'";
+      }
+
+      std::map<std::string, int> o = std::move(in);
+      if (def_domain != 0) {
+        for (const std::string& d : s.defs) {
+          o[d] = def_domain;
+          if (res.prov.count(d) == 0)
+            res.prov.emplace(d, DomProv{s.line, def_domain, desc, parent});
+        }
+      } else {
+        for (const std::string& d : s.defs)
+          if (anno_domain(d, cfg) == 0) o.erase(d);
+      }
+      if (o != out[i]) {
+        out[i] = std::move(o);
+        changed = true;
+      }
+    }
+  }
+
+  // Detection against the converged in-states. Any mint/translator call on
+  // the statement marks it a sanctioned translation site.
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowStmt& s = fn.flow[i];
+    const std::map<std::string, int> in = stmt_in(i);
+    const StmtFacts f = facts_of(s, in);
+    const bool translator = !f.local_call.empty() || !f.fleet_call.empty();
+
+    if (!translator && !f.local_var.empty() && !f.fleet_var.empty()) {
+      res.sites.push_back({s.line, true, "", f.local_var, f.fleet_var});
+      continue;
+    }
+
+    // Domain-typed sinks: a wrong-domain value present with no translation
+    // into the sink's domain. Deliberately weak — it fires only when a
+    // wrong-domain value is visibly present, never on missing provenance,
+    // so untracked values stay silent.
+    std::string sink;
+    for (const std::string& c : s.calls)
+      if (in_list(c, cfg.r11_sink_local)) {
+        sink = c;
+        break;
+      }
+    if (!sink.empty() && f.local_call.empty() &&
+        (!f.fleet_var.empty() || !f.fleet_call.empty())) {
+      const std::string v = !f.fleet_var.empty()
+                                ? f.fleet_var
+                                : "<" + f.fleet_call + "()>";
+      res.sites.push_back({s.line, false, sink, "", v});
+      continue;
+    }
+    sink.clear();
+    for (const std::string& c : s.calls)
+      if (in_list(c, cfg.r11_sink_fleet)) {
+        sink = c;
+        break;
+      }
+    if (!sink.empty() && f.fleet_call.empty() &&
+        (!f.local_var.empty() || !f.local_call.empty())) {
+      const std::string v = !f.local_var.empty()
+                                ? f.local_var
+                                : "<" + f.local_call + "()>";
+      res.sites.push_back({s.line, false, sink, v, ""});
+    }
+  }
+  return res;
+}
+
+// Formats one mint → flow → site witness chain for a domained variable.
+void format_domain_chain(std::ostream& out, const R11Result& res,
+                         const RuleConfig& cfg, const std::string& var) {
+  std::set<std::string> seen;
+  std::string cur = var;
+  while (!cur.empty() && seen.insert(cur).second) {
+    const auto it = res.prov.find(cur);
+    if (it == res.prov.end()) {
+      const int d = anno_domain(cur, cfg);
+      if (d != 0)
+        out << "    '" << cur << "' is declared " << domain_name(d)
+            << " (r11." << (d == kDomLocal ? "local_var" : "fleet_var")
+            << ")\n";
+      break;
+    }
+    out << "    '" << cur << "' <- " << it->second.desc << " (line "
+        << it->second.line << ")\n";
+    cur = it->second.parent;
+  }
+}
+
+std::string r11_site_message(const R11Site& site, const std::string& fn_qname,
+                             const std::string& fn_name) {
+  if (site.is_mix)
+    return "clock-domain mix in '" + fn_qname + "': shard-local '" +
+           site.local_var + "' and fleet-domain '" + site.fleet_var +
+           "' meet with no epoch translation — see --explain R11:" + fn_name;
+  const bool wants_local = !site.fleet_var.empty();
+  const std::string& v = wants_local ? site.fleet_var : site.local_var;
+  return std::string(wants_local ? "fleet-domain '" : "shard-local '") + v +
+         "' reaches " + (wants_local ? "shard-local" : "fleet-domain") +
+         " sink '" + site.sink + "' in '" + fn_qname +
+         "' with no epoch translation — see --explain R11:" + fn_name;
+}
+
+}  // namespace
+
+void run_r11(const ProgramIR& program, const RuleConfig& cfg,
+             std::vector<Finding>* findings) {
+  if (cfg.r11_local.empty() && cfg.r11_fleet.empty() &&
+      cfg.r11_local_var.empty() && cfg.r11_fleet_var.empty())
+    return;
+  for (const FileIR& file : program.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (allow_matches(fn.qualified_name, file.path, cfg.r11_allow)) continue;
+      const R11Result res = r11_function(fn, cfg);
+      for (const R11Site& site : res.sites)
+        findings->push_back(
+            {file.path, site.line, "R11",
+             r11_site_message(site, fn.qualified_name, fn.name),
+             fn.qualified_name});
+    }
+  }
+}
+
+std::string explain_r11(const ProgramIR& program, const RuleConfig& cfg,
+                        const std::string& function, int* exit_code) {
+  std::ostringstream out;
+  bool found = false;
+  for (const FileIR& file : program.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (!function.empty() && fn.name != function &&
+          !qname_matches(fn.qualified_name, function))
+        continue;
+      const R11Result res = r11_function(fn, cfg);
+      if (function.empty() && res.prov.empty() && res.sites.empty())
+        continue;  // bare --explain R11: only domain-relevant functions
+      found = true;
+      out << "R11 '" << fn.qualified_name << "' (" << file.path << ":"
+          << fn.line << "):\n";
+      if (res.sites.empty() && res.prov.empty()) {
+        out << "  no tracked domain values\n";
+        continue;
+      }
+      for (const auto& [var, prov] : res.prov)
+        out << "  " << domain_name(prov.domain) << " '" << var << "' <- "
+            << prov.desc << " (line " << prov.line << ")\n";
+      for (const R11Site& site : res.sites) {
+        if (site.is_mix) {
+          out << "  MIX at line " << site.line << ": shard-local '"
+              << site.local_var << "' meets fleet-domain '" << site.fleet_var
+              << "'\n";
+          format_domain_chain(out, res, cfg, site.local_var);
+          format_domain_chain(out, res, cfg, site.fleet_var);
+        } else {
+          const bool wants_local = !site.fleet_var.empty();
+          const std::string& v =
+              wants_local ? site.fleet_var : site.local_var;
+          out << "  SINK at line " << site.line << ": "
+              << domain_name(wants_local ? kDomFleet : kDomLocal) << " '" << v
+              << "' into " << (wants_local ? "shard-local" : "fleet-domain")
+              << " sink '" << site.sink << "'\n";
+          format_domain_chain(out, res, cfg, v);
+        }
+      }
+    }
+  }
+  if (!found && !function.empty()) {
+    *exit_code = 2;
+    return "--explain R11: no definition of '" + function + "' found\n";
+  }
+  if (!found) out << "R11: no domain-relevant functions in the tree\n";
+  *exit_code = 0;
+  return out.str();
+}
+
 }  // namespace overhaul::lint

@@ -17,6 +17,14 @@
 //       an r10.holds contract are only called with that mutex held.
 //       Intersection-at-merge must-hold analysis; RAII guards release at
 //       their synthetic block-exit node.
+//   R11 clock-domain soundness   every tracked Timestamp value carries a
+//       domain fact (shard-local vs fleet), seeded at mint/translation calls
+//       (r11.local / r11.fleet) and at always-domained identifiers
+//       (r11.local_var / r11.fleet_var). A statement that mixes both domains
+//       with no translator call, or that feeds a wrong-domain value into a
+//       domain-typed sink (r11.sink_local / r11.sink_fleet) without
+//       translating, is a finding; `--explain R11[:<fn>]` prints the
+//       mint → flow → mixing-site witness chain.
 //
 // All three run on the cached IR: CFG extraction happens at parse time (cold
 // side), and each rule prechecks for its trigger vocabulary before running a
@@ -39,10 +47,20 @@ void run_r9(const ProgramIR& program, const RuleConfig& config,
 void run_r10(const ProgramIR& program, const RuleConfig& config,
              std::vector<Finding>* findings);
 
+void run_r11(const ProgramIR& program, const RuleConfig& config,
+             std::vector<Finding>* findings);
+
 // `--explain R9:<function>`: replays the taint analysis for every definition
 // matching `function` and prints each nondet-origin → sink witness chain.
 // Sets *exit_code to 2 when no definition matches, 0 otherwise.
 std::string explain_r9(const ProgramIR& program, const RuleConfig& config,
                        const std::string& function, int* exit_code);
+
+// `--explain R11[:<function>]`: replays the domain analysis and prints every
+// tracked value's mint → flow provenance plus each mixing/sink witness chain.
+// With a function, sets *exit_code to 2 when no definition matches; with no
+// function, covers every domain-relevant definition. 0 otherwise.
+std::string explain_r11(const ProgramIR& program, const RuleConfig& config,
+                        const std::string& function, int* exit_code);
 
 }  // namespace overhaul::lint

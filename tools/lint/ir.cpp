@@ -104,7 +104,7 @@ FileIR build_file_ir(const std::string& path, const std::string& source,
 
 namespace {
 
-constexpr const char* kCacheMagic = "overhaul-lint-cache v3";
+constexpr const char* kCacheMagic = "overhaul-lint-cache v4";
 
 std::string hex(std::uint64_t v) {
   char buf[17];
@@ -216,8 +216,9 @@ std::string serialize_cache(const std::vector<FileIR>& files,
     out << "F\t" << hex(f.source_hash) << '\t' << field(f.path) << '\n';
     for (const FunctionInfo& fn : f.functions) {
       out << "f\t" << fn.line << '\t' << (fn.ret_is_ptr ? 1 : 0) << '\t'
-          << field(fn.ret_type) << '\t' << field(fn.name) << '\t'
-          << field(fn.qualified_name) << '\n';
+          << static_cast<int>(fn.lane_anno) << '\t' << field(fn.ret_type)
+          << '\t' << field(fn.name) << '\t' << field(fn.qualified_name)
+          << '\n';
       for (const CallSite& c : fn.call_sites)
         out << "c\t" << c.line << '\t' << field(c.qualifier) << '\t'
             << field(c.name) << '\n';
@@ -248,8 +249,9 @@ std::string serialize_cache(const std::vector<FileIR>& files,
 }
 
 bool parse_cache(const std::string& text, std::uint64_t config_hash,
-                 std::vector<FileIR>* out) {
+                 std::vector<FileIR>* out, std::size_t* invalidated) {
   out->clear();
+  if (invalidated != nullptr) *invalidated = 0;
   std::string_view rest(text);
   const auto next_line = [&rest](std::string_view* line) {
     if (rest.empty()) return false;
@@ -271,9 +273,25 @@ bool parse_cache(const std::string& text, std::uint64_t config_hash,
     std::string word, tail, hash_hex;
     header >> word >> tail >> hash_hex;
     std::uint64_t stored = 0;
-    if (word + " " + tail != kCacheMagic || !parse_hex64(hash_hex, &stored) ||
-        stored != config_hash)
+    const bool hash_ok = parse_hex64(hash_hex, &stored);
+    if (word + " " + tail != kCacheMagic || !hash_ok ||
+        stored != config_hash) {
+      // Count the entries the config/version mismatch throws away: every "F"
+      // record in the blob was a warm file that now must reparse cold. Feeds
+      // the `invalidated_by_config` stat.
+      if (invalidated != nullptr && word + " " + tail == kCacheMagic &&
+          hash_ok && stored != config_hash) {
+        std::size_t n = 0;
+        for (std::string_view r = rest; !r.empty();) {
+          if (r.substr(0, 2) == "F\t") ++n;
+          const auto nl = r.find('\n');
+          if (nl == std::string_view::npos) break;
+          r.remove_prefix(nl + 1);
+        }
+        *invalidated = n;
+      }
       return false;
+    }
   }
 
   FileIR* cur = nullptr;
@@ -297,14 +315,17 @@ bool parse_cache(const std::string& text, std::uint64_t config_hash,
       cur = &out->back();
       cur_fn = nullptr;
     } else if (tag == "f") {
-      if (cur == nullptr || fields.size() != 6 || !parse_int(fields[1], &ln))
+      if (cur == nullptr || fields.size() != 7 || !parse_int(fields[1], &ln))
         return bad();
       FunctionInfo fn;
       fn.line = ln;
       fn.ret_is_ptr = fields[2] == "1";
-      fn.ret_type = unfield(fields[3]);
-      fn.name = unfield(fields[4]);
-      fn.qualified_name = unfield(fields[5]);
+      int anno = 0;
+      if (!parse_int(fields[3], &anno) || anno < 0 || anno > 2) return bad();
+      fn.lane_anno = static_cast<FnAnno>(anno);
+      fn.ret_type = unfield(fields[4]);
+      fn.name = unfield(fields[5]);
+      fn.qualified_name = unfield(fields[6]);
       cur->functions.push_back(std::move(fn));
       cur_fn = &cur->functions.back();
     } else if (tag == "c") {

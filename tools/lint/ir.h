@@ -67,9 +67,9 @@ std::vector<Finding> run_file_rules(const FileIR& ir, const RuleConfig& config);
 // Text cache format (tab-separated; names may contain spaces — `operator
 // bool` — but never tabs; list-valued fields are comma-joined, '-' when
 // empty — identifiers never contain commas):
-//   overhaul-lint-cache v3 <config_hash hex>
+//   overhaul-lint-cache v4 <config_hash hex>
 //   F <source_hash hex> <path>
-//   f <line> <ret_is_ptr> <ret_type|-> <name> <qname>     (function)
+//   f <line> <ret_is_ptr> <anno> <ret_type|-> <name> <qname>  (function)
 //   c <line> <qualifier|-> <name>                          (call site of ^)
 //   d <line> <kind> <succ> <defs> <uses> <calls> <decl_type|-> <locks>
 //     <unlocks>                                            (flow stmt of ^)
@@ -84,8 +84,11 @@ std::string serialize_cache(const std::vector<FileIR>& files,
 
 // Parses a cache blob. Returns false (and leaves `out` empty) on a version or
 // config-hash mismatch or any malformed record — a bad cache is discarded
-// wholesale, never trusted partially.
+// wholesale, never trusted partially. When `invalidated` is non-null it
+// receives the number of cached file entries discarded specifically because
+// the config hash changed (rules/baseline edit), 0 otherwise — the
+// `invalidated_by_config` stat.
 bool parse_cache(const std::string& text, std::uint64_t config_hash,
-                 std::vector<FileIR>* out);
+                 std::vector<FileIR>* out, std::size_t* invalidated = nullptr);
 
 }  // namespace overhaul::lint

@@ -1170,6 +1170,12 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
   // member scanner from re-triggering on identifiers mid-declaration.
   bool stmt_start = true;
 
+  // Lane-context annotation (R13) waiting for the definition it precedes.
+  // The macro must be the statement's first token; any ';' or scope brace
+  // before a definition header voids it (a declaration-only annotation
+  // never leaks onto the next function).
+  FnAnno pending_anno = FnAnno::kNone;
+
   std::size_t i = 0;
   while (i < n) {
     const Token& t = toks[i];
@@ -1177,6 +1183,7 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
       ++depth;
       ++i;
       stmt_start = true;
+      pending_anno = FnAnno::kNone;
       continue;
     }
     if (is_punct(t, "}")) {
@@ -1184,10 +1191,12 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
       --depth;
       ++i;
       stmt_start = true;
+      pending_anno = FnAnno::kNone;
       continue;
     }
     if (t.kind != TokKind::kIdent && !is_punct(t, "~")) {
       stmt_start = is_punct(t, ";") || is_punct(t, ":");
+      if (is_punct(t, ";")) pending_anno = FnAnno::kNone;
       ++i;
       continue;
     }
@@ -1253,6 +1262,17 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
         stmt_start = false;
       }
       continue;
+    }
+
+    // Lane-context function annotation (R13): consumed here, attached to
+    // the next definition header this statement produces.
+    if (stmt_start && (t.text == "OVERHAUL_COORDINATOR_ONLY" ||
+                       t.text == "OVERHAUL_LANE_SAFE")) {
+      pending_anno = t.text == "OVERHAUL_COORDINATOR_ONLY"
+                         ? FnAnno::kCoordinatorOnly
+                         : FnAnno::kLaneSafe;
+      ++i;
+      continue;  // stmt_start stays true for the header that follows
     }
 
     // Class-scope data member (R8/R9 raw material). Attempted only at
@@ -1346,6 +1366,8 @@ FileFacts extract_facts(const std::vector<Token>& toks) {
     fn.qualified_name = classes.empty() ? qname : scope_prefix() + qname;
     fn.name = name;
     fn.line = name_line;
+    fn.lane_anno = pending_anno;
+    pending_anno = FnAnno::kNone;
 
     // Return type: walk back over '*', '&', and declaration specifiers to
     // the nearest type identifier. Constructors/destructors have none.
@@ -1523,6 +1545,30 @@ std::optional<RuleConfig> parse_rules(const std::string& text,
         cfg.r10_holds.emplace_back(parts[0], parts[1]);
       }
     } else if (key == "r10.allow") append(cfg.r10_allow);
+    else if (key == "r11.local") append(cfg.r11_local);
+    else if (key == "r11.fleet") append(cfg.r11_fleet);
+    else if (key == "r11.local_var") append(cfg.r11_local_var);
+    else if (key == "r11.fleet_var") append(cfg.r11_fleet_var);
+    else if (key == "r11.sink_local") append(cfg.r11_sink_local);
+    else if (key == "r11.sink_fleet") append(cfg.r11_sink_fleet);
+    else if (key == "r11.allow") append(cfg.r11_allow);
+    else if (key == "r12.seed") {
+      for (const auto& v : vals) {
+        const auto parts = split_on(v, ':');
+        if (parts.size() != 2 || parts[0].empty() || parts[1].empty())
+          return fail("r12.seed wants file:function, got '" + v + "'");
+        cfg.r12_seeds.push_back({parts[0], parts[1]});
+      }
+    } else if (key == "r12.audit") append(cfg.r12_audit);
+    else if (key == "r12.metrics") append(cfg.r12_metrics);
+    else if (key == "r13.entry") {
+      for (const auto& v : vals) {
+        const auto parts = split_on(v, ':');
+        if (parts.size() != 2 || parts[0].empty() || parts[1].empty())
+          return fail("r13.entry wants file:function, got '" + v + "'");
+        cfg.r13_entries.push_back({parts[0], parts[1]});
+      }
+    } else if (key == "r13.allow") append(cfg.r13_allow);
     else if (key == "cg.edge") {
       if (vals.size() != 2)
         return fail("cg.edge wants exactly: caller-qname callee-qname");

@@ -45,6 +45,22 @@
 //   R10 lock-discipline   mutex acquisition respects the declared global
 //                         order, and OVERHAUL_GUARDED_BY state is written
 //                         only with its guard held (dataflow.h).
+//   R11 clock-domain      every value minted in a clock domain (shard-local
+//                         vs fleet, DESIGN.md §14) stays in that domain:
+//                         comparisons, max-merges, and domain-typed sink
+//                         calls must not mix domains except through the
+//                         declared epoch translators (dataflow.h;
+//                         --explain R11[:<fn>] prints the witness chains).
+//   R12 decision-audit    the dual of R5: every seeded verdict-producing
+//                         function must *transitively* reach both an audit
+//                         append and a metrics increment — a deny path that
+//                         short-circuits past the audit record is a silent
+//                         accountability loss (rules_flow.h).
+//   R13 barrier-lanes     worker-lane entry points must not reach an
+//                         OVERHAUL_COORDINATOR_ONLY function except through
+//                         an OVERHAUL_LANE_SAFE boundary (the deferred-
+//                         outbox route) — PR 8's one-barrier-per-quantum
+//                         determinism contract (rules_flow.h).
 //
 // The analyzer is still not a compiler; it is a tripwire tuned to this
 // codebase's idiom, registered as a tier-1 ctest check so a refactor cannot
@@ -111,6 +127,17 @@ struct FlowStmt {
   std::vector<std::string> unlocks;  // mutexes released (explicit or RAII)
 };
 
+// Lane-context annotation on a function definition (src/util/annotations.h,
+// R13). The macro must be the first token of the definition for the
+// extractor to see it.
+enum class FnAnno : std::uint8_t {
+  kNone = 0,
+  kCoordinatorOnly = 1,  // OVERHAUL_COORDINATOR_ONLY: barrier/coordinator
+                         // context only — never from a worker lane
+  kLaneSafe = 2,         // OVERHAUL_LANE_SAFE: audited lane-safe boundary
+                         // (defers its coordinator work to the barrier)
+};
+
 struct FunctionInfo {
   std::string qualified_name;  // e.g. "Pipe::write"; in-class definitions are
                                // prefixed with the enclosing class scope(s)
@@ -119,6 +146,7 @@ struct FunctionInfo {
   std::string ret_type;        // last identifier of the return type ("" if
                                // not recoverable: constructors, auto, macros)
   bool ret_is_ptr = false;     // '*' between return type and name
+  FnAnno lane_anno = FnAnno::kNone;    // R13 lane-context annotation
   std::vector<std::string> calls;      // unqualified callee names (legacy)
   std::vector<CallSite> call_sites;    // full call-site records
   std::vector<FlowStmt> flow;          // control-flow graph of the body
@@ -252,6 +280,35 @@ struct RuleConfig {
                                        // on entry (checked at its call sites)
   std::vector<std::string> r10_allow;  // qname suffixes or paths exempt
 
+  // R11 — clock-domain soundness (domain-typed taint, dataflow.h). A value
+  // defined by a call in r11.local (r11.fleet) carries the shard-local
+  // (fleet) domain; identifiers in r11.local_var / r11.fleet_var carry a
+  // domain wherever they appear (the cross-shard stamp cell). A statement
+  // that uses both domains, or passes the wrong domain to a declared sink,
+  // is a finding unless it also calls a translator — i.e. any function in
+  // the target domain's mint list (to_local / to_fleet).
+  std::vector<std::string> r11_local;       // calls minting local-domain
+  std::vector<std::string> r11_fleet;       // calls minting fleet-domain
+  std::vector<std::string> r11_local_var;   // idents that are always local
+  std::vector<std::string> r11_fleet_var;   // idents that are always fleet
+  std::vector<std::string> r11_sink_local;  // calls consuming local-domain
+  std::vector<std::string> r11_sink_fleet;  // calls consuming fleet-domain
+  std::vector<std::string> r11_allow;       // qname suffixes or paths exempt
+
+  // R12 — decision/audit completeness (inter-procedural, rules_flow.h).
+  // Every seed must transitively reach an r12.audit sink AND an r12.metrics
+  // sink through the call graph.
+  std::vector<SeedPoint> r12_seeds;
+  std::vector<std::string> r12_audit;    // audit-append sink names
+  std::vector<std::string> r12_metrics;  // metrics-increment sink names
+
+  // R13 — parallel barrier discipline (inter-procedural, rules_flow.h).
+  // From each worker-lane entry point, no OVERHAUL_COORDINATOR_ONLY function
+  // may be reachable except through an OVERHAUL_LANE_SAFE boundary (the
+  // traversal does not descend past lane-safe functions).
+  std::vector<SeedPoint> r13_entries;
+  std::vector<std::string> r13_allow;  // qname suffixes or paths exempt
+
   // Declared call-graph edges for handler/function-pointer indirection.
   std::vector<ExtraEdge> cg_edges;
 };
@@ -268,7 +325,7 @@ std::optional<RuleConfig> load_rules_file(const std::string& path,
 struct Finding {
   std::string file;
   int line = 0;
-  std::string rule;  // "R1".."R10", "io", "sup" (suppression/baseline hygiene)
+  std::string rule;  // "R1".."R13", "io", "sup" (suppression/baseline hygiene)
   std::string message;
   std::string symbol;  // qualified function / field / identifier — the
                        // baseline key, stable across line drift

@@ -15,7 +15,7 @@
 
 namespace {
 
-constexpr const char* kVersion = "6.0";
+constexpr const char* kVersion = "7.0";
 
 void usage(std::FILE* to) {
   std::fprintf(
@@ -26,17 +26,18 @@ void usage(std::FILE* to) {
       "\n"
       "Mediation-completeness analyzer for the Overhaul tree. Scans the\n"
       "roots for C++ sources, builds a whole-tree call graph plus per-\n"
-      "function dataflow CFGs, and enforces rules R1-R10 from the rules\n"
+      "function dataflow CFGs, and enforces rules R1-R13 from the rules\n"
       "file.\n"
       "\n"
       "  --baseline FILE  vetted findings (rule file symbol reason); stale\n"
       "                   entries are themselves findings\n"
-      "  --cache FILE     incremental IR cache (keyed by content + rules\n"
-      "                   hash); safe to delete at any time\n"
+      "  --cache FILE     incremental IR cache (keyed by source content +\n"
+      "                   rules/baseline hash); safe to delete at any time\n"
       "  --sarif OUT      also write findings as SARIF 2.1.0 JSON\n"
       "  --explain SPEC   print witness call chains instead of linting:\n"
       "                   R5 (all seeds), R5:<function>, R6:<function>,\n"
-      "                   R9:<function> (nondet-order taint witness)\n"
+      "                   R9:<function> (nondet-order taint witness),\n"
+      "                   R11[:<function>] (clock-domain witness)\n"
       "  --stats          print file/function/edge/cache counters\n"
       "  --quiet          suppress per-finding lines (exit code only)\n");
 }
@@ -127,18 +128,26 @@ int main(int argc, char** argv) {
   TreeOptions opts;
   opts.roots = roots;
   opts.config = *config;
-  // Cache key covers the rules text and the tool version (an analyzer change
-  // may change what the IR records).
-  opts.rules_hash = fnv1a64(std::string(kVersion) + "\n" + rules_text);
-  opts.cache_path = cache_path;
+  std::string baseline_text;
   if (!baseline_path.empty()) {
-    const auto baseline = load_baseline_file(baseline_path, &error);
+    if (!read_file(baseline_path, &baseline_text)) {
+      std::fprintf(stderr, "overhaul-lint: cannot open baseline file: %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const auto baseline = parse_baseline(baseline_text, &error);
     if (!baseline.has_value()) {
       std::fprintf(stderr, "overhaul-lint: %s\n", error.c_str());
       return 2;
     }
     opts.baseline = *baseline;
   }
+  // Cache key covers the rules and baseline text plus the tool version (an
+  // analyzer change may change what the IR records; a rules or baseline edit
+  // must never serve stale verdicts from the cache).
+  opts.rules_hash = fnv1a64(std::string(kVersion) + "\n" + rules_text + "\n" +
+                            baseline_text);
+  opts.cache_path = cache_path;
 
   const TreeResult result = run_tree(opts);
 
@@ -155,12 +164,13 @@ int main(int argc, char** argv) {
   }
   if (stats) {
     std::printf(
-        "overhaul-lint: %zu files (%zu reparsed, %zu evicted), %zu functions, "
-        "%zu call edges, %zu findings (%zu suppressed, %zu baselined)\n",
+        "overhaul-lint: %zu files (%zu reparsed, %zu evicted, %zu "
+        "invalidated_by_config), %zu functions, %zu call edges, %zu findings "
+        "(%zu suppressed, %zu baselined)\n",
         result.stats.files, result.stats.reparsed, result.stats.evicted,
-        result.stats.functions, result.stats.call_edges,
-        result.findings.size(), result.stats.suppressed,
-        result.stats.baselined);
+        result.stats.invalidated_by_config, result.stats.functions,
+        result.stats.call_edges, result.findings.size(),
+        result.stats.suppressed, result.stats.baselined);
   } else if (!quiet) {
     std::fprintf(stderr,
                  "overhaul-lint: %zu finding(s) in %zu file(s) scanned\n",

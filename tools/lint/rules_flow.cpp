@@ -58,8 +58,9 @@ bool read_file(const std::string& path, std::string* out) {
 }
 
 const std::set<std::string>& known_rules() {
-  static const std::set<std::string> rules = {"R1", "R2", "R3", "R4", "R5",
-                                              "R6", "R7", "R8", "R9", "R10"};
+  static const std::set<std::string> rules = {"R1", "R2",  "R3",  "R4",  "R5",
+                                              "R6", "R7",  "R8",  "R9",  "R10",
+                                              "R11", "R12", "R13"};
   return rules;
 }
 
@@ -69,16 +70,23 @@ bool in_list(const std::string& s, const std::vector<std::string>& v) {
 
 // Whether graph node `v` satisfies one of the R5 sinks: its own definition
 // matches, or it calls a sink that has no definition in the scanned tree.
+// The per-call-site check rejects on the sink's unqualified tail first so
+// the common miss costs one string compare, not a concatenation — this
+// runs over every node for every sink list, on every (warm) run.
 bool is_sink_node(const CallGraph& g, int v,
                   const std::vector<std::string>& sinks) {
   const CallGraph::Node& node = g.nodes()[v];
   for (const std::string& sink : sinks) {
     if (qname_matches(node.qname, sink)) return true;
-    const bool bare = sink.find("::") == std::string::npos;
+    const auto sep = sink.rfind("::");
+    const bool bare = sep == std::string::npos;
+    const std::string_view tail =
+        bare ? std::string_view(sink) : std::string_view(sink).substr(sep + 2);
     for (const CallSite& cs : node.fn->call_sites) {
-      if (bare ? cs.name == sink
-               : (!cs.qualifier.empty() &&
-                  qname_matches(cs.qualifier + "::" + cs.name, sink)))
+      if (cs.name != tail) continue;
+      if (bare) return true;
+      if (!cs.qualifier.empty() &&
+          qname_matches(cs.qualifier + "::" + cs.name, sink))
         return true;
     }
   }
@@ -176,6 +184,144 @@ void run_r6(const CallGraph& g, const RuleConfig& cfg,
                "', which is not reachable from any sanctioned input source (" +
                join(cfg.r6_sources, ", ") + ")",
            node.qname});
+    }
+  }
+}
+
+// Resolves a seed/entry point to its call-graph node; a vanished file or
+// function is itself a finding (a rename must not silently drop an
+// obligation). Shared by R12/R13, mirroring run_r5's handling.
+int resolve_seed(const ProgramIR& program, const CallGraph& g,
+                 const SeedPoint& seed, const char* rule,
+                 std::vector<Finding>* findings) {
+  const bool file_seen = std::any_of(
+      program.files.begin(), program.files.end(),
+      [&](const FileIR& f) { return path_matches(f.path, seed.file); });
+  if (!file_seen) {
+    findings->push_back({seed.file, 1, rule,
+                         "seed file for '" + seed.function +
+                             "' was never scanned (moved? update "
+                             "overhaul_lint.rules)",
+                         seed.function});
+    return -1;
+  }
+  const int start = g.find_in_file(seed.file, seed.function);
+  if (start < 0) {
+    findings->push_back({seed.file, 1, rule,
+                         "seed function '" + seed.function +
+                             "' not found (renamed away? update "
+                             "overhaul_lint.rules)",
+                         seed.function});
+  }
+  return start;
+}
+
+// R12: decision/audit completeness — every verdict-producing seed must reach
+// both an audit-append sink and a metrics increment. One finding per seed,
+// naming the missing trace(s).
+void run_r12(const ProgramIR& program, const CallGraph& g,
+             const RuleConfig& cfg, std::vector<Finding>* findings) {
+  if (cfg.r12_seeds.empty()) return;
+  std::vector<char> is_audit(g.nodes().size(), 0);
+  std::vector<char> is_metric(g.nodes().size(), 0);
+  for (std::size_t v = 0; v < g.nodes().size(); ++v) {
+    is_audit[v] = is_sink_node(g, static_cast<int>(v), cfg.r12_audit) ? 1 : 0;
+    is_metric[v] =
+        is_sink_node(g, static_cast<int>(v), cfg.r12_metrics) ? 1 : 0;
+  }
+  for (const SeedPoint& seed : cfg.r12_seeds) {
+    const int start = resolve_seed(program, g, seed, "R12", findings);
+    if (start < 0) continue;
+    // One BFS per seed, stopping as soon as both traces are found: the clean
+    // (common) case reaches the monitor's append + counter within a few hops,
+    // so most seeds never pay for their full reachable closure.
+    std::vector<char> seen(g.nodes().size(), 0);
+    std::vector<int> queue{start};
+    seen[start] = 1;
+    bool audit = false, metric = false;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const int v = queue[qi];
+      if (is_audit[v] != 0) audit = true;
+      if (is_metric[v] != 0) metric = true;
+      if (audit && metric) break;
+      for (const int w : g.out_edges()[v]) {
+        if (seen[w] == 0) {
+          seen[w] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (audit && metric) continue;
+    const CallGraph::Node& node = g.nodes()[start];
+    std::string missing;
+    if (!audit)
+      missing = "an audit-append sink (" + join(cfg.r12_audit, ", ") + ")";
+    if (!metric) {
+      if (!missing.empty()) missing += " or ";
+      missing += "a metrics increment (" + join(cfg.r12_metrics, ", ") + ")";
+    }
+    findings->push_back(
+        {node.file, node.line, "R12",
+         "'" + node.qname +
+             "' produces a mediation verdict but no call path reaches " +
+             missing + " — every decision must leave an audit and metrics "
+             "trace (silent accountability loss)",
+         node.qname});
+  }
+}
+
+// R13: barrier discipline — worker-lane entry points must not reach
+// OVERHAUL_COORDINATOR_ONLY functions; OVERHAUL_LANE_SAFE marks an audited
+// boundary (e.g. the deferred outbox) whose callees are not expanded.
+void run_r13(const ProgramIR& program, const CallGraph& g,
+             const RuleConfig& cfg, std::vector<Finding>* findings) {
+  if (cfg.r13_entries.empty()) return;
+  const auto allowed = [&](const CallGraph::Node& n) {
+    return std::any_of(cfg.r13_allow.begin(), cfg.r13_allow.end(),
+                       [&](const std::string& a) {
+                         return qname_matches(n.qname, a) ||
+                                path_matches(n.file, a);
+                       });
+  };
+  for (const SeedPoint& entry : cfg.r13_entries) {
+    const int start = resolve_seed(program, g, entry, "R13", findings);
+    if (start < 0) continue;
+    const CallGraph::Node& enode = g.nodes()[start];
+    if (allowed(enode)) continue;
+
+    // BFS with parent tracking so a finding can name its shortest path.
+    std::vector<int> parent(g.nodes().size(), -2);
+    std::vector<int> queue{start};
+    parent[start] = -1;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const int v = queue[qi];
+      const CallGraph::Node& node = g.nodes()[v];
+      if (v != start && node.fn != nullptr) {
+        if (node.fn->lane_anno == FnAnno::kCoordinatorOnly) {
+          if (!allowed(node)) {
+            std::vector<int> path;
+            for (int c = v; c != -1; c = parent[c]) path.push_back(c);
+            std::reverse(path.begin(), path.end());
+            findings->push_back(
+                {enode.file, enode.line, "R13",
+                 "worker-lane entry '" + enode.qname +
+                     "' reaches coordinator-only '" + node.qname +
+                     "' outside the barrier: " + chain_text(g, path) +
+                     " — route through the deferred outbox or mark the "
+                     "audited boundary OVERHAUL_LANE_SAFE",
+                 enode.qname});
+          }
+          continue;  // never expand past a coordinator function
+        }
+        if (node.fn->lane_anno == FnAnno::kLaneSafe)
+          continue;  // audited boundary: lane-safe by contract
+      }
+      for (const int w : g.out_edges()[v]) {
+        if (parent[w] == -2) {
+          parent[w] = v;
+          queue.push_back(w);
+        }
+      }
     }
   }
 }
@@ -283,6 +429,9 @@ TreeResult analyze_program(ProgramIR program, const RuleConfig& cfg,
   run_r8(program, graph, cfg, &findings);
   run_r9(program, cfg, &findings);
   run_r10(program, cfg, &findings);
+  run_r11(program, cfg, &findings);
+  run_r12(program, graph, cfg, &findings);
+  run_r13(program, graph, cfg, &findings);
   filter_findings(program, baseline, &findings, &stats);
 
   std::sort(findings.begin(), findings.end(),
@@ -356,7 +505,8 @@ TreeResult run_tree(const TreeOptions& options) {
   if (!options.cache_path.empty()) {
     std::string blob;
     if (read_file(options.cache_path, &blob))
-      parse_cache(blob, options.rules_hash, &cached);
+      parse_cache(blob, options.rules_hash, &cached,
+                  &stats.invalidated_by_config);
   }
   std::unordered_map<std::string_view, FileIR*> by_path;
   by_path.reserve(cached.size());
@@ -423,11 +573,11 @@ ExplainOutcome explain(const ProgramIR& program, const RuleConfig& cfg,
     rule = spec.substr(0, colon);
     function = spec.substr(colon + 1);
   }
-  if (rule != "R5" && rule != "R6" && rule != "R9") {
+  if (rule != "R5" && rule != "R6" && rule != "R9" && rule != "R11") {
     out.exit_code = 2;
     out.text =
-        "--explain understands R5[:<function>], R6:<function>, and "
-        "R9:<function>\n";
+        "--explain understands R5[:<function>], R6:<function>, "
+        "R9:<function>, and R11[:<function>]\n";
     return out;
   }
   if (rule == "R9") {
@@ -437,6 +587,10 @@ ExplainOutcome explain(const ProgramIR& program, const RuleConfig& cfg,
       return out;
     }
     out.text = explain_r9(program, cfg, function, &out.exit_code);
+    return out;
+  }
+  if (rule == "R11") {
+    out.text = explain_r11(program, cfg, function, &out.exit_code);
     return out;
   }
 

@@ -16,6 +16,20 @@
 // sources (r6.source, qualified-name suffixes). r6.allow entries (qname
 // suffix or path) exempt deliberate non-input callers, e.g. the kernel-side
 // handler installer whose lambdas the extractor attributes to it.
+//
+// R12: decision/audit completeness — the dual of R5. Every seeded
+// verdict-producing entry point (r12.seed file:function) must transitively
+// reach BOTH an audit-append sink (r12.audit) and a metrics-increment sink
+// (r12.metrics): a deny path that short-circuits past the audit append is a
+// silent accountability loss. One finding per seed, naming the missing
+// trace(s).
+//
+// R13: barrier discipline. From every worker-lane entry point (r13.entry
+// file:function) the call graph must not reach a function annotated
+// OVERHAUL_COORDINATOR_ONLY, except through an OVERHAUL_LANE_SAFE boundary
+// (the audited deferred-outbox surface), whose callees are not expanded.
+// One finding per (entry, coordinator-only function) pair, anchored at the
+// entry, naming the offending path.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +73,9 @@ struct TreeStats {
   std::size_t files = 0;
   std::size_t reparsed = 0;  // files not served from the cache
   std::size_t evicted = 0;   // cache entries whose file vanished from disk
+  // Cached entries discarded because the config hash (rules/baseline text)
+  // changed — distinguishes a config-forced cold pass from source edits.
+  std::size_t invalidated_by_config = 0;
   std::size_t functions = 0;
   std::size_t call_edges = 0;
   std::size_t suppressed = 0;  // findings dropped by inline suppressions
@@ -83,7 +100,8 @@ TreeResult run_tree_mem(
     const std::vector<BaselineEntry>& baseline = {});
 
 // --explain: prints witness call chains. `spec` is "R5", "R5:<function>",
-// "R6:<function>", or "R9:<function>" (taint witness: nondet origin -> sink).
+// "R6:<function>", "R9:<function>" (taint witness: nondet origin -> sink),
+// or "R11[:<function>]" (domain witness: mint -> flow -> mixing site).
 // exit_code: 0 = every requested witness exists, 1 = at least one chain is
 // missing, 2 = bad spec.
 struct ExplainOutcome {

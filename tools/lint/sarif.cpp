@@ -67,6 +67,15 @@ constexpr RuleMeta kRules[] = {
     {"R10", "lock-discipline",
      "Locks follow the declared acquisition order; OVERHAUL_GUARDED_BY "
      "members are written only with their mutex held"},
+    {"R11", "clock-domain-soundness",
+     "Shard-local and fleet timestamps never meet or hit a domain-typed "
+     "sink without an epoch translation"},
+    {"R12", "decision-audit-completeness",
+     "Every verdict-producing entry point transitively reaches both an "
+     "audit append and a metrics increment"},
+    {"R13", "barrier-discipline",
+     "Worker-lane entry points never reach OVERHAUL_COORDINATOR_ONLY "
+     "functions except through an OVERHAUL_LANE_SAFE boundary"},
     {"io", "io-error", "A configured root or source file could not be read"},
     {"sup", "suppression-hygiene",
      "Malformed/unused suppressions and stale baseline entries"},

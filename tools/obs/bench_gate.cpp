@@ -36,6 +36,12 @@ struct Row {
   double ratio_min = 0;
   double ratio_median = 0;
   double ratio_max = 0;
+  // Optional fields (rows from older trajectory files may lack them): the
+  // sample variance of the surviving ratios and how many repetitions the
+  // MAD rejection dropped before the interval was computed.
+  bool has_spread = false;
+  double variance = 0;
+  double rejected = 0;
 };
 
 // Minimal field scraper for the flat row objects bench_table1 emits. The
@@ -132,6 +138,7 @@ int main(int argc, char** argv) {
     std::printf("%s: %zu rows (gate: whole interval > %.2f fails, "
                 "n >= %.0f required)\n",
                 path, row_objs.size(), threshold, min_reps);
+    int noise_rows = 0;
     for (const std::string& obj : row_objs) {
       // --quick rows carry "gating":false — single-repetition smoke numbers
       // with no spread to reason about. Report them, never gate on them.
@@ -153,8 +160,11 @@ int main(int argc, char** argv) {
         rc = 1;
         continue;
       }
+      row.has_spread = find_number(obj, "variance", &row.variance) &&
+                       find_number(obj, "rejected_outliers", &row.rejected);
       const char* verdict;
       bool fail = false;
+      bool noisy = false;
       if (row.n < min_reps) {
         verdict = "FAIL (too few repetitions)";
         fail = true;
@@ -166,12 +176,21 @@ int main(int argc, char** argv) {
         verdict = "improvement";
       } else {
         verdict = "noise (interval straddles 1.0)";
+        noisy = true;
       }
-      std::printf("  %-18s n=%-3.0f ratio [%.4f, %.4f] median %.4f — %s\n",
+      std::printf("  %-18s n=%-3.0f ratio [%.4f, %.4f] median %.4f",
                   row.name.c_str(), row.n, row.ratio_min, row.ratio_max,
-                  row.ratio_median, verdict);
+                  row.ratio_median);
+      if (row.has_spread)
+        std::printf(" var %.2e rej %.0f", row.variance, row.rejected);
+      std::printf(" — %s\n", verdict);
       if (fail) rc = 1;
+      if (noisy) ++noise_rows;
     }
+    if (noise_rows > 0)
+      std::printf("%s: flagged %d noise row(s) (interval straddles 1.0) — "
+                  "reported, not gated\n",
+                  path, noise_rows);
   }
   return rc;
 }
